@@ -1,0 +1,58 @@
+"""Experiment E3 -- Figure 5: cumulative distribution of the nodal degrees.
+
+Prints the CDF of |Tags(r)|, |Res(t)| and |NFG(t)| at the same probability
+levels the figure lets one read off, and asserts the qualitative ordering of
+the three curves (Tags(r) is the most concentrated, NFG(t) the most spread).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_banner
+from repro.analysis.cdf import cdf_at, empirical_cdf
+from repro.analysis.report import format_table
+
+
+def _degree_samples(trg, fg):
+    tags_r = np.array([trg.resource_degree(r) for r in trg.resources], dtype=float)
+    res_t = np.array([trg.tag_degree(t) for t in trg.tags], dtype=float)
+    nfg_t = np.array([fg.out_degree(t) for t in fg.tags], dtype=float)
+    return {"Tags(r)": tags_r, "Res(t)": res_t, "NFG(t)": nfg_t}
+
+
+def _report(samples):
+    print_banner("Figure 5 -- nodal degree CDF (reproduction)")
+    probe_points = [1, 2, 5, 10, 20, 50, 100, 200, 500]
+    rows = []
+    for point in probe_points:
+        rows.append([point] + [float(cdf_at(values, [point])[0]) for values in samples.values()])
+    print(format_table(["degree <=", *samples.keys()], rows, precision=3))
+    print("\npaper shape: ~80% of tags have |NFG(t)| below a couple of hundred, while the")
+    print("core tags reach degrees in the tens of thousands; Tags(r) is the most concentrated curve.")
+
+
+class TestFigure5:
+    def test_degree_cdfs(self, benchmark, bench_trg, bench_fg):
+        samples = benchmark.pedantic(
+            _degree_samples, args=(bench_trg, bench_fg), rounds=1, iterations=1
+        )
+        _report(samples)
+
+        # The three curves keep the paper's ordering at small degrees:
+        # P(Tags(r) <= 10) >= P(Res(t) <= 10) >= P(NFG(t) <= 10) ... roughly,
+        # i.e. resource degrees are the most concentrated near the origin.
+        at_10 = {name: float(cdf_at(values, [10])[0]) for name, values in samples.items()}
+        assert at_10["Tags(r)"] >= at_10["NFG(t)"]
+        # Every CDF is monotone and reaches 1.
+        for values in samples.values():
+            _x, p = empirical_cdf(values)
+            assert p[-1] == 1.0
+            assert np.all(np.diff(p) >= 0)
+        # Heavy tail: the 99th percentile of NFG(t) is far above its median.
+        nfg = samples["NFG(t)"]
+        assert np.percentile(nfg, 99) > 5 * max(np.median(nfg), 1)
+
+    def test_cdf_computation_speed(self, benchmark, bench_trg, bench_fg):
+        samples = _degree_samples(bench_trg, bench_fg)
+        benchmark(lambda: [empirical_cdf(v) for v in samples.values()])

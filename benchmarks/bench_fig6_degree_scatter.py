@@ -1,0 +1,73 @@
+"""Experiment E4 -- Figure 6: original vs simulated FG node out-degree.
+
+The paper's claim: even with k = 1 the out-degree of the approximated graph
+tracks the original closely (points near the diagonal), and the value of k
+barely matters.  We reproduce the scatter for k = 1 and k = 100 and summarise
+it by the least-squares slope and the Pearson correlation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_banner
+from repro.analysis.comparison import degree_pairs
+from repro.analysis.report import format_table
+
+K_VALUES = [1, 100]
+
+
+def _scatter_summary(original_fg, approximated_fg):
+    pairs = degree_pairs(original_fg, approximated_fg)
+    x = np.array([orig for _t, orig, _a in pairs], dtype=float)
+    y = np.array([approx for _t, _o, approx in pairs], dtype=float)
+    mask = x > 0
+    x, y = x[mask], y[mask]
+    slope = float((x @ y) / (x @ x)) if x.size else 0.0
+    correlation = float(np.corrcoef(x, y)[0, 1]) if x.size > 1 else 0.0
+    return {"points": int(x.size), "slope": slope, "correlation": correlation,
+            "mean_ratio": float(np.mean(y / np.maximum(x, 1)))}
+
+
+class TestFigure6:
+    def test_out_degree_preserved(self, benchmark, bench_fg, evolutions):
+        def run():
+            return {k: _scatter_summary(bench_fg, evolutions.get(k=k).approximated_fg) for k in K_VALUES}
+
+        summaries = benchmark.pedantic(run, rounds=1, iterations=1)
+
+        print_banner("Figure 6 -- original vs simulated FG out-degree")
+        rows = [
+            [k, s["points"], s["slope"], s["correlation"], s["mean_ratio"]]
+            for k, s in summaries.items()
+        ]
+        print(format_table(
+            ["k", "tags", "LSQ slope (sim/orig)", "Pearson r", "mean degree ratio"], rows
+        ))
+        print("\npaper shape: points aligned on a line close to the diagonal already for k=1;")
+        print("the connection parameter k does not significantly affect the nodal degree.")
+
+        for k, summary in summaries.items():
+            # Aligned on a line: slope comfortably above 0.5 and high correlation.
+            assert summary["slope"] > 0.5, f"k={k}: slope {summary['slope']:.3f} too far from diagonal"
+            assert summary["correlation"] > 0.9
+            assert summary["slope"] <= 1.0 + 1e-9  # the approximation never adds arcs
+        # Larger k moves the cloud onto the diagonal.  The paper observes that
+        # the slope is already near 1 at k = 1 on the full Last.fm crawl; at
+        # our scale each tag pair has far fewer co-occurrence opportunities,
+        # so the k = 1 slope sits lower (see EXPERIMENTS.md) while the points
+        # stay tightly aligned (Pearson r > 0.95).
+        assert summaries[1]["slope"] <= summaries[100]["slope"] + 1e-9
+        assert summaries[100]["slope"] > 0.95
+
+    def test_evolution_replay_speed_k1(self, benchmark, bench_trg):
+        """Timing of one full approximated evolution replay (k=1)."""
+        from repro.analysis.evolution import EvolutionConfig, simulate_approximated_evolution
+        from repro.core.approximation import default_approximation
+
+        benchmark.pedantic(
+            simulate_approximated_evolution,
+            args=(bench_trg, EvolutionConfig(approximation=default_approximation(1), seed=1)),
+            rounds=1,
+            iterations=1,
+        )

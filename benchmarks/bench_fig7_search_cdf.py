@@ -1,0 +1,72 @@
+"""Experiment E7 -- Figure 7: CDF of faceted-search path lengths.
+
+Runs the Section V-C convergence simulation (first / last / random tag
+strategies from the most popular tags) on both the original and the k=1
+approximated graph and prints the CDF of path lengths for each combination.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.analysis.cdf import cdf_at
+from repro.analysis.convergence import ConvergenceConfig, run_convergence_experiment
+from repro.analysis.report import format_cdf, format_table
+
+#: Scaled-down experiment (the paper uses 100 start tags x 100 random runs on
+#: a dataset three orders of magnitude larger).
+CONFIG = ConvergenceConfig(num_start_tags=40, random_runs_per_tag=15, seed=0)
+
+
+@pytest.fixture(scope="module")
+def convergence_results(bench_trg, bench_fg, evolutions):
+    approximated = evolutions.get(k=1).approximated_fg
+    return run_convergence_experiment(bench_trg, bench_fg, approximated, CONFIG)
+
+
+class TestFigure7:
+    def test_search_length_cdfs(self, benchmark, bench_trg, bench_fg, evolutions, convergence_results):
+        # Benchmark a single-strategy slice so the timing is meaningful while
+        # the full experiment is computed once by the fixture.
+        single = ConvergenceConfig(num_start_tags=10, random_runs_per_tag=5, strategies=("random",), seed=1)
+        benchmark.pedantic(
+            run_convergence_experiment,
+            args=(bench_trg, bench_fg, None, single),
+            rounds=1,
+            iterations=1,
+        )
+
+        results = convergence_results
+        print_banner("Figure 7 -- CDF of search path lengths (original vs approximated, k=1)")
+        for strategy in ("last", "random", "first"):
+            for graph_label in ("original", "approximated"):
+                outcome = results[graph_label][strategy]
+                print(format_cdf(outcome.cdf(), label=f"{strategy:>6} / {graph_label}"))
+            print()
+
+        probe = [3, 5, 10, 20, 40]
+        rows = []
+        for strategy in ("last", "random", "first"):
+            original = results["original"][strategy].lengths
+            approximated = results["approximated"][strategy].lengths
+            rows.append(
+                [strategy]
+                + [float(cdf_at(original, [p])[0]) for p in probe]
+                + [float(cdf_at(approximated, [p])[0]) for p in probe]
+            )
+        print(format_table(
+            ["strategy", *[f"orig<= {p}" for p in probe], *[f"apx<= {p}" for p in probe]],
+            rows,
+            precision=2,
+        ))
+
+        # Paper shape: at every probed length the approximated CDF dominates
+        # (searches are never slower, and visibly faster for "first").
+        for strategy in ("last", "random", "first"):
+            original = results["original"][strategy].lengths
+            approximated = results["approximated"][strategy].lengths
+            for p in probe:
+                assert float(cdf_at(approximated, [p])[0]) >= float(cdf_at(original, [p])[0]) - 0.05
+        # "first" is the slowest strategy on the original graph.
+        assert max(results["original"]["first"].lengths) >= max(results["original"]["last"].lengths)

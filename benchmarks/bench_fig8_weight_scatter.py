@@ -1,0 +1,65 @@
+"""Experiment E5 -- Figure 8: original vs simulated FG arc weights.
+
+The complementary claim to Figure 6: while degrees survive, the *weights* of
+the arcs are systematically under-estimated for small k and approach the
+original as k grows.  We reproduce the scatter for k in {1, 25, 500} and
+summarise it by the least-squares slope (weight shrink factor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_banner
+from repro.analysis.comparison import weight_pairs
+from repro.analysis.report import format_table
+
+K_VALUES = [1, 25, 500]
+
+
+def _weight_summary(original_fg, approximated_fg):
+    pairs = weight_pairs(original_fg, approximated_fg)
+    x = np.array([orig for _s, _t, orig, _a in pairs], dtype=float)
+    y = np.array([approx for _s, _t, _o, approx in pairs], dtype=float)
+    slope = float((x @ y) / (x @ x)) if x.size else 0.0
+    heavy = x >= 5  # the visible part of the paper's scatter
+    heavy_slope = float((x[heavy] @ y[heavy]) / (x[heavy] @ x[heavy])) if heavy.any() else 0.0
+    return {
+        "arcs": int(x.size),
+        "slope": slope,
+        "heavy_arc_slope": heavy_slope,
+        "mean_abs_residual": float(np.mean(np.abs(x - y))),
+    }
+
+
+class TestFigure8:
+    def test_arc_weights_shrink_with_small_k(self, benchmark, bench_fg, evolutions):
+        def run():
+            return {k: _weight_summary(bench_fg, evolutions.get(k=k).approximated_fg) for k in K_VALUES}
+
+        summaries = benchmark.pedantic(run, rounds=1, iterations=1)
+
+        print_banner("Figure 8 -- original vs simulated FG arc weights")
+        rows = [
+            [k, s["arcs"], s["slope"], s["heavy_arc_slope"], s["mean_abs_residual"]]
+            for k, s in summaries.items()
+        ]
+        print(format_table(
+            ["k", "arcs (original)", "LSQ slope", "slope (weight>=5)", "mean |residual|"], rows
+        ))
+        print("\npaper shape: arc weights are significantly reduced for low k; pushing the")
+        print("residuals down requires k values impractical on a DHT -- which is why the")
+        print("paper optimises for rank/proportion preservation (Table III) instead.")
+
+        # Weights are always under-estimates and the shrink eases as k grows.
+        for summary in summaries.values():
+            assert summary["slope"] <= 1.0 + 1e-9
+        assert summaries[1]["slope"] <= summaries[25]["slope"] <= summaries[500]["slope"] + 1e-9
+        # For k=1 the shrink is substantial (well below the diagonal).
+        assert summaries[1]["slope"] < 0.9
+        # For k as large as the biggest resources, the replay converges to the original.
+        assert summaries[500]["slope"] > 0.95
+
+    def test_weight_pair_extraction_speed(self, benchmark, bench_fg, evolutions):
+        approximated = evolutions.get(k=1).approximated_fg
+        benchmark(lambda: weight_pairs(bench_fg, approximated))

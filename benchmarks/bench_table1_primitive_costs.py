@@ -1,0 +1,116 @@
+"""Experiment E1 -- Table I: lookup cost of the distributed primitives.
+
+Reproduces the cost comparison between the naive and the approximated
+protocol by measuring actual overlay lookups on a simulated overlay, for
+resources of growing tag cardinality and for k in {1, 5, 10}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from benchmarks.paper_reference import TABLE_I
+from repro.analysis.report import format_table
+from repro.core.approximation import default_approximation
+from repro.dht.bootstrap import build_overlay
+from repro.dht.node import NodeConfig
+from repro.distributed.approximated_protocol import ApproximatedProtocol
+from repro.distributed.block_store import BlockStore
+from repro.distributed.cost_model import approximated_tag_cost, insert_cost, naive_tag_cost, search_step_cost
+from repro.distributed.naive_protocol import NaiveProtocol
+from repro.distributed.tagging_service import DharmaService, ServiceConfig
+from repro.simulation.network import NetworkConfig
+
+
+RESOURCE_SIZES = [2, 5, 10, 25, 50]
+K_VALUES = [1, 5, 10]
+
+
+def _overlay(seed=0):
+    return build_overlay(
+        16,
+        node_config=NodeConfig(k=8, alpha=3, replicate=2),
+        network_config=NetworkConfig(min_latency_ms=1, max_latency_ms=3, seed=seed),
+        seed=seed,
+    )
+
+
+def _store(overlay, user):
+    return BlockStore(overlay.client(identity=overlay.register_user(user)))
+
+
+def _measure_costs():
+    """Measured lookups per primitive for every (protocol, m, k) combination."""
+    overlay = _overlay()
+    rows = []
+    for m in RESOURCE_SIZES:
+        tags = [f"t{m}-{i}" for i in range(m)]
+        naive = NaiveProtocol(_store(overlay, f"naive-{m}"))
+        insert_naive = naive.insert_resource(f"res-naive-{m}", tags).lookups
+        tag_naive = naive.add_tag(f"res-naive-{m}", f"extra-{m}").lookups
+        row = {"m": m, "insert_naive": insert_naive, "tag_naive": tag_naive}
+        for k in K_VALUES:
+            approx = ApproximatedProtocol(
+                _store(overlay, f"approx-{m}-{k}"), default_approximation(k), seed=0
+            )
+            approx.insert_resource(f"res-approx-{m}-{k}", tags)
+            row[f"tag_k{k}"] = approx.add_tag(f"res-approx-{m}-{k}", f"extra-{m}-{k}").lookups
+        rows.append(row)
+
+    # Search-step cost measured through the service facade.
+    service = DharmaService(overlay, user="searcher", config=ServiceConfig(seed=0))
+    service.insert_resource("search-res", [f"s{i}" for i in range(8)])
+    for i in range(8):
+        service.add_tag("search-res", f"s{(i + 1) % 8}")
+    before = service.total_lookups
+    result = service.faceted_search("s0", "first")
+    search_cost = (service.total_lookups - before) / max(result.length, 1)
+    return rows, search_cost
+
+
+def _report(rows, search_cost):
+    print_banner("Table I -- distributed tagging primitives cost (overlay lookups)")
+    print(format_table(
+        ["primitive", "paper (naive)", "paper (approx.)"],
+        [[name, str(cells["naive"]), str(cells["approximated"])] for name, cells in TABLE_I.items()],
+        title="paper formulas",
+    ))
+    print()
+    headers = ["|Tags(r)| = m", "insert (both)", "tag naive", *[f"tag approx k={k}" for k in K_VALUES]]
+    table_rows = [
+        [row["m"], row["insert_naive"], row["tag_naive"], *[row[f"tag_k{k}"] for k in K_VALUES]]
+        for row in rows
+    ]
+    print(format_table(headers, table_rows, title="measured lookups (this reproduction)"))
+    print(f"\nmeasured search-step cost: {search_cost:.2f} lookups/step (paper: 2)")
+
+
+class TestTable1:
+    def test_measured_costs_match_formulas(self, benchmark):
+        rows, search_cost = benchmark.pedantic(_measure_costs, rounds=1, iterations=1)
+        _report(rows, search_cost)
+        for row in rows:
+            m = row["m"]
+            assert row["insert_naive"] == insert_cost(m)
+            assert row["tag_naive"] == naive_tag_cost(m)
+            for k in K_VALUES:
+                assert row[f"tag_k{k}"] <= approximated_tag_cost(k)
+        # The crossover the paper motivates: for large resources the naive tag
+        # cost dwarfs the approximated one.
+        big = rows[-1]
+        assert big["tag_naive"] > big[f"tag_k{max(K_VALUES)}"]
+        assert search_cost == pytest.approx(search_step_cost())
+
+    def test_single_tagging_operation_latency(self, benchmark):
+        """Micro-benchmark of one approximated tagging operation end to end
+        (lookup + block appends on a 16-node overlay)."""
+        overlay = _overlay(seed=1)
+        protocol = ApproximatedProtocol(_store(overlay, "hot"), default_approximation(1), seed=0)
+        protocol.insert_resource("hot-res", [f"h{i}" for i in range(10)])
+        counter = iter(range(1_000_000))
+
+        def one_tag():
+            protocol.add_tag("hot-res", f"hot-{next(counter)}")
+
+        benchmark(one_tag)

@@ -1,0 +1,69 @@
+"""Experiment E2 -- Table II: degree statistics of the folksonomy.
+
+Rebuilds the paper's census (mean / std / max of |Tags(r)|, |Res(t)| and
+|NFG(t)|) on the synthetic Last.fm substitute and checks the scale-independent
+shape facts quoted in Section V-A.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_banner
+from benchmarks.paper_reference import LASTFM_CENSUS, TABLE_II, TEXT_FACTS
+from repro.analysis.report import format_mapping, format_table
+from repro.datasets.stats import compute_folksonomy_stats
+
+
+def _report(dataset, stats):
+    print_banner("Table II -- degree statistics (paper vs reproduction)")
+    print(format_mapping(LASTFM_CENSUS, title="paper dataset census (Last.fm crawl)"))
+    print()
+    print(format_mapping(dataset.describe(), title="reproduction dataset census (synthetic)"))
+    print()
+    ours = stats.table_ii()
+    rows = []
+    for row_name in ("mu", "sigma", "max"):
+        rows.append(
+            [
+                row_name,
+                TABLE_II[row_name]["Tags(r)"], ours[row_name]["Tags(r)"],
+                TABLE_II[row_name]["Res(t)"], ours[row_name]["Res(t)"],
+                TABLE_II[row_name]["NFG(t)"], ours[row_name]["NFG(t)"],
+            ]
+        )
+    print(format_table(
+        ["", "Tags(r) paper", "Tags(r) ours", "Res(t) paper", "Res(t) ours", "NFG(t) paper", "NFG(t) ours"],
+        rows,
+    ))
+    print()
+    print(format_mapping(
+        {
+            "singleton tag fraction (paper ~0.55)": stats.resources_per_tag.singleton_fraction,
+            "singleton resource fraction (paper ~0.40)": stats.tags_per_resource.singleton_fraction,
+        },
+        title="core-periphery indicators",
+    ))
+
+
+class TestTable2:
+    def test_degree_statistics_shape(self, benchmark, bench_dataset, bench_trg, bench_fg):
+        stats = benchmark.pedantic(
+            compute_folksonomy_stats, args=(bench_trg, bench_fg), rounds=1, iterations=1
+        )
+        _report(bench_dataset, stats)
+
+        ours = stats.table_ii()
+        # Scale-independent shape checks (the absolute numbers depend on the
+        # dataset size, the orderings do not):
+        # 1. NFG(t) >> Res(t) >= Tags(r) in mean.
+        assert ours["mu"]["NFG(t)"] > ours["mu"]["Res(t)"]
+        # 2. Heavy tails: std > mean for Res(t) and NFG(t), max >> mean everywhere.
+        assert stats.resources_per_tag.std > stats.resources_per_tag.mean
+        assert stats.fg_out_degree.std > stats.fg_out_degree.mean
+        assert stats.tags_per_resource.max > 5 * stats.tags_per_resource.mean
+        # 3. Core-periphery split close to the quoted fractions.
+        assert stats.resources_per_tag.singleton_fraction >= TEXT_FACTS["singleton_tag_fraction"] - 0.2
+        assert stats.tags_per_resource.singleton_fraction >= TEXT_FACTS["singleton_resource_fraction"] - 0.25
+
+    def test_census_aggregation_throughput(self, benchmark, bench_dataset):
+        """How fast the TRG aggregation runs (the ingest path of any analysis)."""
+        benchmark.pedantic(bench_dataset.to_tag_resource_graph, rounds=3, iterations=1)

@@ -1,0 +1,66 @@
+"""Experiment E8 -- Table IV: statistics of the search path lengths.
+
+Mean, standard deviation and median of the faceted-search path length per
+strategy, on the original and the k=1 approximated graph.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_banner
+from benchmarks.paper_reference import TABLE_IV
+from repro.analysis.convergence import ConvergenceConfig, run_convergence_experiment
+from repro.analysis.report import format_table
+
+CONFIG = ConvergenceConfig(num_start_tags=40, random_runs_per_tag=15, seed=0)
+
+
+class TestTable4:
+    def test_search_statistics(self, benchmark, bench_trg, bench_fg, evolutions):
+        approximated = evolutions.get(k=1).approximated_fg
+
+        results = benchmark.pedantic(
+            run_convergence_experiment,
+            args=(bench_trg, bench_fg, approximated, CONFIG),
+            rounds=1,
+            iterations=1,
+        )
+
+        print_banner("Table IV -- search simulation statistics (paper vs reproduction)")
+        rows = []
+        for graph_label, paper_label in (("original", "Original"), ("approximated", "Simulated (k=1)")):
+            for strategy in ("last", "random", "first"):
+                stats = results[graph_label][strategy].stats
+                paper_mean, paper_std, paper_median = TABLE_IV[graph_label][strategy]
+                rows.append([
+                    paper_label, strategy,
+                    paper_mean, stats.mean,
+                    paper_std, stats.std,
+                    paper_median, stats.median,
+                    stats.count,
+                ])
+        print(format_table(
+            ["graph", "strategy", "mu paper", "mu ours", "sigma paper", "sigma ours",
+             "median paper", "median ours", "searches"],
+            rows,
+            precision=2,
+        ))
+        print("\npaper shape: last << random << first; the approximation shortens paths,")
+        print("most visibly for the 'first tag' strategy; 'last'/'random' means stay below ln|T|.")
+
+        import math
+
+        for graph_label in ("original", "approximated"):
+            stats = {s: results[graph_label][s].stats for s in ("last", "random", "first")}
+            # Strategy ordering.
+            assert stats["last"].mean <= stats["random"].mean + 1e-9
+            assert stats["random"].mean <= stats["first"].mean + 1e-9
+            # last/random converge in a handful of steps (< ln |T| as the paper notes).
+            assert stats["last"].mean < math.log(max(bench_trg.num_tags, 3)) + 2
+        # Approximation never lengthens and tends to shorten the "first" strategy.
+        assert (
+            results["approximated"]["first"].stats.mean
+            <= results["original"]["first"].stats.mean + 1e-9
+        )
+        # High variance for "first" (paper: sigma of the same order as mu).
+        first = results["original"]["first"].stats
+        assert first.std > 0

@@ -1,0 +1,109 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks reproduce every table and figure of the paper's evaluation on
+the synthetic Last.fm substitute.  Heavy artefacts (the dataset, the exact FG,
+the evolution replays for the different values of ``k``) are built once per
+session and cached, so the per-benchmark timing numbers measure the
+interesting kernel and the whole suite stays in the minutes range.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(the ``-s`` flag shows the reproduced tables inline; they are also printed on
+normal runs at the end of each benchmark's first execution).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.evolution import EvolutionConfig, simulate_approximated_evolution
+from repro.core.approximation import ApproximationConfig, default_approximation
+from repro.core.tagging_model import derive_folksonomy_graph
+from repro.datasets.lastfm_synthetic import PRESETS, generate_lastfm_like
+
+
+#: Preset used throughout the harness.  "small" keeps the full suite in the
+#: minutes range; switch to "medium" for a closer (but slower) approximation
+#: of the paper's scale.
+BENCH_PRESET = "small"
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    return generate_lastfm_like(BENCH_PRESET)
+
+
+@pytest.fixture(scope="session")
+def bench_trg(bench_dataset):
+    return bench_dataset.to_tag_resource_graph()
+
+
+@pytest.fixture(scope="session")
+def bench_fg(bench_trg):
+    return derive_folksonomy_graph(bench_trg)
+
+
+class EvolutionCache:
+    """Lazily computed evolution replays keyed by approximation config."""
+
+    def __init__(self, trg):
+        self._trg = trg
+        self._cache = {}
+
+    def get(self, k: int = 1, enable_a: bool = True, enable_b: bool = True, seed: int = 0):
+        key = (k, enable_a, enable_b, seed)
+        if key not in self._cache:
+            config = EvolutionConfig(
+                approximation=ApproximationConfig(enable_a=enable_a, enable_b=enable_b, k=k),
+                seed=seed,
+            )
+            self._cache[key] = simulate_approximated_evolution(self._trg, config)
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def evolutions(bench_trg):
+    return EvolutionCache(bench_trg)
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+# --------------------------------------------------------------------- #
+# Report forwarding
+# --------------------------------------------------------------------- #
+#
+# Each benchmark prints the table/figure it reproduces.  Pytest captures that
+# output, so without further care the reproduced tables would only be visible
+# with ``-s``.  The autouse fixture below collects whatever a benchmark
+# printed and the terminal-summary hook re-emits it after the run, so the
+# paper-shaped tables always appear in the pytest output (and therefore in a
+# tee'd ``bench_output.txt``).
+
+_COLLECTED_REPORTS: list[str] = []
+
+
+@pytest.fixture(autouse=True)
+def _collect_report(request, capsys):
+    yield
+    try:
+        captured = capsys.readouterr()
+    except Exception:  # pragma: no cover - capture disabled (-s)
+        return
+    if captured.out.strip():
+        _COLLECTED_REPORTS.append(captured.out)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _COLLECTED_REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for report in _COLLECTED_REPORTS:
+        for line in report.rstrip().splitlines():
+            terminalreporter.write_line(line)

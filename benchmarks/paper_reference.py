@@ -1,0 +1,60 @@
+"""The numbers reported by the paper, used for side-by-side printing.
+
+Our substrate is a synthetic dataset three orders of magnitude smaller than
+the Last.fm crawl, so absolute values are not expected to match; the benchmark
+harness prints both columns so the *shape* (orderings, growth trends,
+crossovers) can be checked at a glance and is asserted programmatically where
+it is scale-independent.
+"""
+
+from __future__ import annotations
+
+#: Table I -- primitive costs in overlay lookups.
+TABLE_I = {
+    "insert": {"naive": "2 + 2m", "approximated": "2 + 2m"},
+    "tag": {"naive": "4 + |Tags(r)|", "approximated": "4 + k"},
+    "search_step": {"naive": 2, "approximated": 2},
+}
+
+#: Table II -- Last.fm degree statistics (values rounded to integers).
+TABLE_II = {
+    "mu": {"Tags(r)": 5, "Res(t)": 26, "NFG(t)": 316},
+    "sigma": {"Tags(r)": 13, "Res(t)": 525, "NFG(t)": 1569},
+    "max": {"Tags(r)": 1182, "Res(t)": 109717, "NFG(t)": 120568},
+}
+
+#: Dataset census reported in Section V.
+LASTFM_CENSUS = {
+    "users": 99_405,
+    "annotations": 11_000_000,
+    "resources": 1_413_657,
+    "tags": 285_182,
+}
+
+#: Table III -- approximation quality (mean / std per k).
+TABLE_III = {
+    1: {"recall": (0.6103, 0.2798), "ktau": (0.7636, 0.2728), "theta": (0.8152, 0.1978), "sim1": (0.9214, 0.1044)},
+    5: {"recall": (0.7268, 0.2730), "ktau": (0.7638, 0.2380), "theta": (0.8664, 0.1636), "sim1": (0.9346, 0.0914)},
+    10: {"recall": (0.7841, 0.2686), "ktau": (0.7985, 0.2138), "theta": (0.8971, 0.1424), "sim1": (0.9432, 0.0850)},
+}
+
+#: Table IV -- search path statistics (mean, std, median) per strategy.
+TABLE_IV = {
+    "original": {
+        "last": (3.47, 1.4175, 3),
+        "random": (6.412, 4.4587, 5),
+        "first": (33.94, 15.9942, 33),
+    },
+    "approximated": {  # simulated with k = 1
+        "last": (3.38, 1.2373, 3),
+        "random": (5.2140, 2.6994, 5),
+        "first": (19.17, 10.3065, 16),
+    },
+}
+
+#: Structural facts quoted in the text of Section V-A.
+TEXT_FACTS = {
+    "singleton_tag_fraction": 0.55,
+    "singleton_resource_fraction": 0.40,
+    "missing_arcs_weight_le3_fraction": 0.99,
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The cost/fidelity trade-off of the connection parameter ``k``.
+
+DHARMA bounds the per-tagging overlay cost to ``4 + k`` lookups by updating
+only ``k`` reverse similarity arcs per operation (Approximation A) and starts
+new arcs at weight 1 (Approximation B).  This example regrows the Folksonomy
+Graph of a synthetic dataset for several values of ``k`` and prints, for each,
+the cost bound next to the approximation-quality metrics of Table III --
+making the trade-off the paper argues for directly visible.
+
+Run with::
+
+    python examples/approximation_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    compare_graphs,
+    default_approximation,
+    derive_folksonomy_graph,
+    generate_lastfm_like,
+    simulate_approximated_evolution,
+)
+from repro.analysis.evolution import EvolutionConfig
+from repro.analysis.report import format_table
+from repro.distributed.cost_model import approximated_tag_cost, naive_tag_cost
+
+
+def main() -> None:
+    dataset = generate_lastfm_like("tiny")
+    trg = dataset.to_tag_resource_graph()
+    exact_fg = derive_folksonomy_graph(trg)
+    max_tags = max(trg.resource_degree(r) for r in trg.resources)
+
+    print(f"dataset: {len(dataset)} annotations, {trg.num_tags} tags, {trg.num_resources} resources")
+    print(f"exact FG: {exact_fg.num_arcs} arcs; most-tagged resource carries {max_tags} labels")
+    print(f"naive tagging cost on that resource: {naive_tag_cost(max_tags)} overlay lookups\n")
+
+    rows = []
+    for k in (0, 1, 2, 5, 10, 25):
+        result = simulate_approximated_evolution(
+            trg, EvolutionConfig(approximation=default_approximation(k), seed=0)
+        )
+        comparison = compare_graphs(exact_fg, result.approximated_fg)
+        quality = comparison.quality
+        rows.append([
+            k,
+            approximated_tag_cost(k),
+            comparison.num_approximated_arcs,
+            comparison.global_recall,
+            quality.kendall_tau_mean,
+            quality.cosine_mean,
+            quality.sim1_mean,
+        ])
+
+    print(format_table(
+        ["k", "tag cost (lookups)", "arcs kept", "recall", "Kendall tau", "cosine", "sim1%"],
+        rows,
+        title="approximation quality vs per-operation cost",
+    ))
+    print("\nreading the table: even k = 1 keeps rankings and proportions of the surviving")
+    print("arcs high while cutting the tagging cost from O(|Tags(r)|) to a small constant;")
+    print("what is lost is almost exclusively weight-1 noise arcs (high sim1%).")
+
+
+if __name__ == "__main__":
+    main()

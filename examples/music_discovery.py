@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Music discovery on a Last.fm-like folksonomy.
+
+The scenario the paper's introduction motivates: a community has tagged a
+large music catalogue, and a user explores it by faceted navigation rather
+than keyword search.  This example generates a synthetic Last.fm-like
+dataset, builds the exact folksonomy, prints its structural census
+(Table II style) and compares how quickly the three navigation strategies
+converge from the most popular tags (the Section V-C experiment in miniature).
+
+Run with::
+
+    python examples/music_discovery.py
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro import FacetedSearch, ModelView, compute_folksonomy_stats, derive_folksonomy_graph, generate_lastfm_like
+from repro.analysis.report import format_mapping, format_table
+
+
+def main() -> None:
+    # --- the community's tagging history ----------------------------------- #
+    dataset = generate_lastfm_like("small")
+    print(format_mapping(dataset.describe(), title="synthetic Last.fm-like dataset"))
+
+    trg = dataset.to_tag_resource_graph()
+    fg = derive_folksonomy_graph(trg)
+    stats = compute_folksonomy_stats(trg, fg)
+    table = stats.table_ii()
+    rows = [[row, table[row]["Tags(r)"], table[row]["Res(t)"], table[row]["NFG(t)"]] for row in table]
+    print()
+    print(format_table(["", "Tags(r)", "Res(t)", "NFG(t)"], rows, title="degree statistics (Table II style)"))
+    print(f"singleton tags: {stats.resources_per_tag.singleton_fraction:.0%} "
+          f"(noise vocabulary), single-tag resources: {stats.tags_per_resource.singleton_fraction:.0%}")
+
+    # --- one concrete navigation session ------------------------------------ #
+    engine = FacetedSearch(ModelView(trg, fg), display_limit=100, resource_threshold=10, seed=0)
+    start = trg.most_popular_tags(1)[0]
+    print(f"\nnavigating from the most popular tag {start!r}:")
+    state = engine.start(start)
+    while engine.is_finished(state) is None:
+        displayed = engine.displayed_tags(state)
+        if not displayed:
+            break
+        # A "curious user": picks something mid-cloud rather than the extremes.
+        choice = displayed[min(10, len(displayed) - 1)][0]
+        state = engine.refine(state, choice)
+        print(f"  selected {choice!r:<22} -> {len(state.candidate_resources):>5} resources, "
+              f"{len(state.candidate_tags):>5} candidate tags")
+    print(f"  done after {state.steps} steps; sample results: {sorted(state.candidate_resources)[:5]}")
+
+    # --- how the three strategies of the paper compare ---------------------- #
+    print("\nconvergence from the 20 most popular tags:")
+    rows = []
+    for strategy in ("last", "random", "first"):
+        lengths = []
+        for tag in trg.most_popular_tags(20):
+            if fg.out_degree(tag) == 0:
+                continue
+            runs = 10 if strategy == "random" else 1
+            for _ in range(runs):
+                lengths.append(engine.run(tag, strategy).length)
+        rows.append([
+            strategy,
+            statistics.fmean(lengths),
+            statistics.pstdev(lengths) if len(lengths) > 1 else 0.0,
+            statistics.median(lengths),
+            max(lengths),
+        ])
+    print(format_table(["strategy", "mean steps", "std", "median", "max"], rows, precision=2))
+    print("\nthe 'last tag' strategy (always pick the least related displayed tag) converges in a")
+    print("handful of steps; 'first tag' (always the most related) lingers in the popular core --")
+    print("exactly the behaviour Table IV of the paper reports.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: the DHARMA tagging model in memory.
+
+This example walks through the core concepts of the paper without touching
+the DHT: building a folksonomy with the two user operations (resource
+insertion and tag insertion), looking at the similarity graph the community's
+behaviour induces, and narrowing a faceted search step by step.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import FacetedSearch, ModelView, TaggingModel
+
+
+def build_catalogue() -> TaggingModel:
+    """A tiny music catalogue tagged by a (simulated) community."""
+    model = TaggingModel()  # exact model: no approximation
+
+    # Users publish resources with an initial set of labels ...
+    model.insert_resource("nevermind", ["rock", "grunge", "90s"])
+    model.insert_resource("in-utero", ["rock", "grunge", "noise"])
+    model.insert_resource("ok-computer", ["rock", "alternative", "90s"])
+    model.insert_resource("kid-a", ["alternative", "electronic", "experimental"])
+    model.insert_resource("homework", ["electronic", "french", "house"])
+    model.insert_resource("discovery", ["electronic", "french", "dance"])
+    model.insert_resource("thriller", ["pop", "80s", "dance"])
+
+    # ... and keep tagging existing resources afterwards.
+    model.add_tag("nevermind", "seattle")
+    model.add_tag("in-utero", "seattle")
+    model.add_tag("nevermind", "rock")      # a second user repeats a tag
+    model.add_tag("discovery", "dance")
+    model.add_tag("ok-computer", "british")
+    return model
+
+
+def show_graphs(model: TaggingModel) -> None:
+    print("== Tag-Resource Graph ==")
+    print(f"resources: {model.trg.num_resources}, tags: {model.trg.num_tags}, "
+          f"edges: {model.trg.num_edges}, annotations: {model.trg.total_weight}")
+    print(f"Tags(nevermind) = {model.trg.tags_of('nevermind')}")
+    print(f"Res(rock)       = {model.trg.resources_of('rock')}")
+
+    print("\n== Folksonomy Graph (tag similarities) ==")
+    for tag in ("rock", "electronic"):
+        ranked = model.related_tags(tag, limit=5)
+        print(f"tags related to {tag!r}: {ranked}")
+    # The similarity is asymmetric by construction.
+    print(f"sim(grunge, rock) = {model.fg.similarity('grunge', 'rock')}, "
+          f"sim(rock, grunge) = {model.fg.similarity('rock', 'grunge')}")
+
+    # The exact model always satisfies the defining identity.
+    model.check_model_invariant()
+    print("exact-model invariant verified.")
+
+
+def run_faceted_search(model: TaggingModel) -> None:
+    print("\n== Faceted search ==")
+    engine = FacetedSearch(ModelView.from_model(model), resource_threshold=1, seed=0)
+
+    # Step-by-step narrowing, the way a user interface would drive it.
+    state = engine.start("rock")
+    print(f"start at 'rock': {len(state.candidate_resources)} resources, "
+          f"{len(state.candidate_tags)} related tags")
+    print(f"displayed tag cloud: {engine.displayed_tags(state)}")
+
+    state = engine.refine(state, "grunge")
+    print(f"after selecting 'grunge': resources = {sorted(state.candidate_resources)}")
+
+    # Whole searches with the three strategies of the paper.
+    for strategy in ("first", "last", "random"):
+        result = engine.run("electronic", strategy)
+        print(f"strategy {strategy:>6}: path = {' -> '.join(result.path)}  "
+              f"({len(result.final_resources)} resources left, stop: {result.stop_reason})")
+
+
+def main() -> None:
+    model = build_catalogue()
+    show_graphs(model)
+    run_faceted_search(model)
+
+
+if __name__ == "__main__":
+    main()

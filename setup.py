@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that editable installs also work on environments whose setuptools/pip
+combination lacks the ``wheel`` package required by PEP 660 editable builds
+(``pip install -e . --no-use-pep517 --no-build-isolation`` falls back to the
+legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

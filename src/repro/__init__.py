@@ -1,0 +1,101 @@
+"""DHARMA reproduction: DHT-based collaborative tagging with approximated
+folksonomy maintenance.
+
+This package reproduces *"Tagging with DHARMA, a DHT-based Approach for
+Resource Mapping through Approximation"* (Aiello, Milanesio, Ruffo,
+Schifanella -- IPPS 2010, arXiv:1101.3761):
+
+* :mod:`repro.core` -- the tagging-system model: Tag-Resource Graph,
+  Folksonomy Graph, graph maintenance, faceted search, block decomposition
+  and the approximation policy (Approximations A and B);
+* :mod:`repro.dht` -- the Kademlia/Likir substrate (160-bit id space,
+  k-buckets, iterative lookups, PUT/GET/APPEND, identity layer);
+* :mod:`repro.simulation` -- in-process overlay simulation (virtual clock,
+  latency/loss model, churn, workload replay);
+* :mod:`repro.distributed` -- DHARMA itself: the naive and approximated
+  maintenance protocols, the tagging service facade, the distributed faceted
+  search and the Table I cost model;
+* :mod:`repro.datasets` -- annotation triples, the synthetic Last.fm
+  substitute and structural statistics (Table II / Figure 5);
+* :mod:`repro.analysis` -- the evaluation machinery (evolution replay, graph
+  comparison, convergence simulation and the associated metrics).
+
+Quickstart
+----------
+
+>>> from repro import TaggingModel
+>>> model = TaggingModel()
+>>> _ = model.insert_resource("nevermind", ["grunge", "rock", "90s"])
+>>> _ = model.add_tag("nevermind", "seattle")
+>>> sorted(model.fg.neighbours("grunge"))
+['90s', 'rock', 'seattle']
+"""
+
+from repro.core import (
+    ApproximationConfig,
+    BlockKey,
+    BlockType,
+    FacetedSearch,
+    FolksonomyGraph,
+    TagResourceGraph,
+    TaggingModel,
+)
+from repro.core.approximation import EXACT, default_approximation
+from repro.core.faceted_search import ModelView
+from repro.core.tagging_model import derive_folksonomy_graph
+from repro.datasets import (
+    AnnotationDataset,
+    LastfmSyntheticConfig,
+    compute_folksonomy_stats,
+    generate_lastfm_like,
+)
+from repro.dht import DHTClient, KademliaNode, NodeConfig, NodeID, build_overlay
+from repro.distributed import (
+    ApproximatedProtocol,
+    DharmaService,
+    NaiveProtocol,
+    ServiceConfig,
+)
+from repro.analysis import (
+    compare_graphs,
+    run_convergence_experiment,
+    simulate_approximated_evolution,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "TagResourceGraph",
+    "FolksonomyGraph",
+    "TaggingModel",
+    "FacetedSearch",
+    "ModelView",
+    "ApproximationConfig",
+    "EXACT",
+    "default_approximation",
+    "derive_folksonomy_graph",
+    "BlockKey",
+    "BlockType",
+    # datasets
+    "AnnotationDataset",
+    "LastfmSyntheticConfig",
+    "generate_lastfm_like",
+    "compute_folksonomy_stats",
+    # dht
+    "NodeID",
+    "NodeConfig",
+    "KademliaNode",
+    "DHTClient",
+    "build_overlay",
+    # distributed
+    "DharmaService",
+    "ServiceConfig",
+    "NaiveProtocol",
+    "ApproximatedProtocol",
+    # analysis
+    "simulate_approximated_evolution",
+    "compare_graphs",
+    "run_convergence_experiment",
+]

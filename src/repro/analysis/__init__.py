@@ -1,0 +1,60 @@
+"""Evaluation machinery (Section V).
+
+* :mod:`~repro.analysis.metrics` -- Kendall's tau, cosine similarity, recall
+  and the sim1% measure used in Table III;
+* :mod:`~repro.analysis.cdf` -- empirical CDF helpers (Figures 5 and 7);
+* :mod:`~repro.analysis.evolution` -- the popularity-driven replay that grows
+  an approximated Folksonomy Graph from a target TRG (Section V-B);
+* :mod:`~repro.analysis.comparison` -- original-vs-approximated graph
+  comparison (Figures 6 and 8, Table III);
+* :mod:`~repro.analysis.convergence` -- the faceted-search convergence
+  simulation (Figure 7, Table IV);
+* :mod:`~repro.analysis.report` -- plain-text table rendering shared by the
+  benchmarks and the CLI.
+"""
+
+from repro.analysis.metrics import (
+    cosine_similarity,
+    kendall_tau,
+    recall,
+    sim1_fraction,
+)
+from repro.analysis.cdf import empirical_cdf, cdf_at
+from repro.analysis.evolution import EvolutionConfig, EvolutionResult, simulate_approximated_evolution
+from repro.analysis.comparison import (
+    ApproximationQuality,
+    GraphComparison,
+    compare_graphs,
+    degree_pairs,
+    weight_pairs,
+)
+from repro.analysis.convergence import (
+    ConvergenceConfig,
+    SearchLengthStats,
+    StrategyOutcome,
+    run_convergence_experiment,
+)
+from repro.analysis.report import format_table, format_mapping
+
+__all__ = [
+    "cosine_similarity",
+    "kendall_tau",
+    "recall",
+    "sim1_fraction",
+    "empirical_cdf",
+    "cdf_at",
+    "EvolutionConfig",
+    "EvolutionResult",
+    "simulate_approximated_evolution",
+    "ApproximationQuality",
+    "GraphComparison",
+    "compare_graphs",
+    "degree_pairs",
+    "weight_pairs",
+    "ConvergenceConfig",
+    "SearchLengthStats",
+    "StrategyOutcome",
+    "run_convergence_experiment",
+    "format_table",
+    "format_mapping",
+]

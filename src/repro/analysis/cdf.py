@@ -1,0 +1,45 @@
+"""Empirical cumulative distribution helpers (Figures 5 and 7)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["empirical_cdf", "cdf_at", "cdf_series"]
+
+
+def empirical_cdf(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of *values*.
+
+    Returns ``(x, p)`` where ``x`` are the sorted distinct values and ``p[i]``
+    is the fraction of samples less than or equal to ``x[i]``.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return np.array([]), np.array([])
+    unique, counts = np.unique(array, return_counts=True)
+    cumulative = np.cumsum(counts) / array.size
+    return unique, cumulative
+
+
+def cdf_at(values: Sequence[float], points: Sequence[float]) -> np.ndarray:
+    """Evaluate the empirical CDF of *values* at the given *points*."""
+    array = np.sort(np.asarray(list(values), dtype=float))
+    points_array = np.asarray(list(points), dtype=float)
+    if array.size == 0:
+        return np.zeros_like(points_array)
+    indices = np.searchsorted(array, points_array, side="right")
+    return indices / array.size
+
+
+def cdf_series(values: Sequence[float], max_points: int = 200) -> list[tuple[float, float]]:
+    """A down-sampled ``(value, cumulative probability)`` series suitable for
+    printing in benchmark reports (at most *max_points* rows)."""
+    x, p = empirical_cdf(values)
+    if x.size == 0:
+        return []
+    if x.size <= max_points:
+        return list(zip(x.tolist(), p.tolist()))
+    indices = np.linspace(0, x.size - 1, max_points).astype(int)
+    return [(float(x[i]), float(p[i])) for i in indices]

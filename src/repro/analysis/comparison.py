@@ -1,0 +1,186 @@
+"""Original-vs-approximated graph comparison (Figures 6 and 8, Table III).
+
+Given the exact Folksonomy Graph of a dataset and the FG grown by the
+approximated protocol, this module produces:
+
+* the per-tag out-degree pairs plotted in Figure 6;
+* the per-arc weight pairs plotted in Figure 8;
+* the per-tag approximation-quality measures whose mean and standard
+  deviation fill Table III (recall, Kendall's tau, cosine theta, sim1%).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.analysis.metrics import cosine_similarity, kendall_tau, recall, sim1_fraction
+from repro.core.folksonomy_graph import FolksonomyGraph
+
+__all__ = [
+    "degree_pairs",
+    "weight_pairs",
+    "ApproximationQuality",
+    "GraphComparison",
+    "compare_graphs",
+]
+
+
+def degree_pairs(
+    original: FolksonomyGraph, approximated: FolksonomyGraph
+) -> list[tuple[str, int, int]]:
+    """Per-tag ``(tag, original out-degree, approximated out-degree)``.
+
+    Tags absent from the approximated graph count as degree 0 (they never
+    received any arc), which is exactly what Figure 6 plots.
+    """
+    pairs = []
+    for tag in original.tags:
+        pairs.append((tag, original.out_degree(tag), approximated.out_degree(tag)))
+    return pairs
+
+
+def weight_pairs(
+    original: FolksonomyGraph, approximated: FolksonomyGraph
+) -> list[tuple[str, str, int, int]]:
+    """Per-arc ``(source, target, original weight, approximated weight)`` for
+    every arc of the original graph (0 when the arc is missing from the
+    approximated graph) -- the scatter of Figure 8."""
+    pairs = []
+    for arc in original.arcs():
+        pairs.append(
+            (arc.source, arc.target, arc.weight, approximated.similarity(arc.source, arc.target))
+        )
+    return pairs
+
+
+@dataclass(frozen=True, slots=True)
+class ApproximationQuality:
+    """One Table III row: mean and standard deviation of the per-tag metrics."""
+
+    recall_mean: float
+    recall_std: float
+    kendall_tau_mean: float
+    kendall_tau_std: float
+    cosine_mean: float
+    cosine_std: float
+    sim1_mean: float
+    sim1_std: float
+    #: Number of tags contributing to each statistic.
+    tags_with_arcs: int
+    tags_with_rankings: int
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "Recall_mu": self.recall_mean,
+            "Recall_sigma": self.recall_std,
+            "Ktau_mu": self.kendall_tau_mean,
+            "Ktau_sigma": self.kendall_tau_std,
+            "theta_mu": self.cosine_mean,
+            "theta_sigma": self.cosine_std,
+            "sim1_mu": self.sim1_mean,
+            "sim1_sigma": self.sim1_std,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class GraphComparison:
+    """Full comparison bundle between the exact and the approximated FG."""
+
+    quality: ApproximationQuality
+    #: Global recall: approximated arcs / original arcs.
+    global_recall: float
+    #: Fraction of missing arcs with original weight <= 3 (the paper reports
+    #: 99 % for every k).
+    missing_weight_le3_fraction: float
+    num_original_arcs: int
+    num_approximated_arcs: int
+
+
+def _mean_std(values: list[float]) -> tuple[float, float]:
+    if not values:
+        return 0.0, 0.0
+    if len(values) == 1:
+        return values[0], 0.0
+    return statistics.fmean(values), statistics.pstdev(values)
+
+
+def compare_graphs(
+    original: FolksonomyGraph, approximated: FolksonomyGraph
+) -> GraphComparison:
+    """Compute Table III's metrics for one (original, approximated) pair."""
+    recalls: list[float] = []
+    taus: list[float] = []
+    cosines: list[float] = []
+    sim1s: list[float] = []
+    missing_weights_all: list[int] = []
+    total_original_arcs = 0
+    total_surviving_arcs = 0
+    tags_with_arcs = 0
+    tags_with_rankings = 0
+
+    for tag in original.tags:
+        original_arcs = original.out_arcs(tag)
+        if not original_arcs:
+            continue
+        tags_with_arcs += 1
+        approx_arcs = approximated.out_arcs(tag)
+        common = [t for t in original_arcs if t in approx_arcs]
+        missing = [t for t in original_arcs if t not in approx_arcs]
+        total_original_arcs += len(original_arcs)
+        total_surviving_arcs += len(common)
+
+        tag_recall = recall(len(original_arcs), len(common))
+        if tag_recall is not None:
+            recalls.append(tag_recall)
+
+        if common:
+            reference = [original_arcs[t] for t in common]
+            candidate = [approx_arcs[t] for t in common]
+            tau = kendall_tau(reference, candidate)
+            if tau is not None:
+                taus.append(tau)
+                tags_with_rankings += 1
+            cosine = cosine_similarity(reference, candidate)
+            if cosine is not None:
+                cosines.append(cosine)
+
+        if missing:
+            weights = [original_arcs[t] for t in missing]
+            missing_weights_all.extend(weights)
+            fraction = sim1_fraction(weights)
+            if fraction is not None:
+                sim1s.append(fraction)
+
+    recall_mean, recall_std = _mean_std(recalls)
+    tau_mean, tau_std = _mean_std(taus)
+    cos_mean, cos_std = _mean_std(cosines)
+    sim1_mean, sim1_std = _mean_std(sim1s)
+
+    quality = ApproximationQuality(
+        recall_mean=recall_mean,
+        recall_std=recall_std,
+        kendall_tau_mean=tau_mean,
+        kendall_tau_std=tau_std,
+        cosine_mean=cos_mean,
+        cosine_std=cos_std,
+        sim1_mean=sim1_mean,
+        sim1_std=sim1_std,
+        tags_with_arcs=tags_with_arcs,
+        tags_with_rankings=tags_with_rankings,
+    )
+    global_recall = (
+        total_surviving_arcs / total_original_arcs if total_original_arcs else 0.0
+    )
+    le3 = (
+        sum(1 for w in missing_weights_all if w <= 3) / len(missing_weights_all)
+        if missing_weights_all
+        else 1.0
+    )
+    return GraphComparison(
+        quality=quality,
+        global_recall=global_recall,
+        missing_weight_le3_fraction=le3,
+        num_original_arcs=original.num_arcs,
+        num_approximated_arcs=approximated.num_arcs,
+    )

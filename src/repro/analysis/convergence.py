@@ -1,0 +1,141 @@
+"""Faceted-search convergence simulation (Section V-C, Figure 7, Table IV).
+
+Starting from each of the most popular tags, the simulation runs the faceted
+search of Section III-C under three selection strategies -- *first tag*
+(always the most similar), *last tag* (always the least similar among the
+displayed top-100) and *random tag* -- on both the original and the
+approximated Folksonomy Graph, and records the path length of every search.
+
+Table IV reports mean, standard deviation and median per strategy and graph;
+Figure 7 the cumulative distribution of path lengths.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.analysis.cdf import cdf_series
+from repro.core.faceted_search import FacetedSearch, ModelView
+from repro.core.folksonomy_graph import FolksonomyGraph
+from repro.core.tag_resource_graph import TagResourceGraph
+
+__all__ = [
+    "ConvergenceConfig",
+    "SearchLengthStats",
+    "StrategyOutcome",
+    "run_convergence_experiment",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ConvergenceConfig:
+    """Parameters of the convergence experiment (paper defaults)."""
+
+    #: Number of most-popular start tags.
+    num_start_tags: int = 100
+    #: Random searches per start tag ("first" and "last" are deterministic, so
+    #: they run once each).
+    random_runs_per_tag: int = 100
+    #: Tags displayed per step (top-100 in the paper).
+    display_limit: int = 100
+    #: Stop when the candidate resources shrink to this size.
+    resource_threshold: int = 10
+    strategies: tuple[str, ...] = ("last", "random", "first")
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_start_tags < 1:
+            raise ValueError("num_start_tags must be >= 1")
+        if self.random_runs_per_tag < 1:
+            raise ValueError("random_runs_per_tag must be >= 1")
+        for strategy in self.strategies:
+            if strategy not in ("first", "last", "random"):
+                raise ValueError(f"unknown strategy {strategy!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class SearchLengthStats:
+    """Mean / std / median of a sample of search path lengths (a Table IV cell)."""
+
+    mean: float
+    std: float
+    median: float
+    count: int
+
+    @classmethod
+    def from_lengths(cls, lengths: list[int]) -> "SearchLengthStats":
+        if not lengths:
+            return cls(mean=0.0, std=0.0, median=0.0, count=0)
+        std = statistics.pstdev(lengths) if len(lengths) > 1 else 0.0
+        return cls(
+            mean=statistics.fmean(lengths),
+            std=std,
+            median=float(statistics.median(lengths)),
+            count=len(lengths),
+        )
+
+
+@dataclass(slots=True)
+class StrategyOutcome:
+    """All measurements for one (graph, strategy) combination."""
+
+    graph_label: str
+    strategy: str
+    lengths: list[int] = field(default_factory=list)
+
+    @property
+    def stats(self) -> SearchLengthStats:
+        return SearchLengthStats.from_lengths(self.lengths)
+
+    def cdf(self, max_points: int = 200) -> list[tuple[float, float]]:
+        """The Figure 7 series for this combination."""
+        return cdf_series(self.lengths, max_points=max_points)
+
+
+def _run_for_graph(
+    label: str,
+    trg: TagResourceGraph,
+    fg: FolksonomyGraph,
+    start_tags: list[str],
+    config: ConvergenceConfig,
+) -> dict[str, StrategyOutcome]:
+    engine = FacetedSearch(
+        ModelView(trg, fg),
+        display_limit=config.display_limit,
+        resource_threshold=config.resource_threshold,
+        seed=config.seed,
+    )
+    outcomes = {s: StrategyOutcome(graph_label=label, strategy=s) for s in config.strategies}
+    for tag in start_tags:
+        if not fg.has_tag(tag) or fg.out_degree(tag) == 0:
+            continue
+        for strategy in config.strategies:
+            runs = config.random_runs_per_tag if strategy == "random" else 1
+            for _ in range(runs):
+                result = engine.run(tag, strategy)
+                outcomes[strategy].lengths.append(result.length)
+    return outcomes
+
+
+def run_convergence_experiment(
+    trg: TagResourceGraph,
+    original_fg: FolksonomyGraph,
+    approximated_fg: FolksonomyGraph | None = None,
+    config: ConvergenceConfig | None = None,
+) -> dict[str, dict[str, StrategyOutcome]]:
+    """Run the full Section V-C experiment.
+
+    Returns ``{graph_label: {strategy: StrategyOutcome}}`` with graph labels
+    ``"original"`` and (when an approximated FG is given) ``"approximated"``.
+    The start tags are the ``num_start_tags`` most popular tags of the TRG,
+    exactly as in the paper.
+    """
+    cfg = config or ConvergenceConfig()
+    start_tags = trg.most_popular_tags(cfg.num_start_tags)
+    results = {"original": _run_for_graph("original", trg, original_fg, start_tags, cfg)}
+    if approximated_fg is not None:
+        results["approximated"] = _run_for_graph(
+            "approximated", trg, approximated_fg, start_tags, cfg
+        )
+    return results

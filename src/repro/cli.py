@@ -1,0 +1,212 @@
+"""Command-line front-end.
+
+The ``dharma`` console script wraps the most common workflows so the library
+can be exercised without writing Python:
+
+* ``dharma generate`` -- produce a synthetic Last.fm-like dataset (TSV);
+* ``dharma stats`` -- print the Table II census of a dataset;
+* ``dharma evolve`` -- run the approximated evolution replay and print the
+  Table III approximation-quality row for one or more values of ``k``;
+* ``dharma converge`` -- run the search-convergence experiment (Table IV);
+* ``dharma overlay`` -- replay a (small) dataset against an in-process
+  overlay and report lookup costs and hotspot statistics.
+
+Every command accepts ``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.comparison import compare_graphs
+from repro.analysis.convergence import ConvergenceConfig, run_convergence_experiment
+from repro.analysis.evolution import EvolutionConfig, simulate_approximated_evolution
+from repro.analysis.report import format_mapping, format_table
+from repro.core.approximation import default_approximation
+from repro.core.tagging_model import derive_folksonomy_graph
+from repro.datasets.lastfm_synthetic import PRESETS, generate_lastfm_like
+from repro.datasets.loader import load_triples_tsv, save_triples_tsv
+from repro.datasets.stats import compute_folksonomy_stats
+from repro.dht.bootstrap import build_overlay
+from repro.distributed.tagging_service import DharmaService, ServiceConfig
+from repro.simulation.workload import TaggingWorkload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dharma",
+        description="DHARMA reproduction: distributed tagging over a simulated DHT.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic Last.fm-like dataset")
+    gen.add_argument("output", help="destination TSV file")
+    gen.add_argument("--preset", choices=sorted(PRESETS), default="small")
+    gen.add_argument("--seed", type=int, default=0)
+
+    stats = sub.add_parser("stats", help="print the Table II census of a dataset")
+    stats.add_argument("dataset", help="TSV file of <user, resource, tag> triples")
+    stats.add_argument("--limit", type=int, default=None, help="read at most N triples")
+
+    evolve = sub.add_parser("evolve", help="approximated evolution replay (Table III)")
+    evolve.add_argument("dataset", help="TSV file of triples")
+    evolve.add_argument("--k", type=int, nargs="+", default=[1, 5, 10])
+    evolve.add_argument("--limit", type=int, default=None)
+    evolve.add_argument("--seed", type=int, default=0)
+
+    conv = sub.add_parser("converge", help="faceted-search convergence (Table IV)")
+    conv.add_argument("dataset", help="TSV file of triples")
+    conv.add_argument("--k", type=int, default=1)
+    conv.add_argument("--start-tags", type=int, default=20)
+    conv.add_argument("--random-runs", type=int, default=20)
+    conv.add_argument("--limit", type=int, default=None)
+    conv.add_argument("--seed", type=int, default=0)
+
+    overlay = sub.add_parser("overlay", help="replay a dataset against a simulated overlay")
+    overlay.add_argument("dataset", help="TSV file of triples")
+    overlay.add_argument("--nodes", type=int, default=32)
+    overlay.add_argument("--k", type=int, default=1)
+    overlay.add_argument("--protocol", choices=["approximated", "naive"], default="approximated")
+    overlay.add_argument("--limit", type=int, default=2000)
+    overlay.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+# --------------------------------------------------------------------- #
+# commands
+# --------------------------------------------------------------------- #
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = PRESETS[args.preset]
+    if args.seed != config.seed:
+        from dataclasses import replace
+
+        config = replace(config, seed=args.seed)
+    dataset = generate_lastfm_like(config)
+    save_triples_tsv(dataset, args.output)
+    print(format_mapping(dataset.describe(), title=f"generated dataset ({args.preset})"))
+    print(f"written to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataset = load_triples_tsv(args.dataset, limit=args.limit)
+    trg = dataset.to_tag_resource_graph()
+    fg = derive_folksonomy_graph(trg)
+    stats = compute_folksonomy_stats(trg, fg)
+    print(format_mapping(dataset.describe(), title="dataset census"))
+    table = stats.table_ii()
+    rows = [[row] + [table[row][col] for col in ("Tags(r)", "Res(t)", "NFG(t)")] for row in table]
+    print(format_table(["", "Tags(r)", "Res(t)", "NFG(t)"], rows, title="Table II -- degree statistics"))
+    return 0
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    dataset = load_triples_tsv(args.dataset, limit=args.limit)
+    trg = dataset.to_tag_resource_graph()
+    original_fg = derive_folksonomy_graph(trg)
+    headers = ["k", "Recall", "Ktau", "theta", "sim1%", "global recall"]
+    rows = []
+    for k in args.k:
+        result = simulate_approximated_evolution(
+            trg,
+            EvolutionConfig(approximation=default_approximation(k=k), seed=args.seed),
+        )
+        comparison = compare_graphs(original_fg, result.approximated_fg)
+        quality = comparison.quality
+        rows.append(
+            [
+                k,
+                quality.recall_mean,
+                quality.kendall_tau_mean,
+                quality.cosine_mean,
+                quality.sim1_mean,
+                comparison.global_recall,
+            ]
+        )
+    print(format_table(headers, rows, title="Table III -- approximation quality"))
+    return 0
+
+
+def _cmd_converge(args: argparse.Namespace) -> int:
+    dataset = load_triples_tsv(args.dataset, limit=args.limit)
+    trg = dataset.to_tag_resource_graph()
+    original_fg = derive_folksonomy_graph(trg)
+    evolution = simulate_approximated_evolution(
+        trg, EvolutionConfig(approximation=default_approximation(k=args.k), seed=args.seed)
+    )
+    config = ConvergenceConfig(
+        num_start_tags=args.start_tags,
+        random_runs_per_tag=args.random_runs,
+        seed=args.seed,
+    )
+    results = run_convergence_experiment(trg, original_fg, evolution.approximated_fg, config)
+    headers = ["graph", "strategy", "mean", "std", "median", "searches"]
+    rows = []
+    for graph_label, by_strategy in results.items():
+        for strategy, outcome in by_strategy.items():
+            stats = outcome.stats
+            rows.append([graph_label, strategy, stats.mean, stats.std, stats.median, stats.count])
+    print(format_table(headers, rows, title="Table IV -- search path statistics"))
+    return 0
+
+
+def _cmd_overlay(args: argparse.Namespace) -> int:
+    dataset = load_triples_tsv(args.dataset, limit=args.limit)
+    overlay = build_overlay(args.nodes, seed=args.seed)
+    service = DharmaService(
+        overlay,
+        user="cli-user",
+        config=ServiceConfig(
+            protocol=args.protocol,
+            approximation=default_approximation(k=args.k),
+            seed=args.seed,
+        ),
+    )
+    workload = TaggingWorkload.from_triples(dataset.triples())
+    stats = workload.replay(service, limit=args.limit)
+    print(format_mapping(
+        {
+            "nodes": len(overlay),
+            "insert ops": stats.insert_ops,
+            "tag ops": stats.tag_ops,
+            "total overlay lookups": service.total_lookups,
+            "overlay messages": overlay.network.stats.messages_sent,
+            "virtual time (ms)": overlay.clock.now,
+        },
+        title=f"overlay replay ({args.protocol}, k={args.k})",
+    ))
+    print(format_mapping(dict(overlay.network.stats.hotspots(5)), title="top-5 hotspot nodes (messages received)"))
+    summary = service.cost_summary()
+    rows = [
+        [op, values["count"], values["mean_lookups"], values["max_lookups"]]
+        for op, values in summary.items()
+    ]
+    print(format_table(["operation", "count", "mean lookups", "max lookups"], rows, title="measured primitive costs"))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "evolve": _cmd_evolve,
+    "converge": _cmd_converge,
+    "overlay": _cmd_overlay,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``dharma`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Core folksonomy model of the DHARMA paper (Section III and IV-A).
+
+This subpackage implements the *abstract* tagging-system model:
+
+* :class:`~repro.core.tag_resource_graph.TagResourceGraph` -- the weighted
+  bipartite Tag-Resource Graph (TRG).
+* :class:`~repro.core.folksonomy_graph.FolksonomyGraph` -- the directed,
+  weighted tag-tag similarity graph (FG).
+* :class:`~repro.core.tagging_model.TaggingModel` -- the combined model with
+  the two maintenance operations of Section III-B (resource insertion and tag
+  insertion), in both *exact* and *approximated* flavours.
+* :class:`~repro.core.faceted_search.FacetedSearch` -- the navigational search
+  process of Section III-C.
+* :mod:`~repro.core.blocks` -- the block decomposition of Section IV-A that is
+  used to map the graphs onto a DHT.
+* :mod:`~repro.core.approximation` -- Approximations A and B of Section IV-B.
+
+The core package is deliberately independent of the DHT substrate: it can be
+used stand-alone as an in-memory folksonomy engine, and it doubles as the
+*reference model* against which the distributed implementation is validated.
+"""
+
+from repro.core.tag_resource_graph import TagResourceGraph
+from repro.core.folksonomy_graph import FolksonomyGraph
+from repro.core.tagging_model import TaggingModel
+from repro.core.faceted_search import (
+    FacetedSearch,
+    SearchState,
+    SearchStrategy,
+    FirstTagStrategy,
+    LastTagStrategy,
+    RandomTagStrategy,
+)
+from repro.core.approximation import ApproximationConfig
+from repro.core.blocks import (
+    BlockType,
+    BlockKey,
+    ResourceTagsBlock,
+    TagResourcesBlock,
+    TagNeighboursBlock,
+    ResourceURIBlock,
+)
+
+__all__ = [
+    "TagResourceGraph",
+    "FolksonomyGraph",
+    "TaggingModel",
+    "FacetedSearch",
+    "SearchState",
+    "SearchStrategy",
+    "FirstTagStrategy",
+    "LastTagStrategy",
+    "RandomTagStrategy",
+    "ApproximationConfig",
+    "BlockType",
+    "BlockKey",
+    "ResourceTagsBlock",
+    "TagResourcesBlock",
+    "TagNeighboursBlock",
+    "ResourceURIBlock",
+]

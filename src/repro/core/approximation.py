@@ -1,0 +1,113 @@
+"""Approximations A and B of Section IV-B.
+
+The exact maintenance of the Folksonomy Graph is too expensive / racy when the
+graph lives on a DHT:
+
+* **complexity** -- adding tag ``t`` to resource ``r`` requires updating the
+  block of *every* tag in ``Tags(r)`` (one overlay lookup each), and
+  ``|Tags(r)|`` can reach the hundreds;
+* **consistency** -- when the arc ``(t, τ)`` did not exist before the tagging,
+  the exact rule increments it by ``u(τ, r)``, a read-modify-write that races
+  when two users concurrently add the same tag.
+
+DHARMA therefore adopts two approximations:
+
+* **Approximation A** -- update the reverse arcs ``(τ, t)`` only for a random
+  subset of ``Tags(r)`` of size at most ``k`` (the *connection parameter*).
+* **Approximation B** -- when the arc ``(t, τ)`` is new, increment it by 1
+  instead of ``u(τ, r)``.
+
+:class:`ApproximationConfig` captures the configuration (whether each
+approximation is enabled, and the value of ``k``); the actual subset sampling
+lives here so that the in-memory model and the distributed protocol share the
+exact same policy.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["ApproximationConfig", "EXACT", "default_approximation"]
+
+
+@dataclass(frozen=True, slots=True)
+class ApproximationConfig:
+    """Configuration of the approximated FG-maintenance protocol.
+
+    Parameters
+    ----------
+    enable_a:
+        Apply Approximation A (bounded random subset of reverse-arc updates).
+    enable_b:
+        Apply Approximation B (new arcs start at weight 1 regardless of
+        ``u(τ, r)``).
+    k:
+        The connection parameter -- the maximum number of reverse arcs updated
+        per tagging operation when Approximation A is enabled.  Ignored when
+        ``enable_a`` is False.
+    """
+
+    enable_a: bool = True
+    enable_b: bool = True
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.enable_a and self.k < 0:
+            raise ValueError(f"connection parameter k must be >= 0, got {self.k}")
+
+    @property
+    def is_exact(self) -> bool:
+        """True when neither approximation is active (the Section III model)."""
+        return not self.enable_a and not self.enable_b
+
+    def describe(self) -> str:
+        """Human-readable one-liner used in benchmark reports."""
+        if self.is_exact:
+            return "exact"
+        parts = []
+        if self.enable_a:
+            parts.append(f"A(k={self.k})")
+        if self.enable_b:
+            parts.append("B")
+        return "approx[" + "+".join(parts) + "]"
+
+    # ------------------------------------------------------------------ #
+    # policy implementation
+    # ------------------------------------------------------------------ #
+
+    def select_reverse_targets(
+        self, candidates: Sequence[str], rng: random.Random
+    ) -> list[str]:
+        """Choose which tags ``τ ∈ Tags(r)`` get their reverse arc ``(τ, t)``
+        updated.
+
+        With Approximation A disabled every candidate is returned; otherwise a
+        uniform random subset of size ``min(k, len(candidates))`` is drawn
+        using *rng* (so experiments are reproducible given a seed).
+        """
+        if not self.enable_a or len(candidates) <= self.k:
+            return list(candidates)
+        if self.k == 0:
+            return []
+        return rng.sample(list(candidates), self.k)
+
+    def new_arc_weight(self, exact_increment: int) -> int:
+        """Weight assigned to a *newly created* arc ``(t, τ)``.
+
+        The exact model uses ``u(τ, r)`` (the *exact_increment*); Approximation
+        B clamps it to 1.
+        """
+        if exact_increment < 1:
+            raise ValueError("exact increment must be >= 1")
+        return 1 if self.enable_b else exact_increment
+
+
+#: Configuration that disables both approximations (the theoretical model).
+EXACT = ApproximationConfig(enable_a=False, enable_b=False, k=0)
+
+
+def default_approximation(k: int = 1) -> ApproximationConfig:
+    """The configuration evaluated in the paper: both approximations on."""
+    return ApproximationConfig(enable_a=True, enable_b=True, k=k)

@@ -1,0 +1,251 @@
+"""Block decomposition of the folksonomy for DHT storage (Section IV-A).
+
+To store the two graphs on a DHT, DHARMA shreds them into *blocks*, each
+holding one graph vertex together with its outgoing edges:
+
+=======  =====================================================  ===========
+Type     Content                                                Graph
+=======  =====================================================  ===========
+``r̄``    ``{(t, u(t, r)) | t ∈ Tags(r)}``                       TRG (type 1)
+``t̄``    ``{(r, u(t, r)) | r ∈ Res(t)}``                        TRG (type 2)
+``t̂``    ``{(t', sim(t, t')) | t' ∈ NFG(t)}``                   FG  (type 3)
+``r̃``    ``(r, URI(r))``                                         -- (type 4)
+=======  =====================================================  ===========
+
+Each block is addressed by a lookup key derived from the vertex name
+concatenated with the block-type discriminator (e.g. ``hash(t | "2")`` for the
+type-2 block of tag ``t``).  The paper assumes that reading or *incrementing*
+a block costs exactly one overlay lookup, which holds when the overlay offers
+PUT/GET primitives and block updates are commutative token additions; the
+block classes below therefore expose an *apply-increment* interface (the
+"one-bit tokens" of the paper) rather than a read-modify-write interface, and
+they merge deterministically under concurrent updates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+__all__ = [
+    "BlockType",
+    "BlockKey",
+    "CounterBlock",
+    "ResourceTagsBlock",
+    "TagResourcesBlock",
+    "TagNeighboursBlock",
+    "ResourceURIBlock",
+    "block_for_type",
+]
+
+
+class BlockType(str, Enum):
+    """The four block types of Section IV-A.
+
+    The value of each member is the discriminator string concatenated to the
+    vertex name when deriving the lookup key.
+    """
+
+    RESOURCE_TAGS = "1"  # r̄ : resource -> {tag: u(t, r)}
+    TAG_RESOURCES = "2"  # t̄ : tag -> {resource: u(t, r)}
+    TAG_NEIGHBOURS = "3"  # t̂ : tag -> {tag': sim(t, t')}
+    RESOURCE_URI = "4"  # r̃ : resource -> URI
+
+    @property
+    def is_counter(self) -> bool:
+        """True for the three counter-valued block types (1-3)."""
+        return self is not BlockType.RESOURCE_URI
+
+
+@dataclass(frozen=True, slots=True)
+class BlockKey:
+    """Lookup key of a block: the vertex name plus the block type.
+
+    The DHT key is the SHA-1 digest of ``name | type`` (160 bits, matching the
+    Kademlia identifier space used by Likir).
+    """
+
+    name: str
+    block_type: BlockType
+
+    def digest(self) -> bytes:
+        """20-byte SHA-1 digest used as the DHT key."""
+        payload = f"{self.name}|{self.block_type.value}".encode("utf-8")
+        return hashlib.sha1(payload).digest()
+
+    def key_int(self) -> int:
+        """The DHT key as a 160-bit integer."""
+        return int.from_bytes(self.digest(), "big")
+
+    def __str__(self) -> str:
+        return f"{self.name}|{self.block_type.value}"
+
+    # convenience constructors ------------------------------------------------
+
+    @classmethod
+    def resource_tags(cls, resource: str) -> "BlockKey":
+        """Key of the ``r̄`` block of *resource*."""
+        return cls(resource, BlockType.RESOURCE_TAGS)
+
+    @classmethod
+    def tag_resources(cls, tag: str) -> "BlockKey":
+        """Key of the ``t̄`` block of *tag*."""
+        return cls(tag, BlockType.TAG_RESOURCES)
+
+    @classmethod
+    def tag_neighbours(cls, tag: str) -> "BlockKey":
+        """Key of the ``t̂`` block of *tag*."""
+        return cls(tag, BlockType.TAG_NEIGHBOURS)
+
+    @classmethod
+    def resource_uri(cls, resource: str) -> "BlockKey":
+        """Key of the ``r̃`` block of *resource*."""
+        return cls(resource, BlockType.RESOURCE_URI)
+
+
+class CounterBlock:
+    """Base class for the counter-valued blocks (types 1-3).
+
+    A counter block maps entry names to non-negative integer counters and is
+    updated exclusively through :meth:`apply_increment` (the paper's one-bit
+    token additions) so that concurrent updates commute.  :meth:`merge` folds
+    another block of the same kind in by summing counters, which is the
+    operation replicas use to reconcile.
+    """
+
+    __slots__ = ("owner", "entries")
+
+    block_type: BlockType = BlockType.RESOURCE_TAGS  # overridden by subclasses
+
+    def __init__(self, owner: str, entries: dict[str, int] | None = None) -> None:
+        self.owner = owner
+        self.entries: dict[str, int] = {}
+        if entries:
+            for name, count in entries.items():
+                if count < 0:
+                    raise ValueError(f"counter for {name!r} must be >= 0")
+                if count:
+                    self.entries[name] = count
+
+    # -- key ------------------------------------------------------------- #
+
+    @property
+    def key(self) -> BlockKey:
+        return BlockKey(self.owner, self.block_type)
+
+    # -- updates ---------------------------------------------------------- #
+
+    def apply_increment(self, entry: str, amount: int = 1) -> int:
+        """Add *amount* tokens to *entry*; returns the new counter value."""
+        if amount < 1:
+            raise ValueError(f"increment amount must be >= 1, got {amount}")
+        new = self.entries.get(entry, 0) + amount
+        self.entries[entry] = new
+        return new
+
+    def merge(self, other: "CounterBlock") -> None:
+        """Fold *other* into this block by summing counters (commutative)."""
+        if other.block_type != self.block_type or other.owner != self.owner:
+            raise ValueError("can only merge blocks with the same key")
+        for entry, count in other.entries.items():
+            if count:
+                self.entries[entry] = self.entries.get(entry, 0) + count
+
+    # -- queries ----------------------------------------------------------- #
+
+    def get(self, entry: str) -> int:
+        return self.entries.get(entry, 0)
+
+    def top(self, n: int) -> list[tuple[str, int]]:
+        """The *n* entries with the highest counters (index-side filtering of
+        Section V-A: a GET may return only the most relevant entries to fit
+        the overlay message payload)."""
+        return sorted(self.entries.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+    def copy(self) -> "CounterBlock":
+        return type(self)(self.owner, dict(self.entries))
+
+    def to_payload(self) -> dict[str, Any]:
+        """Serializable representation stored in the DHT."""
+        return {"owner": self.owner, "type": self.block_type.value, "entries": dict(self.entries)}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "CounterBlock":
+        if payload.get("type") != cls.block_type.value:
+            raise ValueError(
+                f"payload type {payload.get('type')!r} does not match {cls.block_type.value!r}"
+            )
+        return cls(payload["owner"], dict(payload["entries"]))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CounterBlock):
+            return NotImplemented
+        return (
+            self.block_type == other.block_type
+            and self.owner == other.owner
+            and self.entries == other.entries
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(owner={self.owner!r}, entries={len(self.entries)})"
+
+
+class ResourceTagsBlock(CounterBlock):
+    """Type-1 block ``r̄``: the tags labelling a resource with their weights."""
+
+    block_type = BlockType.RESOURCE_TAGS
+
+
+class TagResourcesBlock(CounterBlock):
+    """Type-2 block ``t̄``: the resources labelled by a tag with their weights."""
+
+    block_type = BlockType.TAG_RESOURCES
+
+
+class TagNeighboursBlock(CounterBlock):
+    """Type-3 block ``t̂``: the FG neighbours of a tag with their similarity."""
+
+    block_type = BlockType.TAG_NEIGHBOURS
+
+
+@dataclass(slots=True)
+class ResourceURIBlock:
+    """Type-4 block ``r̃``: associates the human-readable resource name with
+    the URI of the underlying object or service."""
+
+    owner: str
+    uri: str
+
+    block_type: BlockType = field(default=BlockType.RESOURCE_URI, init=False)
+
+    @property
+    def key(self) -> BlockKey:
+        return BlockKey(self.owner, BlockType.RESOURCE_URI)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"owner": self.owner, "type": self.block_type.value, "uri": self.uri}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ResourceURIBlock":
+        if payload.get("type") != BlockType.RESOURCE_URI.value:
+            raise ValueError("payload is not a resource-URI block")
+        return cls(owner=payload["owner"], uri=payload["uri"])
+
+
+_COUNTER_CLASSES: dict[BlockType, type[CounterBlock]] = {
+    BlockType.RESOURCE_TAGS: ResourceTagsBlock,
+    BlockType.TAG_RESOURCES: TagResourcesBlock,
+    BlockType.TAG_NEIGHBOURS: TagNeighboursBlock,
+}
+
+
+def block_for_type(block_type: BlockType, owner: str) -> CounterBlock | ResourceURIBlock:
+    """Instantiate an empty block of the given type for *owner*."""
+    if block_type is BlockType.RESOURCE_URI:
+        return ResourceURIBlock(owner=owner, uri="")
+    return _COUNTER_CLASSES[block_type](owner)

@@ -1,0 +1,320 @@
+"""Faceted search within the Folksonomy Graph (Section III-C).
+
+The user explores the tag space by selecting one tag per step.  After
+selecting ``t0, t1, ..., ti`` the candidate tag set and the candidate resource
+set are
+
+    T_i = NFG(t0)                      if i == 0
+        = T_{i-1} ∩ NFG(t_i)           if i  > 0
+
+    R_i = Res(t0)                      if i == 0
+        = R_{i-1} ∩ Res(t_i)           if i  > 0
+
+Because previously chosen tags never re-appear (a tag is not its own FG
+neighbour), ``|T_i|`` decreases strictly, which proves convergence.
+
+The evaluation of Section V-C simulates three selection strategies over the
+top-100 displayed tags: *first tag* (the most similar to the current tag),
+*last tag* (the least similar) and *random tag*; a search stops when the tag
+set shrinks to one element or the resource set shrinks to at most a display
+threshold (10 in the paper).
+
+The search code is written against the small :class:`FolksonomyView` protocol
+so that the same engine drives both the in-memory model (for the paper's
+simulation) and the distributed search client (which fetches the ``t̂`` and
+``t̄`` blocks from the DHT at each step).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "FolksonomyView",
+    "ModelView",
+    "SearchStrategy",
+    "FirstTagStrategy",
+    "LastTagStrategy",
+    "RandomTagStrategy",
+    "SearchState",
+    "SearchResult",
+    "FacetedSearch",
+]
+
+
+@runtime_checkable
+class FolksonomyView(Protocol):
+    """Read-only access to the folksonomy needed by the search engine.
+
+    The in-memory implementation is :class:`ModelView`; the distributed one is
+    :class:`repro.distributed.search_client.DistributedView`.
+    """
+
+    def neighbour_similarities(self, tag: str) -> Mapping[str, int]:
+        """``{t': sim(tag, t')}`` for every FG neighbour of *tag*."""
+        ...
+
+    def resources_of(self, tag: str) -> set[str]:
+        """``Res(tag)``."""
+        ...
+
+
+class ModelView:
+    """Adapter exposing a :class:`~repro.core.tagging_model.TaggingModel` (or a
+    bare TRG/FG pair) through the :class:`FolksonomyView` protocol."""
+
+    def __init__(self, trg, fg) -> None:
+        self._trg = trg
+        self._fg = fg
+
+    @classmethod
+    def from_model(cls, model) -> "ModelView":
+        return cls(model.trg, model.fg)
+
+    def neighbour_similarities(self, tag: str) -> Mapping[str, int]:
+        return self._fg.out_arcs(tag)
+
+    def resources_of(self, tag: str) -> set[str]:
+        return self._trg.resource_set(tag)
+
+
+# ---------------------------------------------------------------------- #
+# selection strategies
+# ---------------------------------------------------------------------- #
+
+
+class SearchStrategy(ABC):
+    """Policy that picks the next tag among the displayed candidates."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(
+        self,
+        current_tag: str,
+        displayed: Sequence[tuple[str, int]],
+        rng: random.Random,
+    ) -> str:
+        """Return the next tag given the displayed ``(tag, similarity)`` list.
+
+        *displayed* is ordered by decreasing similarity to *current_tag* and is
+        never empty.
+        """
+
+
+class FirstTagStrategy(SearchStrategy):
+    """Always pick the tag **most** similar to the current one."""
+
+    name = "first"
+
+    def select(self, current_tag, displayed, rng):  # noqa: D102
+        return displayed[0][0]
+
+
+class LastTagStrategy(SearchStrategy):
+    """Always pick the tag **least** similar to the current one (among the
+    displayed top-100)."""
+
+    name = "last"
+
+    def select(self, current_tag, displayed, rng):  # noqa: D102
+        return displayed[-1][0]
+
+
+class RandomTagStrategy(SearchStrategy):
+    """Pick a displayed tag uniformly at random."""
+
+    name = "random"
+
+    def select(self, current_tag, displayed, rng):  # noqa: D102
+        return displayed[rng.randrange(len(displayed))][0]
+
+
+STRATEGIES: dict[str, type[SearchStrategy]] = {
+    "first": FirstTagStrategy,
+    "last": LastTagStrategy,
+    "random": RandomTagStrategy,
+}
+
+
+def make_strategy(name: str) -> SearchStrategy:
+    """Instantiate a strategy by name (``first`` / ``last`` / ``random``)."""
+    try:
+        return STRATEGIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; expected one of {sorted(STRATEGIES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------- #
+# search state machine
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(slots=True)
+class SearchState:
+    """State of an ongoing faceted search."""
+
+    path: list[str]
+    candidate_tags: set[str]
+    candidate_resources: set[str]
+    #: Similarities from the *current* tag to every candidate tag; used to
+    #: rank the displayed subset.
+    current_similarities: dict[str, int]
+
+    @property
+    def current_tag(self) -> str:
+        return self.path[-1]
+
+    @property
+    def steps(self) -> int:
+        """Number of tags selected so far (including the initial one)."""
+        return len(self.path)
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """Outcome of a completed faceted search."""
+
+    path: tuple[str, ...]
+    final_tags: frozenset[str]
+    final_resources: frozenset[str]
+    #: Why the search stopped: "tags_exhausted", "resources_threshold",
+    #: "no_candidates" or "max_steps".
+    stop_reason: str
+
+    @property
+    def length(self) -> int:
+        """Number of search steps (tags selected, including the start tag)."""
+        return len(self.path)
+
+
+class FacetedSearch:
+    """Faceted-search engine over a :class:`FolksonomyView`.
+
+    Parameters
+    ----------
+    view:
+        Data-access layer (in-memory model or distributed client).
+    display_limit:
+        Maximum number of candidate tags shown to the user per step (the paper
+        uses the top 100 by similarity, mimicking the payload bound of an
+        overlay UDP message).
+    resource_threshold:
+        The search stops as soon as the resource set size drops to this value
+        or below (10 in the paper).
+    max_steps:
+        Safety bound on the number of steps; the paper proves convergence in
+        ``O(|T0|)`` so this only guards against degenerate custom views.
+    seed:
+        Seed for the random generator used by the random strategy.
+    """
+
+    def __init__(
+        self,
+        view: FolksonomyView,
+        display_limit: int = 100,
+        resource_threshold: int = 10,
+        max_steps: int = 10_000,
+        seed: int | None = None,
+    ) -> None:
+        if display_limit < 1:
+            raise ValueError("display_limit must be >= 1")
+        if resource_threshold < 0:
+            raise ValueError("resource_threshold must be >= 0")
+        self.view = view
+        self.display_limit = display_limit
+        self.resource_threshold = resource_threshold
+        self.max_steps = max_steps
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------ #
+    # step-by-step API (useful for interactive front-ends and tests)
+    # ------------------------------------------------------------------ #
+
+    def start(self, tag: str) -> SearchState:
+        """Begin a search from *tag* (step 0 of the paper's recurrence)."""
+        sims = dict(self.view.neighbour_similarities(tag))
+        sims.pop(tag, None)
+        return SearchState(
+            path=[tag],
+            candidate_tags=set(sims),
+            candidate_resources=set(self.view.resources_of(tag)),
+            current_similarities=sims,
+        )
+
+    def displayed_tags(self, state: SearchState) -> list[tuple[str, int]]:
+        """The (at most ``display_limit``) candidate tags shown to the user,
+        ranked by decreasing similarity to the current tag.
+
+        Candidates missing from the current tag's neighbourhood (possible when
+        the view is approximated) are ranked last with similarity 0.
+        """
+        sims = state.current_similarities
+        ranked = sorted(
+            state.candidate_tags,
+            key=lambda t: (-sims.get(t, 0), t),
+        )
+        return [(t, sims.get(t, 0)) for t in ranked[: self.display_limit]]
+
+    def refine(self, state: SearchState, tag: str) -> SearchState:
+        """Apply one refinement step: select *tag* and narrow both sets."""
+        if tag not in state.candidate_tags:
+            raise ValueError(f"tag {tag!r} is not among the current candidates")
+        sims = dict(self.view.neighbour_similarities(tag))
+        sims.pop(tag, None)
+        new_tags = (state.candidate_tags & set(sims)) - set(state.path) - {tag}
+        new_resources = state.candidate_resources & self.view.resources_of(tag)
+        return SearchState(
+            path=state.path + [tag],
+            candidate_tags=new_tags,
+            candidate_resources=new_resources,
+            current_similarities=sims,
+        )
+
+    def is_finished(self, state: SearchState) -> str | None:
+        """Return the stop reason if the search should stop, else ``None``."""
+        if len(state.candidate_resources) <= self.resource_threshold:
+            return "resources_threshold"
+        if len(state.candidate_tags) <= 1:
+            return "tags_exhausted"
+        if state.steps >= self.max_steps:
+            return "max_steps"
+        return None
+
+    # ------------------------------------------------------------------ #
+    # whole-search driver (used by the convergence simulation)
+    # ------------------------------------------------------------------ #
+
+    def run(self, start_tag: str, strategy: SearchStrategy | str) -> SearchResult:
+        """Run a full search from *start_tag* using *strategy*.
+
+        Returns a :class:`SearchResult` whose :attr:`~SearchResult.length` is
+        the path-length statistic reported in Table IV / Figure 7.
+        """
+        if isinstance(strategy, str):
+            strategy = make_strategy(strategy)
+        state = self.start(start_tag)
+        while True:
+            reason = self.is_finished(state)
+            if reason is not None:
+                return self._finish(state, reason)
+            displayed = self.displayed_tags(state)
+            if not displayed:
+                return self._finish(state, "no_candidates")
+            next_tag = strategy.select(state.current_tag, displayed, self._rng)
+            state = self.refine(state, next_tag)
+
+    @staticmethod
+    def _finish(state: SearchState, reason: str) -> SearchResult:
+        return SearchResult(
+            path=tuple(state.path),
+            final_tags=frozenset(state.candidate_tags),
+            final_resources=frozenset(state.candidate_resources),
+            stop_reason=reason,
+        )

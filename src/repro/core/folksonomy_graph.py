@@ -1,0 +1,207 @@
+"""The Folksonomy Graph (FG) of Section III-A.
+
+The FG is a directed, weighted graph over the tag set ``T`` whose arc weights
+are the asymmetric similarity
+
+    sim(t1, t2) = sum over r in Res(t1) of u(t2, r)
+
+i.e. *how many times resources labelled with t1 have also been tagged with
+t2*.  An arc ``(t1, t2)`` exists iff ``sim(t1, t2) >= 1``; by construction the
+existence relation is symmetric (``sim(t1, t2) != 0  iff  sim(t2, t1) != 0``)
+while the weights generally are not.
+
+The class stores the graph as a dictionary of out-adjacency dictionaries; the
+*neighbourhood* ``NFG(t)`` of the paper is the out-neighbour set (which, by
+the symmetry of existence, equals the in-neighbour set as long as the graph is
+maintained through the model operations).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+__all__ = ["FolksonomyGraph", "FGArc"]
+
+
+@dataclass(frozen=True, slots=True)
+class FGArc:
+    """A single directed arc of the Folksonomy Graph."""
+
+    source: str
+    target: str
+    weight: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError("FG arcs must connect two distinct tags")
+        if self.weight < 1:
+            raise ValueError(f"FG arc weight must be >= 1, got {self.weight}")
+
+
+class FolksonomyGraph:
+    """Directed, weighted tag-tag similarity graph.
+
+    Parameters
+    ----------
+    arcs:
+        Optional iterable of ``(source, target, weight)`` triples to seed the
+        graph with.
+    """
+
+    __slots__ = ("_out", "_arc_count", "_total_weight")
+
+    def __init__(self, arcs: Iterable[tuple[str, str, int]] | None = None) -> None:
+        # tag -> {neighbour: sim(tag, neighbour)}
+        self._out: dict[str, dict[str, int]] = {}
+        self._arc_count = 0
+        self._total_weight = 0
+        if arcs is not None:
+            for source, target, weight in arcs:
+                self.set_similarity(source, target, weight)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tags(self) -> set[str]:
+        return set(self._out)
+
+    @property
+    def num_tags(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs with weight >= 1."""
+        return self._arc_count
+
+    @property
+    def total_weight(self) -> int:
+        return self._total_weight
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self._out
+
+    def has_arc(self, source: str, target: str) -> bool:
+        return target in self._out.get(source, {})
+
+    def similarity(self, source: str, target: str) -> int:
+        """``sim(source, target)``; 0 if the arc does not exist."""
+        return self._out.get(source, {}).get(target, 0)
+
+    def neighbours(self, tag: str) -> set[str]:
+        """``NFG(tag)`` -- the set of tags with non-null similarity."""
+        return set(self._out.get(tag, {}))
+
+    def out_arcs(self, tag: str) -> Mapping[str, int]:
+        """``{t': sim(tag, t')}`` for every neighbour ``t'``."""
+        return dict(self._out.get(tag, {}))
+
+    def out_degree(self, tag: str) -> int:
+        """``|NFG(tag)|``."""
+        return len(self._out.get(tag, {}))
+
+    def out_degrees(self) -> dict[str, int]:
+        """``{t: |NFG(t)|}`` for every tag."""
+        return {t: len(adj) for t, adj in self._out.items()}
+
+    def arcs(self) -> Iterator[FGArc]:
+        for source, adj in self._out.items():
+            for target, weight in adj.items():
+                yield FGArc(source=source, target=target, weight=weight)
+
+    def ranked_neighbours(self, tag: str, limit: int | None = None) -> list[tuple[str, int]]:
+        """Neighbours of *tag* ranked by decreasing similarity.
+
+        Ties are broken lexicographically so the ranking is deterministic.
+        This is the ordering that the search front-end would display in a tag
+        cloud, and the ordering whose preservation Table III measures
+        (Kendall's tau).
+        """
+        ranked = sorted(
+            self._out.get(tag, {}).items(), key=lambda item: (-item[1], item[0])
+        )
+        if limit is not None:
+            ranked = ranked[:limit]
+        return ranked
+
+    # ------------------------------------------------------------------ #
+    # mutators
+    # ------------------------------------------------------------------ #
+
+    def ensure_tag(self, tag: str) -> None:
+        """Add *tag* with no incident arcs (idempotent)."""
+        self._out.setdefault(tag, {})
+
+    def increment(self, source: str, target: str, amount: int = 1) -> int:
+        """Increment ``sim(source, target)`` by *amount*, creating the arc if
+        needed.  Returns the new similarity value."""
+        if source == target:
+            raise ValueError("cannot create a self-similarity arc")
+        if amount < 1:
+            raise ValueError(f"amount must be >= 1, got {amount}")
+        adj = self._out.setdefault(source, {})
+        self._out.setdefault(target, {})
+        old = adj.get(target, 0)
+        adj[target] = old + amount
+        if old == 0:
+            self._arc_count += 1
+        self._total_weight += amount
+        return old + amount
+
+    def set_similarity(self, source: str, target: str, weight: int) -> None:
+        """Set ``sim(source, target)`` to an absolute value; 0 removes the arc."""
+        if source == target:
+            raise ValueError("cannot create a self-similarity arc")
+        if weight < 0:
+            raise ValueError(f"weight must be >= 0, got {weight}")
+        adj = self._out.setdefault(source, {})
+        self._out.setdefault(target, {})
+        old = adj.get(target, 0)
+        if weight == 0:
+            if old:
+                del adj[target]
+                self._arc_count -= 1
+                self._total_weight -= old
+            return
+        adj[target] = weight
+        if old == 0:
+            self._arc_count += 1
+        self._total_weight += weight - old
+
+    # ------------------------------------------------------------------ #
+    # miscellanea
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "FolksonomyGraph":
+        clone = FolksonomyGraph()
+        clone._out = {t: dict(adj) for t, adj in self._out.items()}
+        clone._arc_count = self._arc_count
+        clone._total_weight = self._total_weight
+        return clone
+
+    def check_existence_symmetry(self) -> None:
+        """Assert that arc *existence* is symmetric (paper's observation that
+        ``sim(t1,t2) != 0  iff  sim(t2,t1) != 0`` when the graph is maintained
+        through the model operations)."""
+        for source, adj in self._out.items():
+            for target in adj:
+                assert target in self._out and source in self._out[target], (
+                    f"arc ({source},{target}) present but reverse arc missing"
+                )
+
+    def __len__(self) -> int:
+        return self._arc_count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FolksonomyGraph):
+            return NotImplemented
+        return self._out == other._out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"FolksonomyGraph(tags={self.num_tags}, arcs={self.num_arcs}, "
+            f"total_weight={self.total_weight})"
+        )

@@ -1,0 +1,276 @@
+"""The Tag-Resource Graph (TRG) of Section III-A.
+
+The TRG is the weighted bipartite graph ``TRG = (T ∪ R, E_TR)`` obtained from
+the tripartite ``⟨user, item, tag⟩`` hypergraph by aggregating across the user
+dimension (the *distributional aggregation* of Markines et al.):
+
+* an edge ``(t, r)`` exists iff at least one user tagged resource ``r`` with
+  tag ``t``;
+* the weight ``u(t, r)`` of the edge is the number of users that did so.
+
+The class below stores the graph as two mirrored adjacency dictionaries so
+that both directions -- ``Tags(r)`` (eq. 1) and ``Res(t)`` (eq. 2) -- are O(1)
+to enumerate.  All mutating operations keep the two views consistent; the
+consistency is asserted by the property-based tests in
+``tests/core/test_tag_resource_graph.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+
+__all__ = ["TagResourceGraph", "TRGEdge"]
+
+
+@dataclass(frozen=True, slots=True)
+class TRGEdge:
+    """A single weighted edge of the Tag-Resource Graph."""
+
+    tag: str
+    resource: str
+    weight: int
+
+    def __post_init__(self) -> None:
+        if self.weight < 1:
+            raise ValueError(f"TRG edge weight must be >= 1, got {self.weight}")
+
+
+class TagResourceGraph:
+    """Weighted bipartite graph linking tags to resources.
+
+    The graph is mutable; the two public mutators are :meth:`add_annotation`
+    (one user tagging one resource with one tag, i.e. one ⟨user, item, tag⟩
+    triple after user aggregation) and :meth:`set_weight` (used when replaying
+    a pre-aggregated dataset).
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(tag, resource, weight)`` triples used to seed
+        the graph.
+    """
+
+    __slots__ = ("_tags_of", "_resources_of", "_edge_count", "_total_weight")
+
+    def __init__(self, edges: Iterable[tuple[str, str, int]] | None = None) -> None:
+        # resource -> {tag: weight}
+        self._tags_of: dict[str, dict[str, int]] = {}
+        # tag -> {resource: weight}
+        self._resources_of: dict[str, dict[str, int]] = {}
+        self._edge_count = 0
+        self._total_weight = 0
+        if edges is not None:
+            for tag, resource, weight in edges:
+                self.set_weight(tag, resource, weight)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def resources(self) -> set[str]:
+        """The resource set ``R`` (only resources with at least one edge,
+        unless explicitly added via :meth:`ensure_resource`)."""
+        return set(self._tags_of)
+
+    @property
+    def tags(self) -> set[str]:
+        """The tag set ``T``."""
+        return set(self._resources_of)
+
+    @property
+    def num_resources(self) -> int:
+        return len(self._tags_of)
+
+    @property
+    def num_tags(self) -> int:
+        return len(self._resources_of)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct ``(t, r)`` pairs with ``u(t, r) >= 1``."""
+        return self._edge_count
+
+    @property
+    def total_weight(self) -> int:
+        """Sum of ``u(t, r)`` over all edges, i.e. the number of aggregated
+        annotations represented by the graph."""
+        return self._total_weight
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self._resources_of
+
+    def has_resource(self, resource: str) -> bool:
+        return resource in self._tags_of
+
+    def has_edge(self, tag: str, resource: str) -> bool:
+        return self._resources_of.get(tag, {}).get(resource) is not None
+
+    def weight(self, tag: str, resource: str) -> int:
+        """Return ``u(t, r)``; 0 if the edge does not exist."""
+        return self._resources_of.get(tag, {}).get(resource, 0)
+
+    def tags_of(self, resource: str) -> Mapping[str, int]:
+        """``Tags(r)`` together with the edge weights, as a read-only view."""
+        return dict(self._tags_of.get(resource, {}))
+
+    def resources_of(self, tag: str) -> Mapping[str, int]:
+        """``Res(t)`` together with the edge weights, as a read-only view."""
+        return dict(self._resources_of.get(tag, {}))
+
+    def tag_set(self, resource: str) -> set[str]:
+        """``Tags(r)`` as a plain set (eq. 1 of the paper)."""
+        return set(self._tags_of.get(resource, {}))
+
+    def resource_set(self, tag: str) -> set[str]:
+        """``Res(t)`` as a plain set (eq. 2 of the paper)."""
+        return set(self._resources_of.get(tag, {}))
+
+    def tag_degree(self, tag: str) -> int:
+        """``|Res(t)|`` -- number of distinct resources labelled with *tag*."""
+        return len(self._resources_of.get(tag, {}))
+
+    def resource_degree(self, resource: str) -> int:
+        """``|Tags(r)|`` -- number of distinct tags labelling *resource*."""
+        return len(self._tags_of.get(resource, {}))
+
+    def edges(self) -> Iterator[TRGEdge]:
+        """Iterate over all edges as :class:`TRGEdge` instances."""
+        for tag, adj in self._resources_of.items():
+            for resource, weight in adj.items():
+                yield TRGEdge(tag=tag, resource=resource, weight=weight)
+
+    # ------------------------------------------------------------------ #
+    # mutators
+    # ------------------------------------------------------------------ #
+
+    def ensure_resource(self, resource: str) -> None:
+        """Add *resource* to ``R`` with no incident edges (idempotent)."""
+        self._tags_of.setdefault(resource, {})
+
+    def ensure_tag(self, tag: str) -> None:
+        """Add *tag* to ``T`` with no incident edges (idempotent)."""
+        self._resources_of.setdefault(tag, {})
+
+    def add_annotation(self, tag: str, resource: str, count: int = 1) -> int:
+        """Record that *count* further users tagged *resource* with *tag*.
+
+        Creates the tag/resource vertices and the edge if needed, otherwise
+        increments ``u(t, r)``.  Returns the new weight of the edge.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        res_adj = self._tags_of.setdefault(resource, {})
+        tag_adj = self._resources_of.setdefault(tag, {})
+        old = res_adj.get(tag, 0)
+        new = old + count
+        res_adj[tag] = new
+        tag_adj[resource] = new
+        if old == 0:
+            self._edge_count += 1
+        self._total_weight += count
+        return new
+
+    def set_weight(self, tag: str, resource: str, weight: int) -> None:
+        """Set ``u(t, r)`` to an absolute value (used when loading datasets).
+
+        A weight of 0 removes the edge (but keeps the vertices).
+        """
+        if weight < 0:
+            raise ValueError(f"weight must be >= 0, got {weight}")
+        res_adj = self._tags_of.setdefault(resource, {})
+        tag_adj = self._resources_of.setdefault(tag, {})
+        old = res_adj.get(tag, 0)
+        if weight == 0:
+            if old:
+                del res_adj[tag]
+                del tag_adj[resource]
+                self._edge_count -= 1
+                self._total_weight -= old
+            return
+        res_adj[tag] = weight
+        tag_adj[resource] = weight
+        if old == 0:
+            self._edge_count += 1
+        self._total_weight += weight - old
+
+    def remove_edge(self, tag: str, resource: str) -> None:
+        """Remove the edge ``(t, r)`` if present (vertices are kept)."""
+        self.set_weight(tag, resource, 0)
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+
+    def resource_degrees(self) -> dict[str, int]:
+        """``{r: |Tags(r)|}`` for every resource."""
+        return {r: len(adj) for r, adj in self._tags_of.items()}
+
+    def tag_degrees(self) -> dict[str, int]:
+        """``{t: |Res(t)|}`` for every tag."""
+        return {t: len(adj) for t, adj in self._resources_of.items()}
+
+    def resource_popularity(self, resource: str) -> int:
+        """Total number of annotations on *resource* (sum of edge weights)."""
+        return sum(self._tags_of.get(resource, {}).values())
+
+    def tag_popularity(self, tag: str) -> int:
+        """Total number of annotations using *tag* (sum of edge weights)."""
+        return sum(self._resources_of.get(tag, {}).values())
+
+    def most_popular_tags(self, n: int) -> list[str]:
+        """The *n* tags with the largest ``|Res(t)|`` (ties broken by name)."""
+        return sorted(
+            self._resources_of,
+            key=lambda t: (-len(self._resources_of[t]), t),
+        )[:n]
+
+    def most_popular_resources(self, n: int) -> list[str]:
+        """The *n* resources with the largest ``|Tags(r)|`` (ties broken by name)."""
+        return sorted(
+            self._tags_of,
+            key=lambda r: (-len(self._tags_of[r]), r),
+        )[:n]
+
+    # ------------------------------------------------------------------ #
+    # miscellanea
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "TagResourceGraph":
+        """Deep copy of the graph."""
+        clone = TagResourceGraph()
+        clone._tags_of = {r: dict(adj) for r, adj in self._tags_of.items()}
+        clone._resources_of = {t: dict(adj) for t, adj in self._resources_of.items()}
+        clone._edge_count = self._edge_count
+        clone._total_weight = self._total_weight
+        return clone
+
+    def check_consistency(self) -> None:
+        """Raise :class:`AssertionError` if the two adjacency views disagree.
+
+        Used by tests; O(|E|).
+        """
+        forward = {
+            (t, r): w for r, adj in self._tags_of.items() for t, w in adj.items()
+        }
+        backward = {
+            (t, r): w for t, adj in self._resources_of.items() for r, w in adj.items()
+        }
+        assert forward == backward, "TRG adjacency views diverged"
+        assert len(forward) == self._edge_count, "TRG edge count out of sync"
+        assert sum(forward.values()) == self._total_weight, "TRG weight out of sync"
+
+    def __len__(self) -> int:
+        return self._edge_count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TagResourceGraph):
+            return NotImplemented
+        return self._resources_of == other._resources_of
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TagResourceGraph(tags={self.num_tags}, resources={self.num_resources}, "
+            f"edges={self.num_edges}, total_weight={self.total_weight})"
+        )

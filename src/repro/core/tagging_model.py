@@ -1,0 +1,260 @@
+"""The combined tagging-system model (Section III-B) with optional
+approximated maintenance (Section IV-B).
+
+:class:`TaggingModel` owns a :class:`~repro.core.tag_resource_graph.TagResourceGraph`
+and a :class:`~repro.core.folksonomy_graph.FolksonomyGraph` and keeps them
+consistent under the two user operations of the paper:
+
+* **resource insertion** -- a user publishes a new resource ``r`` labelled
+  with a tag set ``Tr = {t1, ..., tm}``;
+* **tag insertion** (a *tagging operation*) -- a user attaches a single tag
+  ``t`` to an existing resource ``r``.
+
+When constructed with an :class:`~repro.core.approximation.ApproximationConfig`
+other than :data:`~repro.core.approximation.EXACT`, the Folksonomy Graph is
+maintained with Approximations A and/or B; the TRG is *always* exact (the
+paper notes that only the FG is affected by the approximation).
+
+The exact model satisfies, at all times, the defining identity
+
+    sim(t1, t2) == sum over r in Res(t1) of u(t2, r)
+
+which is checked by :meth:`TaggingModel.check_model_invariant` and exercised
+by the property-based test-suite.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.approximation import EXACT, ApproximationConfig
+from repro.core.folksonomy_graph import FolksonomyGraph
+from repro.core.tag_resource_graph import TagResourceGraph
+
+__all__ = ["TaggingModel", "TaggingOutcome", "derive_folksonomy_graph"]
+
+
+@dataclass(frozen=True, slots=True)
+class TaggingOutcome:
+    """Summary of the graph mutations performed by one tagging operation.
+
+    The distributed protocol uses this record to know which blocks must be
+    written; the cost model uses it to count lookups; tests use it to verify
+    that the approximation bounds hold.
+    """
+
+    resource: str
+    tag: str
+    #: True when the (tag, resource) edge did not exist before the operation.
+    new_trg_edge: bool
+    #: New weight u(tag, resource) after the operation.
+    trg_weight: int
+    #: Tags whose reverse arc (tau, tag) was incremented by one.
+    reverse_updates: tuple[str, ...]
+    #: Mapping tau -> increment applied to the forward arc (tag, tau).
+    forward_updates: dict[str, int]
+
+
+class TaggingModel:
+    """In-memory folksonomy engine implementing the DHARMA model.
+
+    Parameters
+    ----------
+    approximation:
+        Maintenance policy for the Folksonomy Graph.  Defaults to the exact
+        model of Section III.
+    seed:
+        Seed for the random generator used by Approximation A's subset
+        sampling; pass a fixed value for reproducible simulations.
+    """
+
+    def __init__(
+        self,
+        approximation: ApproximationConfig = EXACT,
+        seed: int | None = None,
+    ) -> None:
+        self.trg = TagResourceGraph()
+        self.fg = FolksonomyGraph()
+        self.approximation = approximation
+        self._rng = random.Random(seed)
+        self._num_resource_insertions = 0
+        self._num_tagging_operations = 0
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_triples(
+        cls,
+        triples: Iterable[tuple[str, str, str]],
+        approximation: ApproximationConfig = EXACT,
+        seed: int | None = None,
+    ) -> "TaggingModel":
+        """Build a model by replaying ``⟨user, resource, tag⟩`` triples.
+
+        Each triple is treated as one tagging operation (the user dimension is
+        aggregated away exactly as in the paper's distributional aggregation;
+        the user field only matters for counting multiplicities, which replay
+        order already captures).
+        """
+        model = cls(approximation=approximation, seed=seed)
+        for _user, resource, tag in triples:
+            model.add_tag(resource, tag)
+        return model
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_resource_insertions(self) -> int:
+        return self._num_resource_insertions
+
+    @property
+    def num_tagging_operations(self) -> int:
+        return self._num_tagging_operations
+
+    # ------------------------------------------------------------------ #
+    # Section III-B.1 -- resource insertion
+    # ------------------------------------------------------------------ #
+
+    def insert_resource(self, resource: str, tags: Sequence[str]) -> list[TaggingOutcome]:
+        """Insert a new resource labelled with *tags*.
+
+        The paper describes the operation atomically: every new TRG edge gets
+        weight 1 and every ordered pair of tags in ``Tr`` gets its FG arc
+        incremented by one.  Resource insertion is *never* approximated (its
+        Table I cost is the same in both protocols), so the operation is
+        implemented as a sequence of **exact** tagging operations on the fresh
+        resource, regardless of the model's approximation policy.
+        """
+        if self.trg.has_resource(resource) and self.trg.resource_degree(resource) > 0:
+            raise ValueError(f"resource {resource!r} already exists; use add_tag instead")
+        self.trg.ensure_resource(resource)
+        outcomes = [self.add_tag(resource, tag, _config=EXACT) for tag in tags]
+        self._num_resource_insertions += 1
+        return outcomes
+
+    # ------------------------------------------------------------------ #
+    # Section III-B.2 -- tag insertion (one tagging operation)
+    # ------------------------------------------------------------------ #
+
+    def add_tag(
+        self, resource: str, tag: str, _config: ApproximationConfig | None = None
+    ) -> TaggingOutcome:
+        """Attach *tag* to *resource* (one user annotation).
+
+        Updates the TRG exactly and the FG according to the configured
+        approximation policy.  Returns a :class:`TaggingOutcome` describing
+        every mutation performed.  ``_config`` overrides the policy for this
+        single operation (used internally by :meth:`insert_resource`, which is
+        never approximated).
+        """
+        cfg = _config if _config is not None else self.approximation
+        tags_before = self.trg.tag_set(resource)
+        was_present = tag in tags_before
+        others = sorted(tags_before - {tag})
+
+        # --- TRG update (always exact) ---------------------------------- #
+        new_weight = self.trg.add_annotation(tag, resource)
+        self.fg.ensure_tag(tag)
+
+        # --- reverse arcs (tau, tag): +1 each, possibly subsetted (A) --- #
+        reverse_targets = cfg.select_reverse_targets(others, self._rng)
+        for tau in reverse_targets:
+            self.fg.increment(tau, tag, 1)
+
+        # --- forward arcs (tag, tau) ------------------------------------ #
+        forward_updates: dict[str, int] = {}
+        if not was_present:
+            # Res(tag) gained the resource, so every co-tag's weight on the
+            # resource flows into sim(tag, tau).  Approximation B replaces the
+            # exact increment by 1 when the arc is new.
+            for tau in others:
+                exact_increment = self.trg.weight(tau, resource)
+                if exact_increment == 0:  # pragma: no cover - defensive
+                    continue
+                if self.fg.has_arc(tag, tau):
+                    increment = exact_increment
+                else:
+                    increment = cfg.new_arc_weight(exact_increment)
+                self.fg.increment(tag, tau, increment)
+                forward_updates[tau] = increment
+        # When the tag was already present the forward arcs are untouched:
+        # Res(tag) did not change and u(tau, r) did not change either.
+
+        self._num_tagging_operations += 1
+        return TaggingOutcome(
+            resource=resource,
+            tag=tag,
+            new_trg_edge=not was_present,
+            trg_weight=new_weight,
+            reverse_updates=tuple(reverse_targets),
+            forward_updates=forward_updates,
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries used by the search layer
+    # ------------------------------------------------------------------ #
+
+    def tags_of(self, resource: str) -> set[str]:
+        return self.trg.tag_set(resource)
+
+    def resources_of(self, tag: str) -> set[str]:
+        return self.trg.resource_set(tag)
+
+    def related_tags(self, tag: str, limit: int | None = None) -> list[tuple[str, int]]:
+        """Neighbours of *tag* in the FG ranked by similarity (the tag cloud
+        the search front-end would display)."""
+        return self.fg.ranked_neighbours(tag, limit=limit)
+
+    # ------------------------------------------------------------------ #
+    # invariants
+    # ------------------------------------------------------------------ #
+
+    def check_model_invariant(self) -> None:
+        """Verify the defining identity of the exact model.
+
+        Only meaningful when the model was built with :data:`EXACT`; with an
+        approximated policy the identity is intentionally violated (that is
+        what Table III measures), so the check raises ``RuntimeError`` to
+        avoid silent misuse.
+        """
+        if not self.approximation.is_exact:
+            raise RuntimeError(
+                "check_model_invariant() is only valid for the exact model"
+            )
+        expected = derive_folksonomy_graph(self.trg)
+        assert self.fg == expected, "FG diverged from the exact similarity definition"
+        self.trg.check_consistency()
+        self.fg.check_existence_symmetry()
+
+
+def derive_folksonomy_graph(trg: TagResourceGraph) -> FolksonomyGraph:
+    """Compute the *exact* Folksonomy Graph implied by a Tag-Resource Graph.
+
+    Implements the definition ``sim(t1, t2) = sum over r in Res(t1) of
+    u(t2, r)`` by a single pass over resources: for every resource ``r`` and
+    every ordered pair of distinct tags ``(t1, t2)`` in ``Tags(r)``, add
+    ``u(t2, r)`` to ``sim(t1, t2)``.
+
+    This is the ground-truth graph used as the "original" model in the
+    evaluation (Figures 6 and 8, Table III).
+    """
+    fg = FolksonomyGraph()
+    for tag in trg.tags:
+        fg.ensure_tag(tag)
+    for resource in trg.resources:
+        adjacency = trg.tags_of(resource)
+        if len(adjacency) < 2:
+            continue
+        items = list(adjacency.items())
+        for t1, _w1 in items:
+            for t2, w2 in items:
+                if t1 == t2:
+                    continue
+                fg.increment(t1, t2, w2)
+    return fg

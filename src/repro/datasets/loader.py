@@ -1,0 +1,62 @@
+"""Loading and saving annotation datasets.
+
+Datasets are exchanged as tab-separated ``user<TAB>resource<TAB>tag`` files
+(one annotation per line, UTF-8, optional ``#`` comment lines), which is the
+format public folksonomy dumps typically use; the loader therefore also works
+on a real Last.fm-style dump if one is available locally.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.datasets.triples import Annotation, AnnotationDataset
+
+__all__ = ["iter_triples_tsv", "load_triples_tsv", "save_triples_tsv"]
+
+
+def iter_triples_tsv(path: str | os.PathLike[str]) -> Iterator[Annotation]:
+    """Stream annotations from a TSV file without loading it all in memory."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 3 tab-separated fields, got {len(parts)}"
+                )
+            user, resource, tag = parts
+            if not user or not resource or not tag:
+                raise ValueError(f"{path}:{line_number}: empty field in triple")
+            yield Annotation(user=user, resource=resource, tag=tag)
+
+
+def load_triples_tsv(path: str | os.PathLike[str], limit: int | None = None) -> AnnotationDataset:
+    """Load a TSV file into an :class:`AnnotationDataset`.
+
+    *limit* truncates the dataset after that many annotations (handy for quick
+    experiments on large dumps).
+    """
+    dataset = AnnotationDataset()
+    for index, annotation in enumerate(iter_triples_tsv(path)):
+        if limit is not None and index >= limit:
+            break
+        dataset.append(annotation)
+    return dataset
+
+
+def save_triples_tsv(dataset: AnnotationDataset, path: str | os.PathLike[str]) -> None:
+    """Write a dataset to a TSV file (overwrites)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("# user\tresource\ttag\n")
+        for annotation in dataset:
+            if "\t" in annotation.user or "\t" in annotation.resource or "\t" in annotation.tag:
+                raise ValueError("fields must not contain tab characters")
+            handle.write(f"{annotation.user}\t{annotation.resource}\t{annotation.tag}\n")

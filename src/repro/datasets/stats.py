@@ -1,0 +1,123 @@
+"""Structural statistics of a folksonomy (Table II and Figure 5).
+
+The paper characterises the Last.fm dataset through the distributions of
+three nodal degrees:
+
+* ``|Tags(r)|`` -- distinct tags per resource (TRG, resource side);
+* ``|Res(t)|``  -- distinct resources per tag (TRG, tag side);
+* ``|NFG(t)|``  -- FG out-degree of each tag.
+
+Table II reports mean / standard deviation / max (rounded to integers) and
+Figure 5 their cumulative distributions.  :func:`compute_folksonomy_stats`
+produces both, plus the core-periphery indicators quoted in the text (the
+fraction of singleton tags and of single-tag resources).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.folksonomy_graph import FolksonomyGraph
+from repro.core.tag_resource_graph import TagResourceGraph
+
+__all__ = ["DegreeStatistics", "FolksonomyStats", "compute_folksonomy_stats"]
+
+
+@dataclass(frozen=True, slots=True)
+class DegreeStatistics:
+    """Summary statistics of one degree distribution."""
+
+    name: str
+    count: int
+    mean: float
+    std: float
+    max: int
+    #: Fraction of vertices with degree exactly 1.
+    singleton_fraction: float
+
+    def rounded(self) -> dict[str, int]:
+        """Mean / std / max rounded to integers, as printed in Table II."""
+        return {"mean": round(self.mean), "std": round(self.std), "max": int(self.max)}
+
+    @classmethod
+    def from_values(cls, name: str, values: np.ndarray) -> "DegreeStatistics":
+        if values.size == 0:
+            return cls(name=name, count=0, mean=0.0, std=0.0, max=0, singleton_fraction=0.0)
+        return cls(
+            name=name,
+            count=int(values.size),
+            mean=float(values.mean()),
+            std=float(values.std()),
+            max=int(values.max()),
+            singleton_fraction=float((values == 1).mean()),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FolksonomyStats:
+    """The full structural census used by Table II / Figure 5."""
+
+    tags_per_resource: DegreeStatistics
+    resources_per_tag: DegreeStatistics
+    fg_out_degree: DegreeStatistics
+    num_tags: int
+    num_resources: int
+    num_trg_edges: int
+    num_fg_arcs: int
+
+    def table_ii(self) -> dict[str, dict[str, int]]:
+        """The Table II layout: rows mu/sigma/max, columns the three degrees."""
+        columns = {
+            "Tags(r)": self.tags_per_resource,
+            "Res(t)": self.resources_per_tag,
+            "NFG(t)": self.fg_out_degree,
+        }
+        return {
+            "mu": {name: round(stat.mean) for name, stat in columns.items()},
+            "sigma": {name: round(stat.std) for name, stat in columns.items()},
+            "max": {name: stat.max for name, stat in columns.items()},
+        }
+
+
+def degree_cdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of a degree sample: returns (sorted unique degrees,
+    cumulative probability at each)."""
+    if values.size == 0:
+        return np.array([]), np.array([])
+    sorted_values = np.sort(values)
+    unique, counts = np.unique(sorted_values, return_counts=True)
+    cumulative = np.cumsum(counts) / values.size
+    return unique.astype(float), cumulative
+
+
+def compute_folksonomy_stats(
+    trg: TagResourceGraph, fg: FolksonomyGraph | None = None
+) -> FolksonomyStats:
+    """Compute the Table II statistics for a TRG (and optionally its FG).
+
+    When *fg* is omitted the FG out-degree column is computed on an empty
+    graph (all zeros); pass the exact FG derived via
+    :func:`repro.core.tagging_model.derive_folksonomy_graph` to reproduce the
+    paper's numbers.
+    """
+    tags_per_resource = np.array(
+        [trg.resource_degree(r) for r in trg.resources], dtype=np.int64
+    )
+    resources_per_tag = np.array([trg.tag_degree(t) for t in trg.tags], dtype=np.int64)
+    if fg is not None:
+        fg_degrees = np.array([fg.out_degree(t) for t in fg.tags], dtype=np.int64)
+        num_fg_arcs = fg.num_arcs
+    else:
+        fg_degrees = np.zeros(0, dtype=np.int64)
+        num_fg_arcs = 0
+    return FolksonomyStats(
+        tags_per_resource=DegreeStatistics.from_values("Tags(r)", tags_per_resource),
+        resources_per_tag=DegreeStatistics.from_values("Res(t)", resources_per_tag),
+        fg_out_degree=DegreeStatistics.from_values("NFG(t)", fg_degrees),
+        num_tags=trg.num_tags,
+        num_resources=trg.num_resources,
+        num_trg_edges=trg.num_edges,
+        num_fg_arcs=num_fg_arcs,
+    )

@@ -1,0 +1,138 @@
+"""Overlay construction helpers.
+
+:func:`build_overlay` wires together a :class:`~repro.simulation.network.SimulatedNetwork`,
+a Likir :class:`~repro.dht.likir.CertificationService` and ``n`` Kademlia
+nodes, joining them one by one through the first node (the usual bootstrap
+procedure).  The resulting :class:`Overlay` keeps the pieces together and
+offers convenience accessors used by examples, tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dht.likir import CertificationService, Identity
+from repro.dht.node import KademliaNode, NodeConfig
+from repro.dht.node_id import NodeID
+from repro.dht.api import DHTClient
+from repro.simulation.clock import SimulationClock
+from repro.simulation.network import NetworkConfig, SimulatedNetwork
+
+__all__ = ["Overlay", "build_overlay"]
+
+
+@dataclass
+class Overlay:
+    """A fully wired in-process overlay."""
+
+    network: SimulatedNetwork
+    certification: CertificationService
+    nodes: list[KademliaNode] = field(default_factory=list)
+    node_config: NodeConfig = field(default_factory=NodeConfig)
+    _rng: random.Random = field(default_factory=random.Random, repr=False)
+
+    # -- accessors --------------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def clock(self) -> SimulationClock:
+        return self.network.clock
+
+    def node_by_address(self, address: str) -> KademliaNode | None:
+        for node in self.nodes:
+            if node.address == address:
+                return node
+        return None
+
+    def random_node(self) -> KademliaNode:
+        """A uniformly random live node (used as an access point)."""
+        live = [n for n in self.nodes if self.network.is_registered(n.address)]
+        if not live:
+            raise RuntimeError("overlay has no live node")
+        return live[self._rng.randrange(len(live))]
+
+    def client(self, identity: Identity | None = None, node: KademliaNode | None = None) -> DHTClient:
+        """Create an application client bound to *node* (random by default)."""
+        return DHTClient(node or self.random_node(), identity=identity)
+
+    def register_user(self, user: str) -> Identity:
+        """Issue a Likir identity for an application user."""
+        return self.certification.register(user)
+
+    # -- membership --------------------------------------------------------- #
+
+    def add_node(self, user: str | None = None) -> KademliaNode:
+        """Create one more node, certify it and join it through a live peer."""
+        user = user or f"peer-{len(self.nodes):06d}"
+        identity = self.certification.register(user)
+        node = KademliaNode(
+            node_id=identity.node_id,
+            network=self.network,
+            config=self.node_config,
+            certification=self.certification,
+        )
+        bootstrap = None
+        for existing in self.nodes:
+            if self.network.is_registered(existing.address):
+                bootstrap = existing.contact
+                break
+        node.join(bootstrap)
+        self.nodes.append(node)
+        return node
+
+    def remove_node(self, node: KademliaNode, republish: bool = True) -> None:
+        """Make *node* leave; optionally republish its stored items through a
+        surviving peer so data is not lost (graceful departure)."""
+        items = node.leave(republish=republish)
+        if republish and items:
+            survivors = [n for n in self.nodes if self.network.is_registered(n.address)]
+            if survivors:
+                helper = survivors[0]
+                for key, value in items.items():
+                    helper.store(key, value)
+
+    def storage_load(self) -> dict[str, int]:
+        """Number of stored keys per node address (hotspot/balance measure)."""
+        return {
+            node.address: len(node.storage)
+            for node in self.nodes
+            if self.network.is_registered(node.address)
+        }
+
+
+def build_overlay(
+    num_nodes: int,
+    node_config: NodeConfig | None = None,
+    network_config: NetworkConfig | None = None,
+    seed: int | None = 0,
+) -> Overlay:
+    """Create an overlay of *num_nodes* certified Kademlia nodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes to create and join.
+    node_config:
+        Kademlia parameters shared by all nodes.
+    network_config:
+        Latency / loss model of the simulated transport.
+    seed:
+        Seed used for the certification service and random node selection
+        (pass ``None`` for non-deterministic behaviour).
+    """
+    if num_nodes < 1:
+        raise ValueError("an overlay needs at least one node")
+    network = SimulatedNetwork(config=network_config or NetworkConfig(seed=seed))
+    certification = CertificationService(seed=seed)
+    overlay = Overlay(
+        network=network,
+        certification=certification,
+        node_config=node_config or NodeConfig(),
+        _rng=random.Random(seed),
+    )
+    for _ in range(num_nodes):
+        overlay.add_node()
+    return overlay

@@ -1,0 +1,173 @@
+"""The iterative Kademlia lookup procedure.
+
+A lookup for a target identifier proceeds in rounds: the initiator keeps a
+shortlist of the closest contacts discovered so far, queries the ``alpha``
+closest not-yet-queried entries, merges the contacts they return, and stops
+when a round fails to discover anyone closer than the best already known (the
+procedure then queries any remaining unqueried contact among the ``k``
+closest).  FIND_VALUE lookups additionally short-circuit as soon as one of the
+queried nodes returns the value.
+
+The procedure is written against the tiny :class:`LookupTransport` protocol so
+it can be unit-tested with a scripted transport, independently of the node and
+network machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.dht.messages import ContactInfo
+from repro.dht.node_id import NodeID
+from repro.dht.routing_table import Contact
+
+__all__ = ["LookupTransport", "LookupOutcome", "iterative_lookup"]
+
+
+class LookupTransport(Protocol):
+    """What the lookup procedure needs from the node layer."""
+
+    def query(
+        self, contact: Contact, target: NodeID, find_value: bool, top_n: int | None
+    ) -> tuple[list[Contact], Any | None] | None:
+        """Send one FIND_NODE / FIND_VALUE RPC to *contact*.
+
+        Returns ``(closer_contacts, value_or_None)`` on success or ``None`` if
+        the contact did not answer (timeout, crash, message loss).
+        """
+        ...
+
+
+@dataclass(slots=True)
+class LookupOutcome:
+    """Result of an iterative lookup."""
+
+    target: NodeID
+    #: The k closest live contacts found, sorted by distance to the target.
+    closest: list[Contact] = field(default_factory=list)
+    #: The value, when a FIND_VALUE lookup hit a node storing the key.
+    value: Any | None = None
+    found_value: bool = False
+    #: Number of query rounds performed.
+    rounds: int = 0
+    #: Number of RPCs issued (including failed ones).
+    messages: int = 0
+    #: Number of RPCs that timed out / failed.
+    failures: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        """A lookup succeeds if it found the value (FIND_VALUE) or at least one
+        live contact (FIND_NODE)."""
+        return self.found_value or bool(self.closest)
+
+
+def iterative_lookup(
+    transport: LookupTransport,
+    target: NodeID,
+    seeds: list[Contact],
+    k: int,
+    alpha: int = 3,
+    find_value: bool = False,
+    top_n: int | None = None,
+    max_rounds: int = 64,
+) -> LookupOutcome:
+    """Run the iterative node/value lookup starting from *seeds*.
+
+    Parameters
+    ----------
+    transport:
+        RPC issuer (usually the node itself).
+    target:
+        The identifier being located.
+    seeds:
+        Initial shortlist, normally the ``alpha`` closest contacts from the
+        initiator's routing table.
+    k:
+        System-wide replication parameter; the lookup terminates once the
+        ``k`` closest known contacts have all been queried.
+    alpha:
+        Lookup concurrency (queries issued per round).
+    find_value:
+        When True the lookup performs FIND_VALUE semantics and stops at the
+        first value hit.
+    top_n:
+        Optional index-side filtering hint forwarded to FIND_VALUE.
+    max_rounds:
+        Hard bound protecting against pathological transports.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if alpha < 1:
+        raise ValueError("alpha must be >= 1")
+
+    outcome = LookupOutcome(target=target)
+    shortlist: dict[NodeID, Contact] = {c.node_id: c for c in seeds}
+    queried: set[NodeID] = set()
+    failed: set[NodeID] = set()
+
+    def ranked(limit: int | None = None) -> list[Contact]:
+        live = [c for nid, c in shortlist.items() if nid not in failed]
+        live.sort(key=lambda c: (c.distance_to(target), c.node_id.value))
+        return live if limit is None else live[:limit]
+
+    best_distance: int | None = None
+    while outcome.rounds < max_rounds:
+        candidates = [c for c in ranked(k) if c.node_id not in queried]
+        if not candidates:
+            break
+        batch = candidates[:alpha]
+        outcome.rounds += 1
+        improved = False
+        for contact in batch:
+            queried.add(contact.node_id)
+            outcome.messages += 1
+            reply = transport.query(contact, target, find_value, top_n)
+            if reply is None:
+                outcome.failures += 1
+                failed.add(contact.node_id)
+                continue
+            closer_contacts, value = reply
+            if find_value and value is not None:
+                outcome.value = value
+                outcome.found_value = True
+                outcome.closest = ranked(k)
+                return outcome
+            for new_contact in closer_contacts:
+                if new_contact.node_id not in shortlist:
+                    shortlist[new_contact.node_id] = new_contact
+            distance = contact.distance_to(target)
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                improved = True
+        if not improved:
+            # No progress this round: finish by querying any unqueried contact
+            # among the k closest, then stop.
+            remaining = [c for c in ranked(k) if c.node_id not in queried]
+            for contact in remaining:
+                queried.add(contact.node_id)
+                outcome.messages += 1
+                reply = transport.query(contact, target, find_value, top_n)
+                if reply is None:
+                    outcome.failures += 1
+                    failed.add(contact.node_id)
+                    continue
+                closer_contacts, value = reply
+                if find_value and value is not None:
+                    outcome.value = value
+                    outcome.found_value = True
+                    outcome.closest = ranked(k)
+                    return outcome
+                for new_contact in closer_contacts:
+                    if new_contact.node_id not in shortlist:
+                        shortlist[new_contact.node_id] = new_contact
+            break
+
+    outcome.closest = ranked(k)
+    return outcome
+
+
+def contacts_from_wire(infos: tuple[ContactInfo, ...]) -> list[Contact]:
+    """Convert wire-format contact records into routing-table contacts."""
+    return [Contact(node_id=i.node_id, address=i.address) for i in infos]

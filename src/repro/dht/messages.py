@@ -1,0 +1,146 @@
+"""RPC vocabulary of the Kademlia/Likir substrate.
+
+Kademlia defines four RPCs (PING, STORE, FIND_NODE, FIND_VALUE).  DHARMA's
+block model additionally needs an *append* primitive so that a block can be
+updated with "one-bit tokens" (unit increments of individual counters) in a
+single overlay operation instead of a read-modify-write; we model it as a
+fifth RPC, APPEND, which every storage node applies commutatively.
+
+Requests and responses are small frozen dataclasses; the simulated network
+just passes them by reference, but they are designed to be serialisable (all
+fields are plain data) so a real wire format could be layered on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.dht.node_id import NodeID
+
+__all__ = [
+    "RPCRequest",
+    "RPCResponse",
+    "PingRequest",
+    "PingResponse",
+    "StoreRequest",
+    "StoreResponse",
+    "AppendRequest",
+    "AppendResponse",
+    "FindNodeRequest",
+    "FindNodeResponse",
+    "FindValueRequest",
+    "FindValueResponse",
+    "ContactInfo",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ContactInfo:
+    """Wire representation of a routing-table contact."""
+
+    node_id: NodeID
+    address: str
+
+
+@dataclass(frozen=True, slots=True)
+class RPCRequest:
+    """Base class of every request: carries the sender's identity so the
+    receiver can refresh its routing table (every Kademlia message doubles as
+    a liveness proof)."""
+
+    sender_id: NodeID
+    sender_address: str
+
+
+@dataclass(frozen=True, slots=True)
+class RPCResponse:
+    """Base class of every response."""
+
+    responder_id: NodeID
+
+
+@dataclass(frozen=True, slots=True)
+class PingRequest(RPCRequest):
+    """Liveness probe."""
+
+
+@dataclass(frozen=True, slots=True)
+class PingResponse(RPCResponse):
+    alive: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class StoreRequest(RPCRequest):
+    """Store (replace) a value under *key* at the receiver."""
+
+    key: NodeID = field(default=None)  # type: ignore[assignment]
+    value: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class StoreResponse(RPCResponse):
+    stored: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class AppendRequest(RPCRequest):
+    """Apply counter increments to the block stored under *key*.
+
+    ``increments`` maps entry names to positive integer deltas; ``block_type``
+    and ``owner`` let the receiver create the block if it does not exist yet.
+
+    ``increments_if_new`` optionally overrides the delta used when the entry
+    does not exist yet in the block: this is how Approximation B is enforced
+    *at the storage node* -- the publisher ships both the exact increment
+    ``u(τ, r)`` and the new-arc value 1, and the node holding the ``t̂`` block
+    resolves the existence check locally, so no extra lookup and no
+    read-modify-write race is introduced.
+    """
+
+    key: NodeID = field(default=None)  # type: ignore[assignment]
+    owner: str = ""
+    block_type: str = ""
+    increments: dict[str, int] = field(default_factory=dict)
+    increments_if_new: dict[str, int] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class AppendResponse(RPCResponse):
+    applied: bool = True
+    #: Number of distinct entries in the block after the append.
+    block_size: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class FindNodeRequest(RPCRequest):
+    """Ask for the k known contacts closest to *target*."""
+
+    target: NodeID = field(default=None)  # type: ignore[assignment]
+    count: int = 20
+
+
+@dataclass(frozen=True, slots=True)
+class FindNodeResponse(RPCResponse):
+    contacts: tuple[ContactInfo, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class FindValueRequest(RPCRequest):
+    """Like FIND_NODE, but returns the value if the receiver stores *key*.
+
+    ``top_n`` enables the index-side filtering of Section V-A: when set, a
+    counter block is truncated to its *top_n* heaviest entries before being
+    returned (mimicking the UDP payload bound of the overlay message).
+    """
+
+    key: NodeID = field(default=None)  # type: ignore[assignment]
+    count: int = 20
+    top_n: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class FindValueResponse(RPCResponse):
+    found: bool = False
+    value: Any = None
+    contacts: tuple[ContactInfo, ...] = ()

@@ -1,0 +1,403 @@
+"""The Kademlia overlay node.
+
+:class:`KademliaNode` combines the routing table, the local storage and the
+RPC endpoints, and offers the client-side operations the DHARMA layer builds
+on: ``store`` (PUT), ``retrieve`` (GET), ``append`` (commutative counter
+update) and the underlying iterative lookups.
+
+A node talks to its peers exclusively through the
+:class:`~repro.simulation.network.SimulatedNetwork`, so an overlay of any size
+lives in one process; the node is otherwise a faithful Kademlia participant
+(k-buckets refreshed by every message, ping-before-evict policy, lookup with
+``alpha`` concurrency, replication of stored values on the ``replicate``
+closest nodes).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.blocks import BlockType
+from repro.dht.likir import CertificationService, Identity, LikirAuthError, SignedValue
+from repro.dht.lookup import LookupOutcome, contacts_from_wire, iterative_lookup
+from repro.dht.messages import (
+    AppendRequest,
+    AppendResponse,
+    ContactInfo,
+    FindNodeRequest,
+    FindNodeResponse,
+    FindValueRequest,
+    FindValueResponse,
+    PingRequest,
+    PingResponse,
+    RPCRequest,
+    StoreRequest,
+    StoreResponse,
+)
+from repro.dht.node_id import NodeID
+from repro.dht.routing_table import Contact, RoutingTable
+from repro.dht.storage import LocalStorage
+from repro.simulation.network import MessageDropped, NodeUnreachable, SimulatedNetwork
+
+__all__ = ["NodeConfig", "KademliaNode"]
+
+_address_counter = itertools.count()
+
+
+@dataclass(frozen=True, slots=True)
+class NodeConfig:
+    """Kademlia parameters of a node.
+
+    ``k`` is the bucket size / replication parameter, ``alpha`` the lookup
+    concurrency, ``replicate`` the number of closest nodes a value is written
+    to (the paper's cost model counts one *lookup* per PUT regardless of the
+    replication fan-out, because the replicas are contacted directly once the
+    lookup has located them).
+    """
+
+    k: int = 20
+    alpha: int = 3
+    replicate: int = 3
+    verify_credentials: bool = True
+
+    def __post_init__(self) -> None:
+        if self.k < 1 or self.alpha < 1 or self.replicate < 1:
+            raise ValueError("k, alpha and replicate must all be >= 1")
+        if self.replicate > self.k:
+            raise ValueError("replicate cannot exceed k")
+
+
+class KademliaNode:
+    """One participant of the overlay."""
+
+    def __init__(
+        self,
+        node_id: NodeID,
+        network: SimulatedNetwork,
+        config: NodeConfig | None = None,
+        address: str | None = None,
+        certification: CertificationService | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config or NodeConfig()
+        self.network = network
+        self.address = address or f"node-{next(_address_counter):06d}"
+        self.routing_table = RoutingTable(node_id, k=self.config.k)
+        self.storage = LocalStorage()
+        self.certification = certification
+        self.joined = False
+        # Server-side RPC counters (how much load this node sustains).
+        self.rpcs_served: dict[str, int] = {
+            "ping": 0,
+            "store": 0,
+            "append": 0,
+            "find_node": 0,
+            "find_value": 0,
+        }
+        network.register(self.address, self._dispatch)
+
+    # ------------------------------------------------------------------ #
+    # identity / representation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def contact(self) -> Contact:
+        return Contact(node_id=self.node_id, address=self.address)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"KademliaNode(id={self.node_id.hex()[:8]}…, addr={self.address})"
+
+    # ------------------------------------------------------------------ #
+    # server side: RPC dispatch
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self, sender_address: str, request: RPCRequest) -> Any:
+        """Entry point registered with the network."""
+        if not isinstance(request, RPCRequest):
+            raise TypeError(f"unknown RPC {type(request).__name__}")
+        # Every message refreshes the sender's entry in the routing table.
+        self._note_contact(Contact(node_id=request.sender_id, address=request.sender_address))
+        if isinstance(request, PingRequest):
+            self.rpcs_served["ping"] += 1
+            return PingResponse(responder_id=self.node_id)
+        if isinstance(request, StoreRequest):
+            return self._handle_store(request)
+        if isinstance(request, AppendRequest):
+            return self._handle_append(request)
+        if isinstance(request, FindValueRequest):
+            return self._handle_find_value(request)
+        if isinstance(request, FindNodeRequest):
+            return self._handle_find_node(request)
+        raise TypeError(f"unknown RPC {type(request).__name__}")
+
+    def _handle_store(self, request: StoreRequest) -> StoreResponse:
+        self.rpcs_served["store"] += 1
+        value = request.value
+        if self.config.verify_credentials and isinstance(value, SignedValue):
+            if self.certification is None:
+                raise LikirAuthError("node has no certification service configured")
+            value.verify(self.certification)
+        self.storage.put(request.key, value, now=self.network.clock.now)
+        return StoreResponse(responder_id=self.node_id, stored=True)
+
+    def _handle_append(self, request: AppendRequest) -> AppendResponse:
+        self.rpcs_served["append"] += 1
+        size = self.storage.append(
+            key=request.key,
+            owner=request.owner,
+            block_type=BlockType(request.block_type),
+            increments=request.increments,
+            now=self.network.clock.now,
+            increments_if_new=request.increments_if_new,
+        )
+        return AppendResponse(responder_id=self.node_id, applied=True, block_size=size)
+
+    def _handle_find_node(self, request: FindNodeRequest) -> FindNodeResponse:
+        self.rpcs_served["find_node"] += 1
+        closest = self.routing_table.closest_contacts(request.target, request.count)
+        return FindNodeResponse(
+            responder_id=self.node_id,
+            contacts=tuple(ContactInfo(c.node_id, c.address) for c in closest),
+        )
+
+    def _handle_find_value(self, request: FindValueRequest) -> FindValueResponse:
+        self.rpcs_served["find_value"] += 1
+        value = self.storage.get(request.key, top_n=request.top_n)
+        if value is not None:
+            return FindValueResponse(responder_id=self.node_id, found=True, value=value)
+        closest = self.routing_table.closest_contacts(request.key, request.count)
+        return FindValueResponse(
+            responder_id=self.node_id,
+            found=False,
+            contacts=tuple(ContactInfo(c.node_id, c.address) for c in closest),
+        )
+
+    # ------------------------------------------------------------------ #
+    # client side: raw RPCs
+    # ------------------------------------------------------------------ #
+
+    def _note_contact(self, contact: Contact) -> None:
+        """Insert *contact*, applying the ping-before-evict policy when the
+        target bucket is full."""
+        if contact.node_id == self.node_id:
+            return
+        inserted = self.routing_table.record_contact(contact)
+        if inserted:
+            return
+        stale = self.routing_table.least_recently_seen(contact.node_id)
+        if stale is not None and not self.ping(stale):
+            self.routing_table.evict(stale.node_id)
+            self.routing_table.record_contact(contact)
+
+    def _call(self, contact: Contact, request: RPCRequest) -> Any | None:
+        """Issue one RPC; returns None (and evicts the contact) on failure."""
+        try:
+            response = self.network.send(self.address, contact.address, request)
+        except (NodeUnreachable, MessageDropped):
+            self.routing_table.evict(contact.node_id)
+            return None
+        self.routing_table.record_contact(contact)
+        return response
+
+    def ping(self, contact: Contact) -> bool:
+        """PING *contact*; True if it answered."""
+        request = PingRequest(sender_id=self.node_id, sender_address=self.address)
+        response = self._call(contact, request)
+        return isinstance(response, PingResponse) and response.alive
+
+    # ------------------------------------------------------------------ #
+    # client side: iterative lookups
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self, contact: Contact, target: NodeID, find_value: bool, top_n: int | None
+    ) -> tuple[list[Contact], Any | None] | None:
+        """LookupTransport implementation used by :func:`iterative_lookup`."""
+        if find_value:
+            request: RPCRequest = FindValueRequest(
+                sender_id=self.node_id,
+                sender_address=self.address,
+                key=target,
+                count=self.config.k,
+                top_n=top_n,
+            )
+        else:
+            request = FindNodeRequest(
+                sender_id=self.node_id,
+                sender_address=self.address,
+                target=target,
+                count=self.config.k,
+            )
+        response = self._call(contact, request)
+        if response is None:
+            return None
+        if isinstance(response, FindValueResponse):
+            if response.found:
+                return ([], response.value)
+            return (contacts_from_wire(response.contacts), None)
+        if isinstance(response, FindNodeResponse):
+            return (contacts_from_wire(response.contacts), None)
+        return None
+
+    def lookup_node(self, target: NodeID) -> LookupOutcome:
+        """Iterative FIND_NODE for *target*."""
+        seeds = self.routing_table.closest_contacts(target, self.config.alpha)
+        outcome = iterative_lookup(
+            transport=self,
+            target=target,
+            seeds=seeds,
+            k=self.config.k,
+            alpha=self.config.alpha,
+            find_value=False,
+        )
+        for contact in outcome.closest:
+            self._note_contact(contact)
+        return outcome
+
+    def lookup_value(self, key: NodeID, top_n: int | None = None) -> LookupOutcome:
+        """Iterative FIND_VALUE for *key*.
+
+        Checks the local storage first (a node responsible for a key answers
+        its own query without touching the network).
+        """
+        local = self.storage.get(key, top_n=top_n)
+        if local is not None:
+            outcome = LookupOutcome(target=key)
+            outcome.value = local
+            outcome.found_value = True
+            return outcome
+        seeds = self.routing_table.closest_contacts(key, self.config.alpha)
+        return iterative_lookup(
+            transport=self,
+            target=key,
+            seeds=seeds,
+            k=self.config.k,
+            alpha=self.config.alpha,
+            find_value=True,
+            top_n=top_n,
+        )
+
+    # ------------------------------------------------------------------ #
+    # client side: application operations
+    # ------------------------------------------------------------------ #
+
+    def store(self, key: NodeID, value: Any, identity: Identity | None = None) -> LookupOutcome:
+        """PUT *value* under *key* on the ``replicate`` closest nodes."""
+        if identity is not None:
+            value = SignedValue.create(identity, key, value)
+        outcome = self.lookup_node(key)
+        targets = outcome.closest[: self.config.replicate] or [self.contact]
+        request = StoreRequest(
+            sender_id=self.node_id,
+            sender_address=self.address,
+            key=key,
+            value=value,
+        )
+        stored_somewhere = False
+        for contact in targets:
+            if contact.node_id == self.node_id:
+                self.storage.put(key, value, now=self.network.clock.now)
+                stored_somewhere = True
+                continue
+            response = self._call(contact, request)
+            if isinstance(response, StoreResponse) and response.stored:
+                stored_somewhere = True
+        if not stored_somewhere:
+            # Last resort: keep the value locally so it is not lost.
+            self.storage.put(key, value, now=self.network.clock.now)
+        return outcome
+
+    def append(
+        self,
+        key: NodeID,
+        owner: str,
+        block_type: BlockType,
+        increments: dict[str, int],
+        increments_if_new: dict[str, int] | None = None,
+    ) -> LookupOutcome:
+        """Apply counter *increments* to the block at *key* on its replicas."""
+        outcome = self.lookup_node(key)
+        targets = outcome.closest[: self.config.replicate] or [self.contact]
+        request = AppendRequest(
+            sender_id=self.node_id,
+            sender_address=self.address,
+            key=key,
+            owner=owner,
+            block_type=block_type.value,
+            increments=dict(increments),
+            increments_if_new=dict(increments_if_new) if increments_if_new else None,
+        )
+        applied_somewhere = False
+        for contact in targets:
+            if contact.node_id == self.node_id:
+                self.storage.append(
+                    key,
+                    owner,
+                    block_type,
+                    increments,
+                    now=self.network.clock.now,
+                    increments_if_new=increments_if_new,
+                )
+                applied_somewhere = True
+                continue
+            response = self._call(contact, request)
+            if isinstance(response, AppendResponse) and response.applied:
+                applied_somewhere = True
+        if not applied_somewhere:
+            self.storage.append(
+                key,
+                owner,
+                block_type,
+                increments,
+                now=self.network.clock.now,
+                increments_if_new=increments_if_new,
+            )
+        return outcome
+
+    def retrieve(self, key: NodeID, top_n: int | None = None) -> tuple[Any | None, LookupOutcome]:
+        """GET the value stored under *key* (or None)."""
+        outcome = self.lookup_value(key, top_n=top_n)
+        value = outcome.value
+        if isinstance(value, SignedValue):
+            if self.config.verify_credentials and self.certification is not None:
+                value.verify(self.certification)
+            value = value.value
+        return value, outcome
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+
+    def join(self, bootstrap: Contact | None) -> None:
+        """Join the overlay through *bootstrap* (None for the first node)."""
+        if bootstrap is not None and bootstrap.node_id != self.node_id:
+            self.routing_table.record_contact(bootstrap)
+            self.lookup_node(self.node_id)
+        self.joined = True
+
+    def refresh_buckets(self, rng: random.Random | None = None) -> int:
+        """Refresh stale buckets by looking up a random id in each non-empty
+        bucket's range; returns the number of refresh lookups issued."""
+        rng = rng or random.Random(0)
+        refreshed = 0
+        for index, size in self.routing_table.bucket_utilisation().items():
+            if size == 0:
+                continue
+            low = 1 << index
+            high = (1 << (index + 1)) - 1
+            distance = rng.randint(low, high)
+            target = NodeID(self.node_id.value ^ distance)
+            self.lookup_node(target)
+            refreshed += 1
+        return refreshed
+
+    def leave(self, republish: bool = False) -> dict[NodeID, Any]:
+        """Leave the overlay; optionally hand back stored items for
+        republication by the caller."""
+        items = self.storage.items_snapshot() if republish else {}
+        self.network.unregister(self.address)
+        self.joined = False
+        return items

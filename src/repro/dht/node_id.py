@@ -1,0 +1,127 @@
+"""The Kademlia identifier space and XOR metric.
+
+Kademlia (Maymounkov & Mazières, IPTPS 2002) identifies both nodes and keys
+with 160-bit strings and measures the distance between two identifiers as the
+integer value of their bitwise XOR.  The metric is symmetric, satisfies the
+triangle inequality and is *unidirectional*: for any point ``x`` and distance
+``d`` there is exactly one point ``y`` with ``d(x, y) = d``, which is what
+makes caching along lookup paths effective.
+
+:class:`NodeID` is an immutable wrapper over the 160-bit integer with helpers
+for hashing arbitrary names into the space (used for block keys) and for
+deriving identifiers from Likir identities.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from functools import total_ordering
+
+__all__ = ["ID_BITS", "ID_BYTES", "NodeID", "xor_distance", "common_prefix_length"]
+
+#: Width of the identifier space in bits (SHA-1 sized, as in Kademlia/Likir).
+ID_BITS = 160
+#: Width of the identifier space in bytes.
+ID_BYTES = ID_BITS // 8
+#: Exclusive upper bound of the identifier space.
+ID_SPACE = 1 << ID_BITS
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class NodeID:
+    """A 160-bit identifier (node id or key) in the Kademlia space."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.value < ID_SPACE):
+            raise ValueError(
+                f"identifier {self.value:#x} outside the {ID_BITS}-bit space"
+            )
+
+    # -- constructors --------------------------------------------------- #
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "NodeID":
+        """Build an identifier from a 20-byte big-endian digest."""
+        if len(raw) != ID_BYTES:
+            raise ValueError(f"expected {ID_BYTES} bytes, got {len(raw)}")
+        return cls(int.from_bytes(raw, "big"))
+
+    @classmethod
+    def from_hex(cls, text: str) -> "NodeID":
+        """Build an identifier from a 40-character hexadecimal string."""
+        return cls.from_bytes(bytes.fromhex(text))
+
+    @classmethod
+    def hash_of(cls, name: str | bytes) -> "NodeID":
+        """SHA-1 of *name* -- how block keys are mapped into the space."""
+        if isinstance(name, str):
+            name = name.encode("utf-8")
+        return cls.from_bytes(hashlib.sha1(name).digest())
+
+    @classmethod
+    def random(cls, rng: random.Random | None = None) -> "NodeID":
+        """A uniformly random identifier (fresh node join)."""
+        rng = rng or random
+        return cls(rng.getrandbits(ID_BITS))
+
+    # -- representation -------------------------------------------------- #
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(ID_BYTES, "big")
+
+    def hex(self) -> str:
+        return self.to_bytes().hex()
+
+    def bit(self, index: int) -> int:
+        """The *index*-th most significant bit (0 = MSB)."""
+        if not (0 <= index < ID_BITS):
+            raise IndexError(f"bit index {index} out of range")
+        return (self.value >> (ID_BITS - 1 - index)) & 1
+
+    # -- metric ----------------------------------------------------------- #
+
+    def distance_to(self, other: "NodeID") -> int:
+        """XOR distance to *other* as an integer."""
+        return self.value ^ other.value
+
+    def bucket_index_for(self, other: "NodeID") -> int:
+        """Index of the k-bucket in which *other* falls relative to ``self``.
+
+        Bucket ``i`` covers distances in ``[2^i, 2^(i+1))``; identical ids
+        (distance 0) raise, because a node never stores itself in its table.
+        """
+        distance = self.distance_to(other)
+        if distance == 0:
+            raise ValueError("a node has no bucket for itself")
+        return distance.bit_length() - 1
+
+    # -- ordering / hashing ------------------------------------------------ #
+
+    def __lt__(self, other: "NodeID") -> bool:
+        if not isinstance(other, NodeID):
+            return NotImplemented
+        return self.value < other.value
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"NodeID({self.hex()[:10]}…)"
+
+
+def xor_distance(a: NodeID, b: NodeID) -> int:
+    """Module-level convenience for ``a.distance_to(b)``."""
+    return a.distance_to(b)
+
+
+def common_prefix_length(a: NodeID, b: NodeID) -> int:
+    """Number of leading bits shared by *a* and *b* (160 when equal)."""
+    distance = a.value ^ b.value
+    if distance == 0:
+        return ID_BITS
+    return ID_BITS - distance.bit_length()

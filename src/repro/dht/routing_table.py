@@ -1,0 +1,190 @@
+"""Kademlia routing state: contacts, k-buckets and the routing table.
+
+Every node keeps, for each distance range ``[2^i, 2^(i+1))``, a *k-bucket* of
+up to ``k`` contacts ordered from least- to most-recently seen.  When a bucket
+is full the standard Kademlia policy applies: the least-recently seen contact
+is pinged and evicted only if it fails to answer, which protects the overlay
+against flash crowds of new (and possibly short-lived) nodes.
+
+The implementation is deliberately free of any networking concern: the node
+layer decides when to ping and calls :meth:`KBucket.evict` /
+:meth:`KBucket.record_contact` accordingly.  This keeps the data structure
+easy to property-test (see ``tests/dht/test_routing_table.py``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.dht.node_id import ID_BITS, NodeID
+
+__all__ = ["Contact", "KBucket", "RoutingTable", "DEFAULT_K"]
+
+#: Kademlia's replication / bucket-size parameter (20 in the original paper).
+DEFAULT_K = 20
+
+
+@dataclass(frozen=True, slots=True)
+class Contact:
+    """Routing information about a remote node.
+
+    ``address`` is the opaque transport address used by the simulated network
+    (in a real deployment it would be an ``(ip, port)`` pair).
+    """
+
+    node_id: NodeID
+    address: str
+
+    def distance_to(self, target: NodeID) -> int:
+        return self.node_id.distance_to(target)
+
+
+class KBucket:
+    """A single k-bucket: an LRU-ordered set of at most *k* contacts."""
+
+    __slots__ = ("k", "_contacts", "_replacement_cache")
+
+    def __init__(self, k: int = DEFAULT_K) -> None:
+        if k < 1:
+            raise ValueError("bucket capacity k must be >= 1")
+        self.k = k
+        # node_id -> Contact, ordered least-recently-seen first.
+        self._contacts: OrderedDict[NodeID, Contact] = OrderedDict()
+        # Candidates waiting for a slot (most recent kept), bounded by k.
+        self._replacement_cache: OrderedDict[NodeID, Contact] = OrderedDict()
+
+    # -- queries ---------------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return len(self._contacts)
+
+    def __contains__(self, node_id: NodeID) -> bool:
+        return node_id in self._contacts
+
+    def contacts(self) -> list[Contact]:
+        """Contacts from least- to most-recently seen."""
+        return list(self._contacts.values())
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._contacts) >= self.k
+
+    def least_recently_seen(self) -> Contact | None:
+        """The contact that should be pinged when the bucket is full."""
+        if not self._contacts:
+            return None
+        return next(iter(self._contacts.values()))
+
+    def replacement_candidates(self) -> list[Contact]:
+        return list(self._replacement_cache.values())
+
+    # -- updates ----------------------------------------------------------- #
+
+    def record_contact(self, contact: Contact) -> bool:
+        """Note that *contact* was just seen.
+
+        Returns ``True`` if the contact is now in the bucket, ``False`` if the
+        bucket was full and the contact was parked in the replacement cache
+        (the caller should ping the least-recently-seen contact and call
+        :meth:`evict` if it is dead).
+        """
+        if contact.node_id in self._contacts:
+            self._contacts.move_to_end(contact.node_id)
+            self._contacts[contact.node_id] = contact
+            return True
+        if not self.is_full:
+            self._contacts[contact.node_id] = contact
+            return True
+        self._replacement_cache[contact.node_id] = contact
+        self._replacement_cache.move_to_end(contact.node_id)
+        while len(self._replacement_cache) > self.k:
+            self._replacement_cache.popitem(last=False)
+        return False
+
+    def evict(self, node_id: NodeID) -> None:
+        """Remove a dead contact and promote the freshest replacement, if any."""
+        self._contacts.pop(node_id, None)
+        self._replacement_cache.pop(node_id, None)
+        if not self.is_full and self._replacement_cache:
+            _rid, replacement = self._replacement_cache.popitem(last=True)
+            self._contacts[replacement.node_id] = replacement
+
+
+class RoutingTable:
+    """The full routing table of one node: ``ID_BITS`` k-buckets.
+
+    Bucket ``i`` holds contacts whose XOR distance from the owner falls in
+    ``[2^i, 2^(i+1))``.  The table never contains the owner itself.
+    """
+
+    __slots__ = ("owner_id", "k", "_buckets")
+
+    def __init__(self, owner_id: NodeID, k: int = DEFAULT_K) -> None:
+        self.owner_id = owner_id
+        self.k = k
+        self._buckets: list[KBucket] = [KBucket(k) for _ in range(ID_BITS)]
+
+    # -- queries ---------------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets)
+
+    def __contains__(self, node_id: NodeID) -> bool:
+        if node_id == self.owner_id:
+            return False
+        return node_id in self._bucket_for(node_id)
+
+    def bucket_index(self, node_id: NodeID) -> int:
+        return self.owner_id.bucket_index_for(node_id)
+
+    def _bucket_for(self, node_id: NodeID) -> KBucket:
+        return self._buckets[self.bucket_index(node_id)]
+
+    def bucket(self, index: int) -> KBucket:
+        return self._buckets[index]
+
+    def contacts(self) -> Iterator[Contact]:
+        """All known contacts, bucket by bucket."""
+        for bucket in self._buckets:
+            yield from bucket.contacts()
+
+    def closest_contacts(self, target: NodeID, count: int | None = None) -> list[Contact]:
+        """The *count* known contacts closest to *target* under XOR distance.
+
+        This is the answer every node gives to a FIND_NODE / FIND_VALUE RPC.
+        """
+        count = self.k if count is None else count
+        candidates = sorted(
+            self.contacts(), key=lambda c: (c.distance_to(target), c.node_id.value)
+        )
+        return candidates[:count]
+
+    # -- updates ----------------------------------------------------------- #
+
+    def record_contact(self, contact: Contact) -> bool:
+        """Record a freshly seen contact; silently ignores the owner itself.
+
+        Returns ``True`` if the contact was inserted or refreshed, ``False``
+        if its bucket is full (caller may trigger the ping-and-evict policy).
+        """
+        if contact.node_id == self.owner_id:
+            return True
+        return self._bucket_for(contact.node_id).record_contact(contact)
+
+    def evict(self, node_id: NodeID) -> None:
+        """Drop a contact that stopped responding."""
+        if node_id == self.owner_id:
+            return
+        self._bucket_for(node_id).evict(node_id)
+
+    def least_recently_seen(self, node_id: NodeID) -> Contact | None:
+        """Least-recently-seen contact of the bucket *node_id* falls into."""
+        return self._bucket_for(node_id).least_recently_seen()
+
+    # -- maintenance -------------------------------------------------------- #
+
+    def bucket_utilisation(self) -> dict[int, int]:
+        """Non-empty bucket sizes, keyed by bucket index (for diagnostics)."""
+        return {i: len(b) for i, b in enumerate(self._buckets) if len(b)}

@@ -1,0 +1,184 @@
+"""Per-node key/value storage with DHARMA's block semantics.
+
+Every overlay node stores the blocks whose keys fall in its responsibility
+region.  Two classes of values are handled:
+
+* **opaque values** (e.g. the ``r̃`` URI block, or arbitrary application
+  payloads) -- stored and replaced wholesale by STORE;
+* **counter blocks** (``r̄``, ``t̄``, ``t̂``) -- updated through APPEND, i.e.
+  sets of ``entry -> +delta`` increments that commute, so concurrent updates
+  from different users cannot be lost or double-applied by the storage layer
+  itself (Approximation B removes the remaining read-modify-write from the
+  *protocol* level).
+
+The storage also implements the *index-side filtering* of Section V-A: a GET
+may ask for only the top-``n`` heaviest entries of a counter block, modelling
+the UDP payload bound of overlay messages for very popular tags.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.blocks import BlockType, CounterBlock, block_for_type
+from repro.dht.node_id import NodeID
+
+__all__ = ["StoredValue", "LocalStorage"]
+
+
+@dataclass(slots=True)
+class StoredValue:
+    """A value held by one node, with bookkeeping metadata."""
+
+    value: Any
+    stored_at: float = 0.0
+    writes: int = 0
+    reads: int = 0
+
+
+class LocalStorage:
+    """The key/value store of a single overlay node."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: dict[NodeID, StoredValue] = {}
+
+    # -- basic operations -------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: NodeID) -> bool:
+        return key in self._items
+
+    def keys(self) -> Iterator[NodeID]:
+        return iter(self._items)
+
+    def put(self, key: NodeID, value: Any, now: float = 0.0) -> None:
+        """Store (replace) *value* under *key*."""
+        record = self._items.get(key)
+        if record is None:
+            self._items[key] = StoredValue(value=value, stored_at=now, writes=1)
+        else:
+            record.value = value
+            record.stored_at = now
+            record.writes += 1
+
+    def get(self, key: NodeID, top_n: int | None = None) -> Any | None:
+        """Return the value stored under *key*, or ``None``.
+
+        When the value is a counter-block payload and *top_n* is given, only
+        the *top_n* heaviest entries are returned (index-side filtering).  The
+        stored block itself is never truncated.
+        """
+        record = self._items.get(key)
+        if record is None:
+            return None
+        record.reads += 1
+        value = record.value
+        if top_n is not None and _is_counter_payload(value):
+            entries = value["entries"]
+            if len(entries) > top_n:
+                top = sorted(entries.items(), key=lambda kv: (-kv[1], kv[0]))[:top_n]
+                return {**value, "entries": dict(top), "truncated": True}
+        return value
+
+    def delete(self, key: NodeID) -> bool:
+        """Remove *key*; returns True if it was present."""
+        return self._items.pop(key, None) is not None
+
+    # -- counter-block append ------------------------------------------------ #
+
+    def append(
+        self,
+        key: NodeID,
+        owner: str,
+        block_type: BlockType | str,
+        increments: dict[str, int],
+        now: float = 0.0,
+        increments_if_new: dict[str, int] | None = None,
+    ) -> int:
+        """Apply *increments* to the counter block stored under *key*.
+
+        The block is created on first touch.  When *increments_if_new* is
+        given, an entry that is not yet present in the block receives the
+        value from that mapping instead of the one in *increments* (falling
+        back to *increments* when the entry is missing from both); this is the
+        storage-side half of Approximation B.  Returns the number of distinct
+        entries in the block after the update.
+        """
+        if isinstance(block_type, str):
+            block_type = BlockType(block_type)
+        if not block_type.is_counter:
+            raise ValueError(f"append is only valid for counter blocks, not {block_type}")
+        for entry, delta in increments.items():
+            if delta < 1:
+                raise ValueError(f"increment for {entry!r} must be >= 1, got {delta}")
+        if increments_if_new:
+            for entry, delta in increments_if_new.items():
+                if delta < 1:
+                    raise ValueError(
+                        f"new-entry increment for {entry!r} must be >= 1, got {delta}"
+                    )
+
+        record = self._items.get(key)
+        if record is None:
+            block = block_for_type(block_type, owner)
+            record = StoredValue(value=block.to_payload(), stored_at=now)
+            self._items[key] = record
+        payload = record.value
+        if not _is_counter_payload(payload):
+            raise ValueError(f"key {key!r} does not hold a counter block")
+        if payload.get("type") != block_type.value or payload.get("owner") != owner:
+            raise ValueError(
+                "append block metadata mismatch: "
+                f"stored ({payload.get('owner')!r}, {payload.get('type')!r}) vs "
+                f"request ({owner!r}, {block_type.value!r})"
+            )
+        entries: dict[str, int] = payload["entries"]
+        for entry, delta in increments.items():
+            if entry not in entries and increments_if_new is not None:
+                delta = increments_if_new.get(entry, delta)
+            entries[entry] = entries.get(entry, 0) + delta
+        record.writes += 1
+        record.stored_at = now
+        return len(entries)
+
+    # -- introspection -------------------------------------------------------- #
+
+    def counter_block(self, key: NodeID) -> CounterBlock | None:
+        """Materialise the counter block stored under *key*, if any."""
+        record = self._items.get(key)
+        if record is None or not _is_counter_payload(record.value):
+            return None
+        payload = record.value
+        block = block_for_type(BlockType(payload["type"]), payload["owner"])
+        assert isinstance(block, CounterBlock)
+        for entry, count in payload["entries"].items():
+            if count:
+                block.entries[entry] = count
+        return block
+
+    def total_entries(self) -> int:
+        """Sum of entry counts across all stored counter blocks (load proxy)."""
+        total = 0
+        for record in self._items.values():
+            if _is_counter_payload(record.value):
+                total += len(record.value["entries"])
+        return total
+
+    def items_snapshot(self) -> dict[NodeID, Any]:
+        """A shallow copy of every stored value (for republication on leave)."""
+        return {key: record.value for key, record in self._items.items()}
+
+
+def _is_counter_payload(value: Any) -> bool:
+    return (
+        isinstance(value, dict)
+        and "entries" in value
+        and "type" in value
+        and value.get("type") in {bt.value for bt in BlockType if bt.is_counter}
+    )

@@ -1,0 +1,50 @@
+"""DHARMA: the distributed tagging system (Section IV).
+
+This subpackage puts the :mod:`repro.core` model on top of the
+:mod:`repro.dht` substrate:
+
+* :mod:`~repro.distributed.cost_model` -- the analytical lookup costs of
+  Table I and the ledger that records measured costs;
+* :mod:`~repro.distributed.block_store` -- typed access to DHARMA blocks via
+  the DHT client;
+* :mod:`~repro.distributed.naive_protocol` -- the brute-force mapping of the
+  exact model (one reverse-arc update per co-tag);
+* :mod:`~repro.distributed.approximated_protocol` -- the protocol actually
+  proposed by the paper (Approximations A and B);
+* :mod:`~repro.distributed.tagging_service` -- the user-facing service facade
+  (insert / tag / lookup), selecting one of the two protocols;
+* :mod:`~repro.distributed.search_client` -- faceted search over the DHT
+  (2 lookups per navigation step).
+"""
+
+from repro.distributed.cost_model import (
+    CostLedger,
+    OperationCost,
+    PRIMITIVE_COSTS,
+    approximated_tag_cost,
+    insert_cost,
+    naive_tag_cost,
+    search_step_cost,
+)
+from repro.distributed.block_store import BlockStore
+from repro.distributed.naive_protocol import NaiveProtocol
+from repro.distributed.approximated_protocol import ApproximatedProtocol
+from repro.distributed.tagging_service import DharmaService, ServiceConfig
+from repro.distributed.search_client import DistributedView, DistributedFacetedSearch
+
+__all__ = [
+    "CostLedger",
+    "OperationCost",
+    "PRIMITIVE_COSTS",
+    "insert_cost",
+    "naive_tag_cost",
+    "approximated_tag_cost",
+    "search_step_cost",
+    "BlockStore",
+    "NaiveProtocol",
+    "ApproximatedProtocol",
+    "DharmaService",
+    "ServiceConfig",
+    "DistributedView",
+    "DistributedFacetedSearch",
+]

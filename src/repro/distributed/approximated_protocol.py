@@ -1,0 +1,72 @@
+"""The approximated maintenance protocol (Section IV-B) -- DHARMA proper.
+
+Two approximations bound the cost and remove the race of the naive protocol:
+
+* **Approximation A** -- only a random subset of at most ``k`` co-tags get
+  their reverse arc ``(τ, tag)`` updated, so a tagging operation costs at most
+  ``4 + k`` lookups regardless of how many labels the resource carries.
+* **Approximation B** -- when a forward arc ``(tag, τ)`` does not exist yet it
+  is created with weight 1 instead of ``u(τ, r)``.  The check is resolved *by
+  the storage node* holding the ``t̂`` block (see
+  :meth:`repro.dht.storage.LocalStorage.append`), so no extra lookup and no
+  read-modify-write race is introduced: concurrent users adding the same new
+  tag yield weight 2 at worst only through their two legitimate +1 tokens,
+  never the doubled ``2·u(τ, r)`` the paper describes.
+"""
+
+from __future__ import annotations
+
+from repro.core.approximation import ApproximationConfig, default_approximation
+from repro.distributed.block_store import BlockStore
+from repro.distributed.cost_model import CostLedger
+from repro.distributed.protocol import BaseDharmaProtocol
+
+__all__ = ["ApproximatedProtocol"]
+
+
+class ApproximatedProtocol(BaseDharmaProtocol):
+    """Approximated FG maintenance with connection parameter ``k``."""
+
+    name = "approximated"
+
+    def __init__(
+        self,
+        store: BlockStore,
+        approximation: ApproximationConfig | None = None,
+        ledger: CostLedger | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(store=store, ledger=ledger, seed=seed)
+        self.approximation = approximation or default_approximation(k=1)
+
+    @property
+    def k(self) -> int:
+        return self.approximation.k
+
+    def _update_folksonomy(
+        self,
+        resource: str,
+        tag: str,
+        co_tags: dict[str, int],
+        was_present: bool,
+    ) -> None:
+        if not co_tags:
+            return
+        cfg = self.approximation
+
+        # Forward arcs (tag -> tau): one lookup on the single t̂ block.  The
+        # exact increment u(tau, r) is shipped together with the new-arc value
+        # (1 under Approximation B); the storage node picks the right one.
+        if not was_present:
+            exact = dict(co_tags)
+            if cfg.enable_b:
+                self.store.append_tag_neighbours(
+                    tag, exact, increments_if_new={tau: 1 for tau in co_tags}
+                )
+            else:
+                self.store.append_tag_neighbours(tag, exact)
+
+        # Reverse arcs (tau -> tag): Approximation A bounds the fan-out to k.
+        targets = cfg.select_reverse_targets(sorted(co_tags), self._rng)
+        for tau in targets:
+            self.store.append_tag_neighbours(tau, {tag: 1})

@@ -1,0 +1,104 @@
+"""Typed access to DHARMA blocks through a DHT client.
+
+:class:`BlockStore` hides the key derivation and payload (de)serialisation of
+the four block types behind intention-revealing methods, so the protocol code
+reads like the paper's prose ("update block ``r̄``", "retrieve block ``t̂``").
+Every method costs exactly one overlay lookup, delegated to
+:class:`~repro.dht.api.DHTClient`, whose :class:`~repro.dht.api.LookupStats`
+the protocols sample for cost accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.blocks import BlockKey
+from repro.dht.api import DHTClient
+
+__all__ = ["BlockStore"]
+
+
+class BlockStore:
+    """The block-level storage interface of DHARMA."""
+
+    def __init__(self, client: DHTClient, search_top_n: int | None = None) -> None:
+        self.client = client
+        #: Index-side filtering bound applied to search-time GETs (None = no
+        #: truncation).  Mirrors the UDP payload limit discussed in Section V-A.
+        self.search_top_n = search_top_n
+
+    # -- convenience ------------------------------------------------------- #
+
+    @property
+    def lookups(self) -> int:
+        """Total overlay lookups issued through this store so far."""
+        return self.client.stats.lookups
+
+    @property
+    def rpc_messages(self) -> int:
+        return self.client.stats.rpc_messages
+
+    # -- type 4: r̃ (resource URI) ------------------------------------------ #
+
+    def put_resource_uri(self, resource: str, uri: str) -> None:
+        """Create/replace the ``r̃`` block associating *resource* to *uri*."""
+        self.client.put(
+            BlockKey.resource_uri(resource),
+            {"owner": resource, "type": "4", "uri": uri},
+        )
+
+    def get_resource_uri(self, resource: str) -> str | None:
+        """Resolve the URI of *resource* (None when unknown)."""
+        payload = self.client.get(BlockKey.resource_uri(resource))
+        if isinstance(payload, dict):
+            return payload.get("uri")
+        return None
+
+    # -- type 1: r̄ (resource -> tags) ---------------------------------------- #
+
+    def append_resource_tags(self, resource: str, increments: dict[str, int]) -> None:
+        """Add tag tokens to the ``r̄`` block of *resource*."""
+        self.client.append(BlockKey.resource_tags(resource), increments)
+
+    def get_resource_tags(self, resource: str, top_n: int | None = None) -> dict[str, int]:
+        """``{t: u(t, r)}`` from the ``r̄`` block ({} when absent)."""
+        return self.client.get_entries(BlockKey.resource_tags(resource), top_n=top_n)
+
+    # -- type 2: t̄ (tag -> resources) ----------------------------------------- #
+
+    def append_tag_resources(self, tag: str, increments: dict[str, int]) -> None:
+        """Add resource tokens to the ``t̄`` block of *tag*."""
+        self.client.append(BlockKey.tag_resources(tag), increments)
+
+    def get_tag_resources(self, tag: str, top_n: int | None = None) -> dict[str, int]:
+        """``{r: u(t, r)}`` from the ``t̄`` block ({} when absent)."""
+        return self.client.get_entries(BlockKey.tag_resources(tag), top_n=top_n)
+
+    # -- type 3: t̂ (tag -> neighbour tags) ------------------------------------- #
+
+    def append_tag_neighbours(
+        self,
+        tag: str,
+        increments: dict[str, int],
+        increments_if_new: dict[str, int] | None = None,
+    ) -> None:
+        """Add similarity tokens to the ``t̂`` block of *tag*.
+
+        *increments_if_new* is forwarded to the storage node so that a
+        brand-new arc can receive a different initial weight (Approximation B).
+        """
+        self.client.append(
+            BlockKey.tag_neighbours(tag), increments, increments_if_new=increments_if_new
+        )
+
+    def get_tag_neighbours(self, tag: str, top_n: int | None = None) -> dict[str, int]:
+        """``{t': sim(t, t')}`` from the ``t̂`` block ({} when absent)."""
+        return self.client.get_entries(BlockKey.tag_neighbours(tag), top_n=top_n)
+
+    # -- search-time accessors (apply the configured filtering bound) --------- #
+
+    def search_tag_neighbours(self, tag: str) -> dict[str, int]:
+        return self.get_tag_neighbours(tag, top_n=self.search_top_n)
+
+    def search_tag_resources(self, tag: str) -> dict[str, int]:
+        return self.get_tag_resources(tag, top_n=self.search_top_n)

@@ -1,0 +1,43 @@
+"""The naive (exact) distributed maintenance protocol.
+
+This is the brute-force mapping of the Section III model onto the DHT that
+Section IV-A warns about: every tagging operation updates the ``τ̂`` block of
+*every* co-tag of the resource, so the number of overlay lookups grows
+linearly with ``|Tags(r)|`` (Table I, first row) and popular resources turn
+into hotspots.  It exists as the baseline DHARMA is compared against, and as
+a distributed implementation of the *exact* Folksonomy Graph (useful to
+validate the overlay state against the in-memory reference model).
+"""
+
+from __future__ import annotations
+
+from repro.distributed.protocol import BaseDharmaProtocol
+
+__all__ = ["NaiveProtocol"]
+
+
+class NaiveProtocol(BaseDharmaProtocol):
+    """Exact FG maintenance: no approximation, full fan-out."""
+
+    name = "naive"
+
+    def _update_folksonomy(
+        self,
+        resource: str,
+        tag: str,
+        co_tags: dict[str, int],
+        was_present: bool,
+    ) -> None:
+        if not co_tags:
+            return
+        # Forward arcs (tag -> tau): only when the tag is new to the resource,
+        # in which case sim(tag, tau) grows by u(tau, r).  All forward arcs
+        # live in the single block t̂, hence one lookup.
+        if not was_present:
+            self.store.append_tag_neighbours(tag, dict(co_tags))
+        # Reverse arcs (tau -> tag): u(tag, r) grew by one, so sim(tau, tag)
+        # grows by one for every co-tag.  Each reverse arc lives in a
+        # different block τ̂: |Tags(r)| lookups -- the cost the paper deems
+        # unsustainable.
+        for tau in co_tags:
+            self.store.append_tag_neighbours(tau, {tag: 1})

@@ -1,0 +1,43 @@
+"""In-process overlay simulation substrate.
+
+The paper deployed DHARMA on Likir nodes communicating over UDP.  For the
+reproduction we run the entire overlay inside one Python process: nodes are
+plain objects and RPCs are delivered by :class:`~repro.simulation.network.SimulatedNetwork`,
+which models per-link latency, message loss and unreachable nodes while
+advancing a virtual :class:`~repro.simulation.clock.SimulationClock` and
+keeping global message counters.
+
+The :mod:`~repro.simulation.event_queue` module offers a small discrete-event
+scheduler used by churn models and periodic maintenance;
+:mod:`~repro.simulation.churn` provides node join/leave processes, and
+:mod:`~repro.simulation.workload` replays tagging workloads against a
+distributed DHARMA service.
+"""
+
+from repro.simulation.clock import SimulationClock
+from repro.simulation.event_queue import Event, EventQueue
+from repro.simulation.network import (
+    NetworkConfig,
+    NetworkStats,
+    NodeUnreachable,
+    MessageDropped,
+    SimulatedNetwork,
+)
+from repro.simulation.churn import ChurnConfig, ChurnProcess
+from repro.simulation.workload import TaggingWorkload, WorkloadEvent, WorkloadStats
+
+__all__ = [
+    "SimulationClock",
+    "Event",
+    "EventQueue",
+    "NetworkConfig",
+    "NetworkStats",
+    "NodeUnreachable",
+    "MessageDropped",
+    "SimulatedNetwork",
+    "ChurnConfig",
+    "ChurnProcess",
+    "TaggingWorkload",
+    "WorkloadEvent",
+    "WorkloadStats",
+]

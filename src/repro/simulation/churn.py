@@ -1,0 +1,114 @@
+"""Node churn for failure-injection experiments.
+
+The DHARMA evaluation runs on a static dataset, but any DHT-backed system has
+to survive nodes joining and leaving; the integration tests and the extension
+benchmark E9 therefore exercise the overlay under churn.  The model is the
+classic exponential session/inter-arrival one: joins arrive as a Poisson
+process with rate ``join_rate`` (nodes per virtual second) and each live node
+leaves after an exponentially distributed session of mean
+``mean_session_s`` seconds.  Departures can be graceful (data republished) or
+abrupt (crash).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.simulation.event_queue import EventQueue
+
+if TYPE_CHECKING:  # imported lazily to avoid a circular import with repro.dht
+    from repro.dht.bootstrap import Overlay
+
+__all__ = ["ChurnConfig", "ChurnProcess"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnConfig:
+    """Parameters of the churn process (all times in virtual seconds)."""
+
+    join_rate: float = 0.0
+    mean_session_s: float = 600.0
+    #: Probability that a departure is abrupt (no republication).
+    crash_probability: float = 0.5
+    #: Never let the overlay shrink below this size.
+    min_nodes: int = 2
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.join_rate < 0:
+            raise ValueError("join_rate must be >= 0")
+        if self.mean_session_s <= 0:
+            raise ValueError("mean_session_s must be > 0")
+        if not (0.0 <= self.crash_probability <= 1.0):
+            raise ValueError("crash_probability must be in [0, 1]")
+        if self.min_nodes < 1:
+            raise ValueError("min_nodes must be >= 1")
+
+
+class ChurnProcess:
+    """Drives joins and departures on an :class:`~repro.dht.bootstrap.Overlay`."""
+
+    def __init__(self, overlay: "Overlay", queue: EventQueue, config: ChurnConfig) -> None:
+        self.overlay = overlay
+        self.queue = queue
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self.joins = 0
+        self.graceful_leaves = 0
+        self.crashes = 0
+
+    # -- scheduling ------------------------------------------------------- #
+
+    def start(self) -> None:
+        """Schedule the initial events: one departure per live node and, if
+        joins are enabled, the first arrival."""
+        for node in list(self.overlay.nodes):
+            if self.overlay.network.is_registered(node.address):
+                self._schedule_departure(node.address)
+        if self.config.join_rate > 0:
+            self._schedule_join()
+
+    def _ms(self, seconds: float) -> float:
+        return seconds * 1000.0
+
+    def _schedule_join(self) -> None:
+        delay_s = self._rng.expovariate(self.config.join_rate)
+        self.queue.schedule_in(self._ms(delay_s), self._do_join, label="churn-join")
+
+    def _schedule_departure(self, address: str) -> None:
+        delay_s = self._rng.expovariate(1.0 / self.config.mean_session_s)
+        self.queue.schedule_in(
+            self._ms(delay_s), lambda: self._do_departure(address), label="churn-leave"
+        )
+
+    # -- event actions ------------------------------------------------------ #
+
+    def _live_count(self) -> int:
+        return sum(
+            1
+            for node in self.overlay.nodes
+            if self.overlay.network.is_registered(node.address)
+        )
+
+    def _do_join(self) -> None:
+        node = self.overlay.add_node()
+        self.joins += 1
+        self._schedule_departure(node.address)
+        self._schedule_join()
+
+    def _do_departure(self, address: str) -> None:
+        if self._live_count() <= self.config.min_nodes:
+            # Keep the overlay usable; retry later.
+            self._schedule_departure(address)
+            return
+        node = self.overlay.node_by_address(address)
+        if node is None or not self.overlay.network.is_registered(address):
+            return
+        if self._rng.random() < self.config.crash_probability:
+            node.leave(republish=False)
+            self.crashes += 1
+        else:
+            self.overlay.remove_node(node, republish=True)
+            self.graceful_leaves += 1

@@ -1,0 +1,44 @@
+"""Virtual time for the overlay simulation.
+
+All latencies in the simulator are expressed in milliseconds of *virtual*
+time.  The clock only ever moves forward; components advance it when they
+model work (e.g. the network adds the round-trip latency of each delivered
+RPC).  Keeping time virtual makes experiments fully deterministic and lets a
+laptop-scale run report the latency figures a real deployment would see.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimulationClock"]
+
+
+class SimulationClock:
+    """A monotonically increasing virtual clock (milliseconds)."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("start time must be >= 0")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Advance the clock by *delta* ms and return the new time."""
+        if delta < 0:
+            raise ValueError(f"cannot advance the clock by a negative delta ({delta})")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to *timestamp* (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SimulationClock(now={self._now:.3f}ms)"

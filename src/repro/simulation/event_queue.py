@@ -1,0 +1,119 @@
+"""A minimal discrete-event scheduler.
+
+Used by the churn process (node joins/leaves at scheduled virtual times) and
+by periodic overlay maintenance (bucket refresh, republish).  Events are
+ordered by ``(time, sequence)`` so simultaneous events run in insertion order
+and runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.simulation.clock import SimulationClock
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled callback."""
+
+    time: float
+    sequence: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of events driven against a :class:`SimulationClock`."""
+
+    def __init__(self, clock: SimulationClock | None = None) -> None:
+        self.clock = clock or SimulationClock()
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    # -- scheduling ------------------------------------------------------- #
+
+    def schedule_at(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule *action* at absolute virtual time *time* (ms)."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule an event in the past ({time} < {self.clock.now})"
+            )
+        event = Event(time=time, sequence=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule *action* after *delay* ms of virtual time."""
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        return self.schedule_at(self.clock.now + delay, action, label)
+
+    # -- execution --------------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def peek_time(self) -> float | None:
+        """Virtual time of the next pending event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> Event | None:
+        """Execute the next pending event (advancing the clock to its time)."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.action()
+            self._processed += 1
+            return event
+        return None
+
+    def run_until(self, time: float, max_events: int | None = None) -> int:
+        """Run every event scheduled up to and including *time*.
+
+        Returns the number of events executed; *max_events* caps the run as a
+        safety valve against runaway self-rescheduling actions.
+        """
+        executed = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        self.clock.advance_to(time)
+        return executed
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue completely (bounded by *max_events*)."""
+        executed = 0
+        while self.step() is not None:
+            executed += 1
+            if executed >= max_events:
+                raise RuntimeError(
+                    f"event queue did not drain after {max_events} events"
+                )
+        return executed

@@ -1,0 +1,168 @@
+"""Tagging workloads: ordered streams of user operations.
+
+A workload is a list of :class:`WorkloadEvent` records -- either a resource
+insertion (``insert``) or a single tagging operation (``tag``) -- that can be
+replayed against any object exposing ``insert_resource(resource, tags)`` and
+``add_tag(resource, tag)``; both the in-memory
+:class:`~repro.core.tagging_model.TaggingModel` and the distributed
+:class:`~repro.distributed.tagging_service.DharmaService` satisfy that
+interface, so the same workload drives the reference model and the overlay.
+
+Workloads are built either directly from ``⟨user, resource, tag⟩`` triples or
+by the popularity-proportional sampling procedure that the paper uses in its
+evolution simulation (Section V-B); the latter lives in
+:mod:`repro.analysis.evolution` because it needs the target TRG.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Protocol
+
+__all__ = ["TaggingBackend", "WorkloadEvent", "WorkloadStats", "TaggingWorkload"]
+
+
+class TaggingBackend(Protocol):
+    """Anything a workload can be replayed against."""
+
+    def insert_resource(self, resource: str, tags: Sequence[str]): ...
+
+    def add_tag(self, resource: str, tag: str): ...
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadEvent:
+    """One user operation."""
+
+    kind: str  # "insert" or "tag"
+    resource: str
+    tags: tuple[str, ...]
+    user: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("insert", "tag"):
+            raise ValueError(f"unknown workload event kind {self.kind!r}")
+        if self.kind == "tag" and len(self.tags) != 1:
+            raise ValueError("a 'tag' event carries exactly one tag")
+        if not self.tags:
+            raise ValueError("a workload event needs at least one tag")
+
+
+@dataclass(slots=True)
+class WorkloadStats:
+    """Counters collected while replaying a workload."""
+
+    insert_ops: int = 0
+    tag_ops: int = 0
+    errors: int = 0
+
+    @property
+    def total_ops(self) -> int:
+        return self.insert_ops + self.tag_ops
+
+
+class TaggingWorkload:
+    """An ordered, replayable stream of tagging operations."""
+
+    def __init__(self, events: Iterable[WorkloadEvent]) -> None:
+        self.events: list[WorkloadEvent] = list(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[WorkloadEvent]:
+        return iter(self.events)
+
+    # -- constructors ------------------------------------------------------ #
+
+    @classmethod
+    def from_triples(
+        cls,
+        triples: Iterable[tuple[str, str, str]],
+        group_first_insertion: bool = True,
+    ) -> "TaggingWorkload":
+        """Build a workload from ``⟨user, resource, tag⟩`` triples.
+
+        When *group_first_insertion* is True, the first annotation of each
+        resource becomes an ``insert`` event (resource publication) and every
+        subsequent annotation a ``tag`` event, matching how the operations
+        would reach a deployed DHARMA instance.  Otherwise every triple is a
+        ``tag`` event (the paper's evolution simulation style).
+        """
+        events: list[WorkloadEvent] = []
+        seen_resources: set[str] = set()
+        for user, resource, tag in triples:
+            if group_first_insertion and resource not in seen_resources:
+                events.append(
+                    WorkloadEvent(kind="insert", resource=resource, tags=(tag,), user=user)
+                )
+                seen_resources.add(resource)
+            else:
+                events.append(
+                    WorkloadEvent(kind="tag", resource=resource, tags=(tag,), user=user)
+                )
+        return cls(events)
+
+    def shuffled(self, seed: int | None = 0) -> "TaggingWorkload":
+        """A copy with the event order shuffled (keeping each resource's
+        insert event, if any, before its tag events)."""
+        rng = random.Random(seed)
+        inserts: dict[str, WorkloadEvent] = {}
+        others: list[WorkloadEvent] = []
+        for event in self.events:
+            if event.kind == "insert" and event.resource not in inserts:
+                inserts[event.resource] = event
+            else:
+                others.append(event)
+        rng.shuffle(others)
+        merged: list[WorkloadEvent] = []
+        emitted: set[str] = set()
+        for event in others:
+            if event.resource in inserts and event.resource not in emitted:
+                merged.append(inserts[event.resource])
+                emitted.add(event.resource)
+            merged.append(event)
+        for resource, event in inserts.items():
+            if resource not in emitted:
+                merged.append(event)
+        return TaggingWorkload(merged)
+
+    # -- replay -------------------------------------------------------------- #
+
+    def replay(
+        self,
+        backend: TaggingBackend,
+        limit: int | None = None,
+        ignore_errors: bool = False,
+    ) -> WorkloadStats:
+        """Apply the events to *backend* in order.
+
+        Parameters
+        ----------
+        backend:
+            Target tagging system.
+        limit:
+            Optional cap on the number of events replayed.
+        ignore_errors:
+            When True, exceptions raised by the backend (e.g. because a node
+            crashed mid-operation under churn) are counted instead of
+            propagated.
+        """
+        stats = WorkloadStats()
+        for index, event in enumerate(self.events):
+            if limit is not None and index >= limit:
+                break
+            try:
+                if event.kind == "insert":
+                    backend.insert_resource(event.resource, list(event.tags))
+                    stats.insert_ops += 1
+                else:
+                    backend.add_tag(event.resource, event.tags[0])
+                    stats.tag_ops += 1
+            except Exception:
+                if not ignore_errors:
+                    raise
+                stats.errors += 1
+        return stats

@@ -1,0 +1,114 @@
+"""Tests for the search-convergence simulation (Table IV / Figure 7) and the
+report formatting helpers."""
+
+import pytest
+
+from repro.analysis.convergence import (
+    ConvergenceConfig,
+    SearchLengthStats,
+    run_convergence_experiment,
+)
+from repro.analysis.evolution import EvolutionConfig, simulate_approximated_evolution
+from repro.analysis.report import format_cdf, format_mapping, format_table
+from repro.core.approximation import default_approximation
+
+
+class TestSearchLengthStats:
+    def test_from_lengths(self):
+        stats = SearchLengthStats.from_lengths([2, 4, 4, 6])
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.median == pytest.approx(4.0)
+        assert stats.count == 4
+        assert stats.std > 0
+
+    def test_empty_and_singleton(self):
+        assert SearchLengthStats.from_lengths([]).count == 0
+        single = SearchLengthStats.from_lengths([7])
+        assert single.mean == 7 and single.std == 0.0
+
+
+class TestConvergenceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvergenceConfig(num_start_tags=0)
+        with pytest.raises(ValueError):
+            ConvergenceConfig(random_runs_per_tag=0)
+        with pytest.raises(ValueError):
+            ConvergenceConfig(strategies=("greedy",))
+
+
+@pytest.fixture(scope="module")
+def experiment(tiny_trg, tiny_fg):
+    evolution = simulate_approximated_evolution(
+        tiny_trg, EvolutionConfig(approximation=default_approximation(1), seed=0)
+    )
+    config = ConvergenceConfig(num_start_tags=15, random_runs_per_tag=5, seed=0)
+    return run_convergence_experiment(tiny_trg, tiny_fg, evolution.approximated_fg, config)
+
+
+class TestConvergenceExperiment:
+    def test_both_graphs_and_all_strategies_present(self, experiment):
+        assert set(experiment) == {"original", "approximated"}
+        for by_strategy in experiment.values():
+            assert set(by_strategy) == {"last", "random", "first"}
+
+    def test_every_search_recorded(self, experiment):
+        original = experiment["original"]
+        assert original["first"].stats.count >= 1
+        # random runs = runs_per_tag x start tags actually used
+        assert original["random"].stats.count >= original["first"].stats.count
+
+    def test_paper_shape_strategy_ordering(self, experiment):
+        """Table IV shape: last <= random <= first in mean path length."""
+        stats = {s: o.stats.mean for s, o in experiment["original"].items()}
+        assert stats["last"] <= stats["random"] + 1e-9
+        assert stats["random"] <= stats["first"] + 1e-9
+
+    def test_paper_shape_approximation_shortens_first_strategy(self, experiment):
+        """Figure 7 / Table IV shape: the approximated graph never lengthens
+        the navigation, and shortens it most visibly for the 'first tag'
+        strategy."""
+        original = experiment["original"]["first"].stats.mean
+        approximated = experiment["approximated"]["first"].stats.mean
+        assert approximated <= original + 1e-9
+
+    def test_cdf_series_shape(self, experiment):
+        series = experiment["original"]["random"].cdf()
+        assert series[-1][1] == pytest.approx(1.0)
+        probs = [p for _x, p in series]
+        assert probs == sorted(probs)
+
+    def test_without_approximated_graph(self, tiny_trg, tiny_fg):
+        config = ConvergenceConfig(num_start_tags=3, random_runs_per_tag=2, seed=0)
+        results = run_convergence_experiment(tiny_trg, tiny_fg, None, config)
+        assert set(results) == {"original"}
+
+
+class TestReportFormatting:
+    def test_format_table_alignment_and_precision(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.23456], ["b", 2]],
+            title="demo",
+            precision=2,
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "1.23" in text and "1.2345" not in text
+        assert lines[1].startswith("name")
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_mapping(self):
+        text = format_mapping({"alpha": 1.5, "b": "x"}, title="T")
+        assert text.splitlines()[0] == "T"
+        assert "alpha : 1.5" in text
+        assert format_mapping({}) == ""
+
+    def test_format_cdf(self):
+        text = format_cdf([(1.0, 0.4), (2.0, 0.8), (5.0, 1.0)], label="lengths")
+        assert text.startswith("lengths:")
+        assert "P(x <= " in text
+        assert format_cdf([], label="empty") == "empty: (empty)"

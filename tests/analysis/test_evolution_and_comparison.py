@@ -1,0 +1,174 @@
+"""Tests for the evolution replay (Section V-B) and the graph comparison
+machinery (Figures 6 and 8, Table III)."""
+
+import pytest
+
+from repro.analysis.comparison import compare_graphs, degree_pairs, weight_pairs
+from repro.analysis.evolution import (
+    EvolutionConfig,
+    build_instance_order,
+    simulate_approximated_evolution,
+)
+from repro.core.approximation import ApproximationConfig, EXACT, default_approximation
+from repro.core.folksonomy_graph import FolksonomyGraph
+from repro.core.tagging_model import derive_folksonomy_graph
+
+
+class TestInstanceOrder:
+    def test_order_contains_every_annotation_instance(self, tiny_trg):
+        order = build_instance_order(tiny_trg, seed=0)
+        assert len(order) == tiny_trg.total_weight
+        # Per-pair multiplicities are preserved.
+        from collections import Counter
+
+        counts = Counter(order)
+        for resource, tag in counts:
+            assert counts[(resource, tag)] == tiny_trg.weight(tag, resource)
+
+    def test_order_is_seed_deterministic(self, tiny_trg):
+        assert build_instance_order(tiny_trg, seed=5) == build_instance_order(tiny_trg, seed=5)
+        assert build_instance_order(tiny_trg, seed=5) != build_instance_order(tiny_trg, seed=6)
+
+    def test_popularity_ordering_front_loads_popular_resources(self, tiny_trg):
+        """Instances touching high-degree resources appear earlier on average
+        under popularity ordering than under uniform ordering."""
+        popular = set(tiny_trg.most_popular_resources(max(3, tiny_trg.num_resources // 20)))
+
+        def mean_rank(ordering):
+            order = build_instance_order(tiny_trg, ordering=ordering, seed=1)
+            ranks = [i for i, (resource, _tag) in enumerate(order) if resource in popular]
+            return sum(ranks) / len(ranks)
+
+        assert mean_rank("popularity") < mean_rank("uniform")
+
+    def test_invalid_ordering_rejected(self, tiny_trg):
+        with pytest.raises(ValueError):
+            EvolutionConfig(ordering="sorted")
+
+    def test_empty_graph(self):
+        from repro.core.tag_resource_graph import TagResourceGraph
+
+        assert build_instance_order(TagResourceGraph()) == []
+
+
+class TestEvolution:
+    def test_replayed_trg_matches_target(self, tiny_trg):
+        result = simulate_approximated_evolution(
+            tiny_trg, EvolutionConfig(approximation=default_approximation(1), seed=0)
+        )
+        assert result.replayed_trg == tiny_trg
+        assert result.num_operations == tiny_trg.total_weight
+
+    def test_exact_replay_reproduces_original_fg(self, tiny_trg, tiny_fg):
+        """Replaying with the exact policy must re-create the exact FG exactly
+        (a strong end-to-end check of both the replay and the model)."""
+        result = simulate_approximated_evolution(
+            tiny_trg, EvolutionConfig(approximation=EXACT, seed=0)
+        )
+        assert result.approximated_fg == tiny_fg
+
+    def test_approximated_fg_is_an_underestimate(self, tiny_trg, tiny_fg):
+        result = simulate_approximated_evolution(
+            tiny_trg, EvolutionConfig(approximation=default_approximation(1), seed=0)
+        )
+        approx = result.approximated_fg
+        assert approx.num_arcs <= tiny_fg.num_arcs
+        for arc in approx.arcs():
+            assert arc.weight <= tiny_fg.similarity(arc.source, arc.target)
+
+    def test_recall_grows_with_k(self, tiny_trg, tiny_fg):
+        """Table III row B: recall grows (sub-linearly) with the connection
+        parameter k."""
+        recalls = {}
+        for k in (1, 5, 10):
+            result = simulate_approximated_evolution(
+                tiny_trg, EvolutionConfig(approximation=default_approximation(k), seed=0)
+            )
+            recalls[k] = compare_graphs(tiny_fg, result.approximated_fg).global_recall
+        assert recalls[1] <= recalls[5] <= recalls[10]
+        assert recalls[10] < 1.0 or recalls[1] == 1.0
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def pair(self, tiny_trg, tiny_fg):
+        result = simulate_approximated_evolution(
+            tiny_trg, EvolutionConfig(approximation=default_approximation(1), seed=0)
+        )
+        return tiny_fg, result.approximated_fg
+
+    def test_degree_pairs_cover_all_original_tags(self, pair):
+        original, approximated = pair
+        pairs = degree_pairs(original, approximated)
+        assert len(pairs) == original.num_tags
+        for _tag, orig_degree, approx_degree in pairs:
+            assert approx_degree <= orig_degree
+
+    def test_weight_pairs_cover_all_original_arcs(self, pair):
+        original, approximated = pair
+        pairs = weight_pairs(original, approximated)
+        assert len(pairs) == original.num_arcs
+        for _s, _t, orig_weight, approx_weight in pairs:
+            assert 0 <= approx_weight <= orig_weight
+
+    def test_quality_metrics_in_range(self, pair):
+        original, approximated = pair
+        comparison = compare_graphs(original, approximated)
+        quality = comparison.quality
+        assert 0.0 < quality.recall_mean <= 1.0
+        assert -1.0 <= quality.kendall_tau_mean <= 1.0
+        assert 0.0 <= quality.cosine_mean <= 1.0
+        assert 0.0 <= quality.sim1_mean <= 1.0
+        assert 0.0 < comparison.global_recall <= 1.0
+        assert 0.0 <= comparison.missing_weight_le3_fraction <= 1.0
+        assert quality.tags_with_arcs > 0
+
+    def test_paper_shape_missing_arcs_are_noise(self, pair):
+        """The headline qualitative claim of Table III: the arcs lost by the
+        approximation are overwhelmingly weight-1 (or at most weight-3) noise
+        arcs, and the surviving rankings correlate strongly."""
+        original, approximated = pair
+        comparison = compare_graphs(original, approximated)
+        assert comparison.quality.sim1_mean > 0.7
+        assert comparison.missing_weight_le3_fraction > 0.9
+        assert comparison.quality.kendall_tau_mean > 0.5
+        assert comparison.quality.cosine_mean > 0.6
+
+    def test_identical_graphs_compare_perfectly(self, tiny_fg):
+        comparison = compare_graphs(tiny_fg, tiny_fg.copy())
+        assert comparison.global_recall == pytest.approx(1.0)
+        assert comparison.quality.recall_mean == pytest.approx(1.0)
+        assert comparison.quality.cosine_mean == pytest.approx(1.0)
+        # Nothing is missing, so sim1% has no contributing tags.
+        assert comparison.quality.sim1_mean == 0.0
+
+    def test_empty_graphs(self):
+        comparison = compare_graphs(FolksonomyGraph(), FolksonomyGraph())
+        assert comparison.global_recall == 0.0
+        assert comparison.num_original_arcs == 0
+
+
+class TestAblations:
+    def test_approximation_a_only_preserves_weights_of_surviving_arcs(self, tiny_trg, tiny_fg):
+        """With B disabled, forward arcs keep exact weights, so cosine
+        similarity over common arcs should be at least as good as with B."""
+        a_only = simulate_approximated_evolution(
+            tiny_trg,
+            EvolutionConfig(approximation=ApproximationConfig(enable_a=True, enable_b=False, k=1), seed=0),
+        )
+        both = simulate_approximated_evolution(
+            tiny_trg,
+            EvolutionConfig(approximation=default_approximation(1), seed=0),
+        )
+        quality_a = compare_graphs(tiny_fg, a_only.approximated_fg).quality
+        quality_both = compare_graphs(tiny_fg, both.approximated_fg).quality
+        assert quality_a.cosine_mean >= quality_both.cosine_mean - 0.05
+
+    def test_approximation_b_only_has_full_recall(self, tiny_trg, tiny_fg):
+        """With A disabled every reverse arc is updated, so no arc is lost."""
+        b_only = simulate_approximated_evolution(
+            tiny_trg,
+            EvolutionConfig(approximation=ApproximationConfig(enable_a=False, enable_b=True, k=0), seed=0),
+        )
+        comparison = compare_graphs(tiny_fg, b_only.approximated_fg)
+        assert comparison.global_recall == pytest.approx(1.0)

@@ -1,0 +1,90 @@
+"""Unit tests for the comparison metrics and CDF helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import cdf_at, cdf_series, empirical_cdf
+from repro.analysis.metrics import cosine_similarity, kendall_tau, recall, sim1_fraction
+
+
+class TestKendallTau:
+    def test_identical_rankings(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_reversed_rankings(self):
+        assert kendall_tau([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_partial_agreement_in_between(self):
+        tau = kendall_tau([1, 2, 3, 4], [2, 1, 3, 4])
+        assert -1.0 < tau < 1.0
+
+    def test_undefined_cases_return_none(self):
+        assert kendall_tau([1], [2]) is None
+        assert kendall_tau([], []) is None
+        assert kendall_tau([3, 3, 3], [1, 2, 3]) is None
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, 2], [1])
+
+
+class TestCosineSimilarity:
+    def test_perfectly_scaled_vectors(self):
+        assert cosine_similarity([1, 2, 3], [100, 200, 300]) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_undefined_cases(self):
+        assert cosine_similarity([], []) is None
+        assert cosine_similarity([0, 0], [1, 2]) is None
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1, 2], [1])
+
+    def test_range(self):
+        value = cosine_similarity([3, 1, 2], [1, 5, 2])
+        assert 0.0 <= value <= 1.0
+
+
+class TestRecallAndSim1:
+    def test_recall(self):
+        assert recall(10, 6) == pytest.approx(0.6)
+        assert recall(10, 12) == pytest.approx(1.0)  # clamped
+        assert recall(0, 0) is None
+        with pytest.raises(ValueError):
+            recall(-1, 0)
+
+    def test_sim1_fraction(self):
+        assert sim1_fraction([1, 1, 2, 1]) == pytest.approx(0.75)
+        assert sim1_fraction([]) is None
+        assert sim1_fraction([5, 7]) == pytest.approx(0.0)
+
+
+class TestCDF:
+    def test_empirical_cdf(self):
+        x, p = empirical_cdf([3, 1, 1, 2])
+        assert x.tolist() == [1.0, 2.0, 3.0]
+        assert p.tolist() == pytest.approx([0.5, 0.75, 1.0])
+
+    def test_empirical_cdf_empty(self):
+        x, p = empirical_cdf([])
+        assert x.size == 0 and p.size == 0
+
+    def test_cdf_at(self):
+        probs = cdf_at([1, 2, 3, 4], [0, 2, 10])
+        assert probs.tolist() == pytest.approx([0.0, 0.5, 1.0])
+        assert cdf_at([], [1, 2]).tolist() == [0.0, 0.0]
+
+    def test_cdf_series_downsampling(self):
+        series = cdf_series(list(range(1000)), max_points=50)
+        assert len(series) == 50
+        assert series[-1][1] == pytest.approx(1.0)
+        values = [v for v, _p in series]
+        assert values == sorted(values)
+
+    def test_cdf_series_small_input(self):
+        series = cdf_series([5, 5, 7])
+        assert series == [(5.0, pytest.approx(2 / 3)), (7.0, pytest.approx(1.0))]
+        assert cdf_series([]) == []

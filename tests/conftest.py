@@ -1,0 +1,68 @@
+"""Shared fixtures for the DHARMA reproduction test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tagging_model import TaggingModel, derive_folksonomy_graph
+from repro.datasets.lastfm_synthetic import LastfmSyntheticConfig, generate_lastfm_like
+from repro.dht.bootstrap import build_overlay
+from repro.dht.node import NodeConfig
+from repro.simulation.network import NetworkConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small but structurally realistic synthetic dataset (session-scoped:
+    generation is deterministic, so sharing it across tests is safe as long as
+    tests do not mutate it -- they never do, they aggregate it)."""
+    return generate_lastfm_like("tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_trg(tiny_dataset):
+    return tiny_dataset.to_tag_resource_graph()
+
+
+@pytest.fixture(scope="session")
+def tiny_fg(tiny_trg):
+    return derive_folksonomy_graph(tiny_trg)
+
+
+@pytest.fixture()
+def exact_model():
+    """A fresh exact tagging model pre-loaded with a tiny hand-written
+    folksonomy (the Figure 1 / Figure 2 scale of the paper)."""
+    model = TaggingModel()
+    model.insert_resource("r1", ["rock", "indie", "90s"])
+    model.insert_resource("r2", ["rock", "pop"])
+    model.add_tag("r1", "grunge")
+    model.add_tag("r2", "rock")
+    return model
+
+
+@pytest.fixture()
+def small_overlay():
+    """A 12-node overlay with deterministic latencies and no message loss."""
+    return build_overlay(
+        12,
+        node_config=NodeConfig(k=8, alpha=3, replicate=2),
+        network_config=NetworkConfig(min_latency_ms=1.0, max_latency_ms=3.0, seed=7),
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def micro_dataset():
+    """An even smaller synthetic dataset for overlay integration tests."""
+    return generate_lastfm_like(
+        LastfmSyntheticConfig(
+            num_resources=60,
+            num_tags=40,
+            num_users=50,
+            max_tags_per_resource=15,
+            synonym_families=2,
+            multiplicity_scale=1.0,
+            seed=3,
+        )
+    )

@@ -1,0 +1,88 @@
+"""Unit tests for the approximation configuration (Section IV-B)."""
+
+import random
+
+import pytest
+
+from repro.core.approximation import EXACT, ApproximationConfig, default_approximation
+
+
+class TestConfigValidation:
+    def test_exact_constant(self):
+        assert EXACT.is_exact
+        assert not EXACT.enable_a
+        assert not EXACT.enable_b
+
+    def test_default_approximation(self):
+        cfg = default_approximation(k=5)
+        assert cfg.enable_a and cfg.enable_b
+        assert cfg.k == 5
+        assert not cfg.is_exact
+
+    def test_negative_k_rejected_when_a_enabled(self):
+        with pytest.raises(ValueError):
+            ApproximationConfig(enable_a=True, enable_b=True, k=-1)
+
+    def test_describe(self):
+        assert EXACT.describe() == "exact"
+        assert default_approximation(3).describe() == "approx[A(k=3)+B]"
+        assert ApproximationConfig(enable_a=False, enable_b=True, k=0).describe() == "approx[B]"
+        assert ApproximationConfig(enable_a=True, enable_b=False, k=2).describe() == "approx[A(k=2)]"
+
+
+class TestReverseTargetSelection:
+    def test_without_approximation_a_all_candidates_returned(self):
+        cfg = ApproximationConfig(enable_a=False, enable_b=True, k=0)
+        rng = random.Random(0)
+        assert cfg.select_reverse_targets(["a", "b", "c"], rng) == ["a", "b", "c"]
+
+    def test_subset_size_is_bounded_by_k(self):
+        cfg = default_approximation(k=2)
+        rng = random.Random(0)
+        candidates = [f"t{i}" for i in range(20)]
+        for _ in range(10):
+            chosen = cfg.select_reverse_targets(candidates, rng)
+            assert len(chosen) == 2
+            assert set(chosen) <= set(candidates)
+
+    def test_small_candidate_sets_returned_whole(self):
+        cfg = default_approximation(k=5)
+        rng = random.Random(0)
+        assert cfg.select_reverse_targets(["a", "b"], rng) == ["a", "b"]
+
+    def test_k_zero_returns_empty(self):
+        cfg = default_approximation(k=0)
+        rng = random.Random(0)
+        assert cfg.select_reverse_targets(["a", "b", "c"], rng) == []
+
+    def test_selection_is_seed_deterministic(self):
+        cfg = default_approximation(k=3)
+        candidates = [f"t{i}" for i in range(50)]
+        first = cfg.select_reverse_targets(candidates, random.Random(42))
+        second = cfg.select_reverse_targets(candidates, random.Random(42))
+        assert first == second
+
+    def test_selection_covers_all_candidates_over_time(self):
+        """Uniform sampling: every candidate should eventually be selected."""
+        cfg = default_approximation(k=1)
+        rng = random.Random(7)
+        candidates = ["a", "b", "c", "d"]
+        seen = set()
+        for _ in range(200):
+            seen.update(cfg.select_reverse_targets(candidates, rng))
+        assert seen == set(candidates)
+
+
+class TestNewArcWeight:
+    def test_b_enabled_clamps_to_one(self):
+        cfg = ApproximationConfig(enable_a=False, enable_b=True, k=0)
+        assert cfg.new_arc_weight(7) == 1
+        assert cfg.new_arc_weight(1) == 1
+
+    def test_b_disabled_keeps_exact(self):
+        cfg = ApproximationConfig(enable_a=True, enable_b=False, k=1)
+        assert cfg.new_arc_weight(7) == 7
+
+    def test_rejects_nonpositive_exact_increment(self):
+        with pytest.raises(ValueError):
+            EXACT.new_arc_weight(0)

@@ -1,0 +1,143 @@
+"""Unit tests for the block decomposition (Section IV-A)."""
+
+import pytest
+
+from repro.core.blocks import (
+    BlockKey,
+    BlockType,
+    CounterBlock,
+    ResourceTagsBlock,
+    ResourceURIBlock,
+    TagNeighboursBlock,
+    TagResourcesBlock,
+    block_for_type,
+)
+
+
+class TestBlockKey:
+    def test_key_string_uses_type_discriminator(self):
+        key = BlockKey.tag_resources("rock")
+        assert str(key) == "rock|2"
+
+    def test_digest_is_sha1_sized_and_deterministic(self):
+        key = BlockKey.resource_tags("nevermind")
+        assert len(key.digest()) == 20
+        assert key.digest() == BlockKey.resource_tags("nevermind").digest()
+        assert 0 <= key.key_int() < (1 << 160)
+
+    def test_different_block_types_map_to_different_keys(self):
+        name = "rock"
+        digests = {
+            BlockKey(name, block_type).digest() for block_type in BlockType
+        }
+        assert len(digests) == len(BlockType)
+
+    def test_convenience_constructors(self):
+        assert BlockKey.resource_tags("r").block_type is BlockType.RESOURCE_TAGS
+        assert BlockKey.tag_resources("t").block_type is BlockType.TAG_RESOURCES
+        assert BlockKey.tag_neighbours("t").block_type is BlockType.TAG_NEIGHBOURS
+        assert BlockKey.resource_uri("r").block_type is BlockType.RESOURCE_URI
+
+    def test_counter_flag(self):
+        assert BlockType.RESOURCE_TAGS.is_counter
+        assert BlockType.TAG_RESOURCES.is_counter
+        assert BlockType.TAG_NEIGHBOURS.is_counter
+        assert not BlockType.RESOURCE_URI.is_counter
+
+
+class TestCounterBlocks:
+    def test_apply_increment(self):
+        block = TagNeighboursBlock("rock")
+        assert block.apply_increment("pop") == 1
+        assert block.apply_increment("pop", 4) == 5
+        assert block.get("pop") == 5
+        assert block.get("jazz") == 0
+        assert len(block) == 1
+
+    def test_increment_must_be_positive(self):
+        block = TagNeighboursBlock("rock")
+        with pytest.raises(ValueError):
+            block.apply_increment("pop", 0)
+
+    def test_constructor_drops_zero_entries_and_rejects_negative(self):
+        block = ResourceTagsBlock("r1", {"rock": 2, "pop": 0})
+        assert "pop" not in block.entries
+        with pytest.raises(ValueError):
+            ResourceTagsBlock("r1", {"rock": -1})
+
+    def test_merge_sums_counters(self):
+        a = TagResourcesBlock("rock", {"r1": 2})
+        b = TagResourcesBlock("rock", {"r1": 1, "r2": 3})
+        a.merge(b)
+        assert a.entries == {"r1": 3, "r2": 3}
+
+    def test_merge_rejects_mismatched_blocks(self):
+        a = TagResourcesBlock("rock")
+        b = TagResourcesBlock("pop")
+        with pytest.raises(ValueError):
+            a.merge(b)
+        c = TagNeighboursBlock("rock")
+        with pytest.raises(ValueError):
+            a.merge(c)
+
+    def test_merge_is_commutative(self):
+        a1 = TagNeighboursBlock("rock", {"pop": 2, "jazz": 1})
+        a2 = TagNeighboursBlock("rock", {"pop": 2, "jazz": 1})
+        b = TagNeighboursBlock("rock", {"pop": 5, "metal": 1})
+        c = TagNeighboursBlock("rock", {"jazz": 4})
+        a1.merge(b)
+        a1.merge(c)
+        a2.merge(c)
+        a2.merge(b)
+        assert a1 == a2
+
+    def test_top_filtering(self):
+        block = TagNeighboursBlock("rock", {"pop": 5, "jazz": 2, "metal": 9, "folk": 2})
+        assert block.top(2) == [("metal", 9), ("pop", 5)]
+        # Ties broken lexicographically.
+        assert block.top(4)[2:] == [("folk", 2), ("jazz", 2)]
+
+    def test_payload_round_trip(self):
+        block = ResourceTagsBlock("r1", {"rock": 3})
+        payload = block.to_payload()
+        restored = ResourceTagsBlock.from_payload(payload)
+        assert restored == block
+
+    def test_payload_type_mismatch_rejected(self):
+        payload = TagResourcesBlock("rock", {"r1": 1}).to_payload()
+        with pytest.raises(ValueError):
+            ResourceTagsBlock.from_payload(payload)
+
+    def test_copy_independence(self):
+        block = TagNeighboursBlock("rock", {"pop": 1})
+        clone = block.copy()
+        clone.apply_increment("pop")
+        assert block.get("pop") == 1
+
+    def test_key_property(self):
+        assert ResourceTagsBlock("r1").key == BlockKey.resource_tags("r1")
+        assert TagNeighboursBlock("t1").key == BlockKey.tag_neighbours("t1")
+
+
+class TestResourceURIBlock:
+    def test_payload_round_trip(self):
+        block = ResourceURIBlock(owner="nevermind", uri="urn:lastfm:album:42")
+        restored = ResourceURIBlock.from_payload(block.to_payload())
+        assert restored.owner == "nevermind"
+        assert restored.uri == "urn:lastfm:album:42"
+
+    def test_key(self):
+        block = ResourceURIBlock(owner="nevermind", uri="x")
+        assert block.key == BlockKey.resource_uri("nevermind")
+
+    def test_from_payload_rejects_wrong_type(self):
+        with pytest.raises(ValueError):
+            ResourceURIBlock.from_payload({"owner": "x", "type": "1", "uri": "y"})
+
+
+class TestFactory:
+    def test_block_for_type(self):
+        assert isinstance(block_for_type(BlockType.RESOURCE_TAGS, "r"), ResourceTagsBlock)
+        assert isinstance(block_for_type(BlockType.TAG_RESOURCES, "t"), TagResourcesBlock)
+        assert isinstance(block_for_type(BlockType.TAG_NEIGHBOURS, "t"), TagNeighboursBlock)
+        assert isinstance(block_for_type(BlockType.RESOURCE_URI, "r"), ResourceURIBlock)

@@ -1,0 +1,168 @@
+"""Unit tests for the faceted-search engine (Section III-C)."""
+
+import pytest
+
+from repro.core.faceted_search import (
+    FacetedSearch,
+    FirstTagStrategy,
+    LastTagStrategy,
+    ModelView,
+    RandomTagStrategy,
+    make_strategy,
+)
+from repro.core.tagging_model import TaggingModel, derive_folksonomy_graph
+
+
+@pytest.fixture()
+def music_model():
+    """A small folksonomy with a clear general -> specific structure."""
+    model = TaggingModel()
+    model.insert_resource("nevermind", ["rock", "grunge", "90s"])
+    model.insert_resource("in-utero", ["rock", "grunge"])
+    model.insert_resource("ok-computer", ["rock", "alternative", "90s"])
+    model.insert_resource("kid-a", ["alternative", "electronic"])
+    model.insert_resource("discovery", ["electronic", "french", "dance"])
+    model.insert_resource("homework", ["electronic", "french"])
+    model.insert_resource("thriller", ["pop", "80s"])
+    return model
+
+
+@pytest.fixture()
+def engine(music_model):
+    return FacetedSearch(
+        ModelView.from_model(music_model), display_limit=100, resource_threshold=0, seed=0
+    )
+
+
+class TestStrategies:
+    def test_make_strategy(self):
+        assert isinstance(make_strategy("first"), FirstTagStrategy)
+        assert isinstance(make_strategy("last"), LastTagStrategy)
+        assert isinstance(make_strategy("random"), RandomTagStrategy)
+        with pytest.raises(ValueError):
+            make_strategy("greedy")
+
+    def test_first_and_last_selection(self):
+        import random
+
+        displayed = [("a", 10), ("b", 5), ("c", 1)]
+        rng = random.Random(0)
+        assert FirstTagStrategy().select("x", displayed, rng) == "a"
+        assert LastTagStrategy().select("x", displayed, rng) == "c"
+        assert RandomTagStrategy().select("x", displayed, rng) in {"a", "b", "c"}
+
+
+class TestStateMachine:
+    def test_start_state(self, engine, music_model):
+        state = engine.start("rock")
+        assert state.path == ["rock"]
+        assert state.candidate_tags == music_model.fg.neighbours("rock")
+        assert state.candidate_resources == music_model.trg.resource_set("rock")
+
+    def test_refine_intersects_both_sets(self, engine, music_model):
+        state = engine.start("rock")
+        refined = engine.refine(state, "grunge")
+        assert refined.path == ["rock", "grunge"]
+        assert refined.candidate_resources == {"nevermind", "in-utero"}
+        # Candidate tags are restricted to tags related to both rock and grunge,
+        # excluding tags already on the path.
+        assert "rock" not in refined.candidate_tags
+        assert refined.candidate_tags <= music_model.fg.neighbours("grunge")
+
+    def test_refine_rejects_non_candidate(self, engine):
+        state = engine.start("rock")
+        with pytest.raises(ValueError):
+            engine.refine(state, "french")
+
+    def test_candidate_tags_strictly_decrease(self, engine):
+        """The convergence argument of the paper: |Ti| < |Ti-1|."""
+        state = engine.start("rock")
+        previous = len(state.candidate_tags)
+        while True:
+            displayed = engine.displayed_tags(state)
+            if not displayed or engine.is_finished(state):
+                break
+            state = engine.refine(state, displayed[0][0])
+            assert len(state.candidate_tags) < previous
+            previous = len(state.candidate_tags)
+
+    def test_candidate_resources_never_grow(self, engine):
+        state = engine.start("rock")
+        previous = len(state.candidate_resources)
+        while True:
+            displayed = engine.displayed_tags(state)
+            if not displayed or engine.is_finished(state):
+                break
+            state = engine.refine(state, displayed[-1][0])
+            assert len(state.candidate_resources) <= previous
+            previous = len(state.candidate_resources)
+
+    def test_displayed_tags_respects_limit_and_ranking(self, music_model):
+        engine = FacetedSearch(ModelView.from_model(music_model), display_limit=2, resource_threshold=0)
+        state = engine.start("rock")
+        displayed = engine.displayed_tags(state)
+        assert len(displayed) <= 2
+        weights = [w for _t, w in displayed]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_no_tag_repeats_in_path(self, engine):
+        result = engine.run("rock", "random")
+        assert len(result.path) == len(set(result.path))
+
+
+class TestRun:
+    def test_run_terminates_and_reports_reason(self, engine):
+        result = engine.run("rock", "first")
+        assert result.length >= 1
+        assert result.stop_reason in {
+            "tags_exhausted",
+            "resources_threshold",
+            "no_candidates",
+            "max_steps",
+        }
+
+    def test_resource_threshold_stops_search(self, music_model):
+        engine = FacetedSearch(ModelView.from_model(music_model), resource_threshold=1000)
+        result = engine.run("rock", "first")
+        assert result.length == 1
+        assert result.stop_reason == "resources_threshold"
+
+    def test_run_from_peripheral_tag_is_short(self, engine):
+        # "80s" only co-occurs with "pop": the search converges immediately.
+        result = engine.run("80s", "first")
+        assert result.length <= 2
+
+    def test_random_strategy_is_seed_deterministic(self, music_model):
+        engine_a = FacetedSearch(ModelView.from_model(music_model), resource_threshold=0, seed=5)
+        engine_b = FacetedSearch(ModelView.from_model(music_model), resource_threshold=0, seed=5)
+        assert engine_a.run("rock", "random").path == engine_b.run("rock", "random").path
+
+    def test_run_accepts_strategy_instance(self, engine):
+        result = engine.run("rock", FirstTagStrategy())
+        assert result.path[0] == "rock"
+
+    def test_max_steps_guard(self, music_model):
+        engine = FacetedSearch(
+            ModelView.from_model(music_model), resource_threshold=0, max_steps=1
+        )
+        result = engine.run("rock", "first")
+        assert result.stop_reason in {"max_steps", "resources_threshold", "tags_exhausted"}
+        assert result.length <= 2
+
+    def test_invalid_constructor_arguments(self, music_model):
+        view = ModelView.from_model(music_model)
+        with pytest.raises(ValueError):
+            FacetedSearch(view, display_limit=0)
+        with pytest.raises(ValueError):
+            FacetedSearch(view, resource_threshold=-1)
+
+
+class TestAgainstDataset:
+    def test_runs_on_synthetic_dataset(self, tiny_trg, tiny_fg):
+        engine = FacetedSearch(ModelView(tiny_trg, tiny_fg), seed=0)
+        start = tiny_trg.most_popular_tags(1)[0]
+        for strategy in ("first", "last", "random"):
+            result = engine.run(start, strategy)
+            assert result.length >= 1
+            # Convergence bound: never longer than the initial neighbourhood.
+            assert result.length <= tiny_fg.out_degree(start) + 1

@@ -1,0 +1,130 @@
+"""Unit tests for the Folksonomy Graph."""
+
+import pytest
+
+from repro.core.folksonomy_graph import FGArc, FolksonomyGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        fg = FolksonomyGraph()
+        assert fg.num_tags == 0
+        assert fg.num_arcs == 0
+        assert fg.total_weight == 0
+
+    def test_seed_arcs(self):
+        fg = FolksonomyGraph([("rock", "pop", 5), ("pop", "rock", 7)])
+        assert fg.similarity("rock", "pop") == 5
+        assert fg.similarity("pop", "rock") == 7
+        assert fg.num_arcs == 2
+
+    def test_arc_dataclass_validation(self):
+        with pytest.raises(ValueError):
+            FGArc(source="rock", target="rock", weight=1)
+        with pytest.raises(ValueError):
+            FGArc(source="rock", target="pop", weight=0)
+
+
+class TestMutation:
+    def test_increment_creates_arc(self):
+        fg = FolksonomyGraph()
+        assert fg.increment("rock", "pop") == 1
+        assert fg.has_arc("rock", "pop")
+        # Target vertex is registered even without outgoing arcs.
+        assert fg.has_tag("pop")
+        assert not fg.has_arc("pop", "rock")
+
+    def test_increment_accumulates(self):
+        fg = FolksonomyGraph()
+        fg.increment("rock", "pop", 2)
+        fg.increment("rock", "pop", 3)
+        assert fg.similarity("rock", "pop") == 5
+        assert fg.num_arcs == 1
+        assert fg.total_weight == 5
+
+    def test_increment_rejects_self_arc(self):
+        fg = FolksonomyGraph()
+        with pytest.raises(ValueError):
+            fg.increment("rock", "rock")
+
+    def test_increment_rejects_nonpositive(self):
+        fg = FolksonomyGraph()
+        with pytest.raises(ValueError):
+            fg.increment("rock", "pop", 0)
+
+    def test_set_similarity(self):
+        fg = FolksonomyGraph()
+        fg.set_similarity("rock", "pop", 9)
+        assert fg.similarity("rock", "pop") == 9
+        fg.set_similarity("rock", "pop", 0)
+        assert not fg.has_arc("rock", "pop")
+        assert fg.total_weight == 0
+
+    def test_set_similarity_rejects_self_and_negative(self):
+        fg = FolksonomyGraph()
+        with pytest.raises(ValueError):
+            fg.set_similarity("rock", "rock", 1)
+        with pytest.raises(ValueError):
+            fg.set_similarity("rock", "pop", -1)
+
+
+class TestQueries:
+    @pytest.fixture()
+    def graph(self):
+        return FolksonomyGraph(
+            [
+                ("rock", "pop", 5),
+                ("rock", "indie", 2),
+                ("rock", "jazz", 2),
+                ("pop", "rock", 7),
+            ]
+        )
+
+    def test_neighbours(self, graph):
+        assert graph.neighbours("rock") == {"pop", "indie", "jazz"}
+        assert graph.out_degree("rock") == 3
+        assert graph.out_degree("pop") == 1
+        assert graph.out_degree("jazz") == 0
+
+    def test_out_arcs_is_copy(self, graph):
+        arcs = graph.out_arcs("rock")
+        arcs["pop"] = 999
+        assert graph.similarity("rock", "pop") == 5
+
+    def test_ranked_neighbours_orders_by_weight_then_name(self, graph):
+        ranked = graph.ranked_neighbours("rock")
+        assert ranked == [("pop", 5), ("indie", 2), ("jazz", 2)]
+        assert graph.ranked_neighbours("rock", limit=1) == [("pop", 5)]
+
+    def test_out_degrees(self, graph):
+        degrees = graph.out_degrees()
+        assert degrees["rock"] == 3
+        assert degrees["indie"] == 0
+
+    def test_arcs_iterator(self, graph):
+        arcs = {(a.source, a.target): a.weight for a in graph.arcs()}
+        assert arcs[("pop", "rock")] == 7
+        assert len(arcs) == 4
+
+    def test_missing_tag_queries(self, graph):
+        assert graph.neighbours("nope") == set()
+        assert graph.similarity("nope", "rock") == 0
+        assert graph.ranked_neighbours("nope") == []
+
+
+class TestInvariants:
+    def test_existence_symmetry_check_passes_on_symmetric_graph(self):
+        fg = FolksonomyGraph([("a", "b", 1), ("b", "a", 3)])
+        fg.check_existence_symmetry()
+
+    def test_existence_symmetry_check_fails_on_one_way_arc(self):
+        fg = FolksonomyGraph([("a", "b", 1)])
+        with pytest.raises(AssertionError):
+            fg.check_existence_symmetry()
+
+    def test_copy_and_equality(self):
+        fg = FolksonomyGraph([("a", "b", 2), ("b", "a", 2)])
+        clone = fg.copy()
+        assert clone == fg
+        clone.increment("a", "b")
+        assert clone != fg

@@ -1,0 +1,93 @@
+"""Property-based tests (hypothesis) for the core model invariants."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approximation import EXACT, ApproximationConfig
+from repro.core.tagging_model import TaggingModel, derive_folksonomy_graph
+
+# Small alphabets keep collisions frequent, which is what stresses the
+# maintenance logic (re-tagging, co-occurring tags, repeated pairs).
+tag_names = st.text(alphabet=string.ascii_lowercase[:6], min_size=1, max_size=2)
+resource_names = st.sampled_from([f"r{i}" for i in range(5)])
+tagging_ops = st.lists(st.tuples(resource_names, tag_names), min_size=1, max_size=60)
+k_values = st.integers(min_value=0, max_value=4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=tagging_ops)
+def test_exact_model_matches_similarity_definition(ops):
+    """After any sequence of tagging operations, the incrementally maintained
+    FG equals the graph derived from the TRG by the sim() definition."""
+    model = TaggingModel(approximation=EXACT)
+    for resource, tag in ops:
+        model.add_tag(resource, tag)
+    assert model.fg == derive_folksonomy_graph(model.trg)
+    model.trg.check_consistency()
+    model.fg.check_existence_symmetry()
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=tagging_ops)
+def test_exact_fg_arc_existence_is_symmetric(ops):
+    model = TaggingModel(approximation=EXACT)
+    for resource, tag in ops:
+        model.add_tag(resource, tag)
+    for arc in model.fg.arcs():
+        assert model.fg.has_arc(arc.target, arc.source)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=tagging_ops, k=k_values, seed=st.integers(min_value=0, max_value=10))
+def test_approximated_weights_never_exceed_exact(ops, k, seed):
+    """The approximated FG is always a (weight-wise) under-estimate of the
+    exact FG: the approximations only ever *skip* increments."""
+    exact = TaggingModel(approximation=EXACT)
+    approx = TaggingModel(
+        approximation=ApproximationConfig(enable_a=True, enable_b=True, k=k), seed=seed
+    )
+    for resource, tag in ops:
+        exact.add_tag(resource, tag)
+        approx.add_tag(resource, tag)
+    for arc in approx.fg.arcs():
+        assert 1 <= arc.weight <= exact.fg.similarity(arc.source, arc.target)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=tagging_ops, k=k_values, seed=st.integers(min_value=0, max_value=10))
+def test_approximation_never_touches_the_trg(ops, k, seed):
+    exact = TaggingModel(approximation=EXACT)
+    approx = TaggingModel(
+        approximation=ApproximationConfig(enable_a=True, enable_b=True, k=k), seed=seed
+    )
+    for resource, tag in ops:
+        exact.add_tag(resource, tag)
+        approx.add_tag(resource, tag)
+    assert exact.trg == approx.trg
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=tagging_ops, k=k_values, seed=st.integers(min_value=0, max_value=10))
+def test_reverse_update_fanout_bounded_by_k(ops, k, seed):
+    """Approximation A's guarantee: per tagging operation, at most k reverse
+    arcs are updated."""
+    model = TaggingModel(
+        approximation=ApproximationConfig(enable_a=True, enable_b=True, k=k), seed=seed
+    )
+    for resource, tag in ops:
+        outcome = model.add_tag(resource, tag)
+        assert len(outcome.reverse_updates) <= k
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=tagging_ops)
+def test_total_trg_weight_equals_number_of_operations(ops):
+    model = TaggingModel(approximation=EXACT)
+    for resource, tag in ops:
+        model.add_tag(resource, tag)
+    assert model.trg.total_weight == len(ops)
+    assert model.num_tagging_operations == len(ops)

@@ -1,0 +1,82 @@
+"""Property-based tests for faceted-search invariants on random folksonomies."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.faceted_search import FacetedSearch, ModelView
+from repro.core.tagging_model import TaggingModel
+
+tag_names = st.text(alphabet=string.ascii_lowercase[:8], min_size=1, max_size=2)
+resource_names = st.sampled_from([f"r{i}" for i in range(8)])
+tagging_ops = st.lists(st.tuples(resource_names, tag_names), min_size=5, max_size=80)
+strategies_names = st.sampled_from(["first", "last", "random"])
+
+
+def _build_model(ops):
+    model = TaggingModel()
+    for resource, tag in ops:
+        model.add_tag(resource, tag)
+    return model
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=tagging_ops, strategy=strategies_names, seed=st.integers(0, 5))
+def test_search_always_terminates_within_bound(ops, strategy, seed):
+    """Convergence (Section III-C): a search never needs more steps than the
+    size of the start tag's neighbourhood plus one."""
+    model = _build_model(ops)
+    engine = FacetedSearch(ModelView.from_model(model), resource_threshold=0, seed=seed)
+    start = max(model.trg.tags, key=lambda t: model.trg.tag_degree(t))
+    result = engine.run(start, strategy)
+    assert result.length <= model.fg.out_degree(start) + 1
+    assert result.path[0] == start
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=tagging_ops, strategy=strategies_names, seed=st.integers(0, 5))
+def test_search_path_has_no_repeats_and_follows_fg_arcs(ops, strategy, seed):
+    """Acyclicity: no tag is ever presented twice, and every step follows an
+    FG arc from some earlier constraint (each selected tag is a neighbour of
+    the previous one in the exact graph)."""
+    model = _build_model(ops)
+    engine = FacetedSearch(ModelView.from_model(model), resource_threshold=0, seed=seed)
+    start = max(model.trg.tags, key=lambda t: model.trg.tag_degree(t))
+    result = engine.run(start, strategy)
+    assert len(set(result.path)) == len(result.path)
+    for previous, current in zip(result.path, result.path[1:]):
+        assert model.fg.has_arc(previous, current)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=tagging_ops, seed=st.integers(0, 5))
+def test_final_resources_carry_every_selected_tag(ops, seed):
+    """Soundness of the conjunction: every resource left at the end is tagged
+    with every tag on the search path."""
+    model = _build_model(ops)
+    engine = FacetedSearch(ModelView.from_model(model), resource_threshold=0, seed=seed)
+    start = max(model.trg.tags, key=lambda t: model.trg.tag_degree(t))
+    result = engine.run(start, "first")
+    for resource in result.final_resources:
+        for tag in result.path:
+            assert model.trg.has_edge(tag, resource)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=tagging_ops, seed=st.integers(0, 5), limit=st.integers(1, 5))
+def test_display_limit_is_respected(ops, seed, limit):
+    model = _build_model(ops)
+    engine = FacetedSearch(
+        ModelView.from_model(model), display_limit=limit, resource_threshold=0, seed=seed
+    )
+    start = max(model.trg.tags, key=lambda t: model.trg.tag_degree(t))
+    state = engine.start(start)
+    while engine.is_finished(state) is None:
+        displayed = engine.displayed_tags(state)
+        assert len(displayed) <= limit
+        if not displayed:
+            break
+        state = engine.refine(state, displayed[0][0])

@@ -1,0 +1,170 @@
+"""Unit tests for the Tag-Resource Graph."""
+
+import pytest
+
+from repro.core.tag_resource_graph import TagResourceGraph, TRGEdge
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        trg = TagResourceGraph()
+        assert trg.num_tags == 0
+        assert trg.num_resources == 0
+        assert trg.num_edges == 0
+        assert trg.total_weight == 0
+        assert len(trg) == 0
+
+    def test_seed_edges(self):
+        trg = TagResourceGraph([("rock", "r1", 3), ("pop", "r1", 1)])
+        assert trg.weight("rock", "r1") == 3
+        assert trg.weight("pop", "r1") == 1
+        assert trg.num_edges == 2
+        assert trg.total_weight == 4
+
+    def test_edge_dataclass_rejects_zero_weight(self):
+        with pytest.raises(ValueError):
+            TRGEdge(tag="rock", resource="r1", weight=0)
+
+
+class TestAnnotations:
+    def test_add_annotation_creates_vertices_and_edge(self):
+        trg = TagResourceGraph()
+        new_weight = trg.add_annotation("rock", "r1")
+        assert new_weight == 1
+        assert trg.has_tag("rock")
+        assert trg.has_resource("r1")
+        assert trg.has_edge("rock", "r1")
+
+    def test_add_annotation_increments_weight(self):
+        trg = TagResourceGraph()
+        trg.add_annotation("rock", "r1")
+        trg.add_annotation("rock", "r1")
+        assert trg.weight("rock", "r1") == 2
+        assert trg.num_edges == 1
+        assert trg.total_weight == 2
+
+    def test_add_annotation_with_count(self):
+        trg = TagResourceGraph()
+        assert trg.add_annotation("rock", "r1", count=5) == 5
+
+    def test_add_annotation_rejects_nonpositive_count(self):
+        trg = TagResourceGraph()
+        with pytest.raises(ValueError):
+            trg.add_annotation("rock", "r1", count=0)
+
+    def test_weight_of_missing_edge_is_zero(self):
+        trg = TagResourceGraph()
+        assert trg.weight("rock", "r1") == 0
+
+
+class TestSetWeight:
+    def test_set_weight_absolute(self):
+        trg = TagResourceGraph()
+        trg.set_weight("rock", "r1", 7)
+        assert trg.weight("rock", "r1") == 7
+        trg.set_weight("rock", "r1", 2)
+        assert trg.weight("rock", "r1") == 2
+        assert trg.total_weight == 2
+
+    def test_set_weight_zero_removes_edge(self):
+        trg = TagResourceGraph()
+        trg.set_weight("rock", "r1", 3)
+        trg.set_weight("rock", "r1", 0)
+        assert not trg.has_edge("rock", "r1")
+        assert trg.num_edges == 0
+        assert trg.total_weight == 0
+        # Vertices survive edge removal.
+        assert trg.has_tag("rock")
+        assert trg.has_resource("r1")
+
+    def test_set_weight_rejects_negative(self):
+        trg = TagResourceGraph()
+        with pytest.raises(ValueError):
+            trg.set_weight("rock", "r1", -1)
+
+    def test_remove_edge(self):
+        trg = TagResourceGraph([("rock", "r1", 2)])
+        trg.remove_edge("rock", "r1")
+        assert not trg.has_edge("rock", "r1")
+
+
+class TestViews:
+    @pytest.fixture()
+    def graph(self):
+        return TagResourceGraph(
+            [
+                ("rock", "r1", 3),
+                ("pop", "r1", 2),
+                ("rock", "r2", 1),
+                ("jazz", "r3", 4),
+            ]
+        )
+
+    def test_tags_of(self, graph):
+        assert graph.tags_of("r1") == {"rock": 3, "pop": 2}
+        assert graph.tag_set("r1") == {"rock", "pop"}
+
+    def test_resources_of(self, graph):
+        assert graph.resources_of("rock") == {"r1": 3, "r2": 1}
+        assert graph.resource_set("rock") == {"r1", "r2"}
+
+    def test_degrees(self, graph):
+        assert graph.resource_degree("r1") == 2
+        assert graph.tag_degree("rock") == 2
+        assert graph.tag_degree("jazz") == 1
+        assert graph.resource_degrees()["r3"] == 1
+        assert graph.tag_degrees()["pop"] == 1
+
+    def test_views_are_copies(self, graph):
+        view = graph.tags_of("r1")
+        view["rock"] = 999
+        assert graph.weight("rock", "r1") == 3
+
+    def test_popularity(self, graph):
+        assert graph.resource_popularity("r1") == 5
+        assert graph.tag_popularity("rock") == 4
+
+    def test_most_popular(self, graph):
+        assert graph.most_popular_tags(1) == ["rock"]
+        assert graph.most_popular_resources(1) == ["r1"]
+        # Ties broken lexicographically, deterministic.
+        assert graph.most_popular_tags(3) == ["rock", "jazz", "pop"]
+
+    def test_edges_iterator(self, graph):
+        edges = {(e.tag, e.resource): e.weight for e in graph.edges()}
+        assert edges[("rock", "r1")] == 3
+        assert len(edges) == 4
+
+    def test_missing_vertex_queries(self, graph):
+        assert graph.tags_of("nope") == {}
+        assert graph.resources_of("nope") == {}
+        assert graph.resource_degree("nope") == 0
+        assert graph.tag_degree("nope") == 0
+
+
+class TestMaintenance:
+    def test_ensure_vertices(self):
+        trg = TagResourceGraph()
+        trg.ensure_resource("r1")
+        trg.ensure_tag("rock")
+        assert trg.has_resource("r1")
+        assert trg.has_tag("rock")
+        assert trg.num_edges == 0
+
+    def test_copy_is_independent(self):
+        trg = TagResourceGraph([("rock", "r1", 1)])
+        clone = trg.copy()
+        clone.add_annotation("rock", "r1")
+        assert trg.weight("rock", "r1") == 1
+        assert clone.weight("rock", "r1") == 2
+
+    def test_equality(self):
+        a = TagResourceGraph([("rock", "r1", 1)])
+        b = TagResourceGraph([("rock", "r1", 1)])
+        c = TagResourceGraph([("rock", "r1", 2)])
+        assert a == b
+        assert a != c
+
+    def test_consistency_check(self):
+        trg = TagResourceGraph([("rock", "r1", 1), ("pop", "r2", 4)])
+        trg.check_consistency()  # should not raise

@@ -1,0 +1,212 @@
+"""Unit tests for the tagging model (Section III-B semantics)."""
+
+import pytest
+
+from repro.core.approximation import EXACT, ApproximationConfig, default_approximation
+from repro.core.tagging_model import TaggingModel, derive_folksonomy_graph
+
+
+class TestResourceInsertion:
+    def test_figure2a_resource_insertion(self):
+        """Reproduce Figure 2(a): inserting r3 with {t1, t2, t3} adds unit
+        weights on every TRG edge and every ordered FG pair."""
+        model = TaggingModel()
+        model.insert_resource("r3", ["t1", "t2", "t3"])
+        for tag in ("t1", "t2", "t3"):
+            assert model.trg.weight(tag, "r3") == 1
+        for a in ("t1", "t2", "t3"):
+            for b in ("t1", "t2", "t3"):
+                if a != b:
+                    assert model.fg.similarity(a, b) == 1
+
+    def test_insert_single_tag_resource_creates_no_fg_arcs(self):
+        model = TaggingModel()
+        model.insert_resource("r1", ["only"])
+        assert model.fg.num_arcs == 0
+        assert model.trg.weight("only", "r1") == 1
+
+    def test_insert_requires_at_least_one_tag_in_service_layer(self):
+        model = TaggingModel()
+        outcomes = model.insert_resource("r1", [])
+        assert outcomes == []
+        assert model.trg.has_resource("r1")
+
+    def test_insert_duplicate_resource_rejected(self):
+        model = TaggingModel()
+        model.insert_resource("r1", ["rock"])
+        with pytest.raises(ValueError):
+            model.insert_resource("r1", ["pop"])
+
+    def test_repeated_tag_in_insertion_counts_twice(self):
+        model = TaggingModel()
+        model.insert_resource("r1", ["rock", "rock"])
+        assert model.trg.weight("rock", "r1") == 2
+
+    def test_counters(self):
+        model = TaggingModel()
+        model.insert_resource("r1", ["a", "b"])
+        assert model.num_resource_insertions == 1
+        assert model.num_tagging_operations == 2
+
+
+class TestTagInsertionExact:
+    def test_figure2b_tag_insertion(self):
+        """Reproduce Figure 2(b): attaching t3 to r2 (which already carries t1
+        with weight 3 and t2 with weight 2) must set sim(t1,t3)+=1,
+        sim(t2,t3)+=1, sim(t3,t1)+=3 and sim(t3,t2)+=2."""
+        model = TaggingModel()
+        # Build the 'before' state of Figure 2(b) directly in the TRG/FG.
+        model.trg.set_weight("t1", "r1", 1)
+        model.trg.set_weight("t1", "r2", 3)
+        model.trg.set_weight("t2", "r2", 2)
+        model.fg.set_similarity("t1", "t2", 2)
+        model.fg.set_similarity("t2", "t1", 3)
+
+        model.add_tag("r2", "t3")
+
+        assert model.trg.weight("t3", "r2") == 1
+        assert model.fg.similarity("t1", "t3") == 1
+        assert model.fg.similarity("t2", "t3") == 1
+        assert model.fg.similarity("t3", "t1") == 3
+        assert model.fg.similarity("t3", "t2") == 2
+        # Pre-existing arcs untouched.
+        assert model.fg.similarity("t1", "t2") == 2
+        assert model.fg.similarity("t2", "t1") == 3
+
+    def test_retagging_existing_tag_only_touches_reverse_arcs(self):
+        model = TaggingModel()
+        model.insert_resource("r1", ["a", "b"])
+        before_forward = model.fg.similarity("a", "b")
+        model.add_tag("r1", "a")  # 'a' already labels r1
+        assert model.trg.weight("a", "r1") == 2
+        # sim(b, a) grows by one, sim(a, b) unchanged.
+        assert model.fg.similarity("b", "a") == 2
+        assert model.fg.similarity("a", "b") == before_forward
+
+    def test_outcome_record(self):
+        model = TaggingModel()
+        model.insert_resource("r1", ["a", "b"])
+        outcome = model.add_tag("r1", "c")
+        assert outcome.new_trg_edge
+        assert outcome.trg_weight == 1
+        assert set(outcome.reverse_updates) == {"a", "b"}
+        assert outcome.forward_updates == {"a": 1, "b": 1}
+
+    def test_model_invariant_holds_after_random_operations(self):
+        model = TaggingModel()
+        model.insert_resource("r1", ["rock", "pop", "indie"])
+        model.insert_resource("r2", ["rock", "jazz"])
+        model.add_tag("r1", "rock")
+        model.add_tag("r2", "pop")
+        model.add_tag("r2", "pop")
+        model.add_tag("r1", "jazz")
+        model.check_model_invariant()
+
+    def test_invariant_check_refuses_approximated_model(self):
+        model = TaggingModel(approximation=default_approximation(k=1))
+        with pytest.raises(RuntimeError):
+            model.check_model_invariant()
+
+
+class TestApproximatedMaintenance:
+    def test_approximation_a_limits_reverse_updates(self):
+        model = TaggingModel(approximation=ApproximationConfig(enable_a=True, enable_b=False, k=2), seed=1)
+        model.insert_resource("r1", ["a", "b", "c", "d", "e"])
+        outcome = model.add_tag("r1", "z")
+        assert len(outcome.reverse_updates) == 2
+        assert set(outcome.reverse_updates) <= {"a", "b", "c", "d", "e"}
+
+    def test_approximation_a_with_k_zero_skips_reverse_updates(self):
+        model = TaggingModel(approximation=ApproximationConfig(enable_a=True, enable_b=False, k=0), seed=1)
+        model.insert_resource("r1", ["a", "b"])
+        outcome = model.add_tag("r1", "z")
+        assert outcome.reverse_updates == ()
+
+    def test_approximation_b_caps_new_arc_weight(self):
+        model = TaggingModel(approximation=ApproximationConfig(enable_a=False, enable_b=True, k=0))
+        # 'a' has weight 3 on r1; a brand-new tag's forward arc gets 1, not 3.
+        model.trg.set_weight("a", "r1", 3)
+        model.add_tag("r1", "z")
+        assert model.fg.similarity("z", "a") == 1
+        # Reverse arc still exact (+1).
+        assert model.fg.similarity("a", "z") == 1
+
+    def test_approximation_b_existing_arc_uses_exact_increment(self):
+        model = TaggingModel(approximation=ApproximationConfig(enable_a=False, enable_b=True, k=0))
+        model.trg.set_weight("a", "r1", 3)
+        model.trg.set_weight("a", "r2", 2)
+        model.fg.set_similarity("z", "a", 4)  # arc already exists
+        model.add_tag("r1", "z")
+        # Existing arc grows by the exact u(a, r1) = 3.
+        assert model.fg.similarity("z", "a") == 7
+
+    def test_approximated_similarity_never_exceeds_exact(self):
+        exact = TaggingModel()
+        approx = TaggingModel(approximation=default_approximation(k=1), seed=0)
+        operations = [
+            ("r1", ["rock", "pop", "indie"]),
+            ("r2", ["rock", "jazz", "blues", "pop"]),
+        ]
+        for resource, tags in operations:
+            exact.insert_resource(resource, tags)
+            approx.insert_resource(resource, tags)
+        for resource, tag in [("r1", "rock"), ("r2", "rock"), ("r1", "jazz"), ("r2", "indie")]:
+            exact.add_tag(resource, tag)
+            approx.add_tag(resource, tag)
+        for arc in approx.fg.arcs():
+            assert arc.weight <= exact.fg.similarity(arc.source, arc.target)
+
+    def test_trg_identical_between_exact_and_approximated(self):
+        exact = TaggingModel()
+        approx = TaggingModel(approximation=default_approximation(k=1), seed=0)
+        sequence = [("r1", "a"), ("r1", "b"), ("r2", "a"), ("r1", "c"), ("r1", "a")]
+        for resource, tag in sequence:
+            exact.add_tag(resource, tag)
+            approx.add_tag(resource, tag)
+        assert exact.trg == approx.trg
+
+
+class TestDerivedGraph:
+    def test_derive_matches_incremental_exact_model(self, exact_model):
+        derived = derive_folksonomy_graph(exact_model.trg)
+        assert derived == exact_model.fg
+
+    def test_derive_figure1_example(self):
+        """The Figure 1 worked example: sim(t1, t2) = 5 and sim(t2, t1) = 7."""
+        from repro.core.tag_resource_graph import TagResourceGraph
+
+        trg = TagResourceGraph()
+        # r1 tagged with t1 (1 user) and t2 (3 users); r2 with t1 (2) and t2 (2);
+        # plus t2 alone on r3 twice -- reproduces an asymmetric pair.
+        trg.set_weight("t1", "r1", 1)
+        trg.set_weight("t2", "r1", 3)
+        trg.set_weight("t1", "r2", 4)
+        trg.set_weight("t2", "r2", 2)
+        fg = derive_folksonomy_graph(trg)
+        assert fg.similarity("t1", "t2") == 5
+        assert fg.similarity("t2", "t1") == 5
+        # Make the weights asymmetric by adding a resource tagged only after
+        # aggregation: t1 on r3 with weight 2, t2 on r3 with weight 0 -> no change;
+        # instead raise u(t1, r1) so the sums diverge.
+        trg.set_weight("t1", "r1", 3)
+        fg = derive_folksonomy_graph(trg)
+        assert fg.similarity("t1", "t2") == 5      # sum of u(t2, r) over r in Res(t1)
+        assert fg.similarity("t2", "t1") == 7      # sum of u(t1, r) over r in Res(t2)
+
+    def test_from_triples_constructor(self):
+        triples = [
+            ("u1", "r1", "rock"),
+            ("u2", "r1", "pop"),
+            ("u3", "r1", "rock"),
+        ]
+        model = TaggingModel.from_triples(triples)
+        assert model.trg.weight("rock", "r1") == 2
+        assert model.fg.similarity("pop", "rock") == 2
+        model.check_model_invariant()
+
+    def test_related_tags_ranking(self, exact_model):
+        ranked = exact_model.related_tags("rock")
+        weights = [w for _t, w in ranked]
+        assert weights == sorted(weights, reverse=True)
+        limited = exact_model.related_tags("rock", limit=1)
+        assert len(limited) == 1

@@ -1,0 +1,120 @@
+"""Tests for the synthetic Last.fm-like generator.
+
+These tests verify the *structural properties* the substitution is supposed to
+preserve (heavy tails, core-periphery split, synonym families), not absolute
+numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tagging_model import derive_folksonomy_graph
+from repro.datasets.lastfm_synthetic import (
+    LastfmSyntheticConfig,
+    PRESETS,
+    generate_lastfm_like,
+)
+from repro.datasets.stats import compute_folksonomy_stats
+
+
+class TestConfigValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LastfmSyntheticConfig(num_tags=1)
+        with pytest.raises(ValueError):
+            LastfmSyntheticConfig(singleton_resource_fraction=1.0)
+        with pytest.raises(ValueError):
+            LastfmSyntheticConfig(resource_degree_exponent=1.0)
+        with pytest.raises(ValueError):
+            LastfmSyntheticConfig(tag_popularity_exponent=0)
+        with pytest.raises(ValueError):
+            LastfmSyntheticConfig(synonym_overlap=2.0)
+
+    def test_presets_exist(self):
+        assert {"tiny", "small", "medium"} <= set(PRESETS)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            generate_lastfm_like("huge")
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        a = generate_lastfm_like("tiny")
+        b = generate_lastfm_like("tiny")
+        assert a.triples() == b.triples()
+
+    def test_different_seed_different_dataset(self):
+        from dataclasses import replace
+
+        a = generate_lastfm_like(PRESETS["tiny"])
+        b = generate_lastfm_like(replace(PRESETS["tiny"], seed=99))
+        assert a.triples() != b.triples()
+
+
+class TestStructure:
+    def test_census_within_configured_bounds(self, tiny_dataset):
+        cfg = PRESETS["tiny"]
+        census = tiny_dataset.describe()
+        assert census["resources"] <= cfg.num_resources
+        assert census["users"] <= cfg.num_users
+        assert census["annotations"] >= census["resources"]
+
+    def test_heavy_tailed_tag_popularity(self, tiny_trg):
+        """A small core of tags labels far more resources than the median tag."""
+        degrees = sorted((tiny_trg.tag_degree(t) for t in tiny_trg.tags), reverse=True)
+        top = degrees[0]
+        median = degrees[len(degrees) // 2]
+        assert top >= 10 * max(median, 1)
+
+    def test_core_periphery_split(self, tiny_trg):
+        """A sizeable fraction of tags are singletons and a sizeable fraction
+        of resources carry very few tags (the paper reports ~55 % and ~40 %)."""
+        stats = compute_folksonomy_stats(tiny_trg)
+        assert stats.resources_per_tag.singleton_fraction >= 0.25
+        assert stats.tags_per_resource.singleton_fraction >= 0.20
+
+    def test_degree_ordering_matches_paper(self, tiny_trg, tiny_fg):
+        """mean |NFG(t)| >> mean |Res(t)| > mean |Tags(r)| (Table II shape)."""
+        stats = compute_folksonomy_stats(tiny_trg, tiny_fg)
+        assert stats.fg_out_degree.mean > stats.resources_per_tag.mean
+        assert stats.resources_per_tag.mean > 0
+        assert stats.tags_per_resource.max > 5 * stats.tags_per_resource.mean
+
+    def test_multiplicities_present(self, tiny_trg):
+        """Popular pairs carry weights above 1 (users aggregate)."""
+        weights = [edge.weight for edge in tiny_trg.edges()]
+        assert max(weights) > 1
+
+    def test_synonym_families_share_resources(self, tiny_dataset):
+        tags = {a.tag for a in tiny_dataset}
+        parents_with_variants = [t for t in tags if f"{t}a" in tags or f"{t}o" in tags]
+        assert parents_with_variants, "expected at least one synonym family"
+        trg = tiny_dataset.to_tag_resource_graph()
+        parent = parents_with_variants[0]
+        variant = f"{parent}a" if f"{parent}a" in tags else f"{parent}o"
+        overlap = trg.resource_set(parent) & trg.resource_set(variant)
+        assert len(overlap) >= 1
+
+    def test_users_do_not_duplicate_annotations(self, tiny_dataset):
+        """The same user never tags the same (resource, tag) pair twice, so
+        edge weights equal distinct-user counts (the paper's u(t, r))."""
+        seen = set()
+        for annotation in tiny_dataset:
+            key = (annotation.user, annotation.resource, annotation.tag)
+            assert key not in seen
+            seen.add(key)
+
+    def test_multiplicity_scale_zero_gives_unit_weights(self):
+        cfg = LastfmSyntheticConfig(
+            num_resources=100, num_tags=60, num_users=80, multiplicity_scale=0.0, seed=1
+        )
+        trg = generate_lastfm_like(cfg).to_tag_resource_graph()
+        assert all(edge.weight == 1 for edge in trg.edges())
+
+    def test_no_synonyms_when_disabled(self):
+        cfg = LastfmSyntheticConfig(
+            num_resources=100, num_tags=60, num_users=80, synonym_families=0, seed=1
+        )
+        dataset = generate_lastfm_like(cfg)
+        assert all(not t.endswith(" music") for t in dataset.tags)

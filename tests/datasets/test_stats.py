@@ -1,0 +1,85 @@
+"""Unit tests for the structural statistics (Table II / Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.folksonomy_graph import FolksonomyGraph
+from repro.core.tag_resource_graph import TagResourceGraph
+from repro.core.tagging_model import derive_folksonomy_graph
+from repro.datasets.stats import DegreeStatistics, compute_folksonomy_stats, degree_cdf
+
+
+@pytest.fixture()
+def toy_trg():
+    trg = TagResourceGraph()
+    trg.set_weight("rock", "r1", 2)
+    trg.set_weight("pop", "r1", 1)
+    trg.set_weight("rock", "r2", 1)
+    trg.set_weight("jazz", "r3", 1)
+    return trg
+
+
+class TestDegreeStatistics:
+    def test_from_values(self):
+        stats = DegreeStatistics.from_values("x", np.array([1, 1, 2, 4]))
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.max == 4
+        assert stats.singleton_fraction == pytest.approx(0.5)
+        assert stats.rounded()["mean"] == 2
+
+    def test_empty_values(self):
+        stats = DegreeStatistics.from_values("x", np.array([], dtype=np.int64))
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.max == 0
+
+
+class TestFolksonomyStats:
+    def test_toy_graph_census(self, toy_trg):
+        fg = derive_folksonomy_graph(toy_trg)
+        stats = compute_folksonomy_stats(toy_trg, fg)
+        assert stats.num_resources == 3
+        assert stats.num_tags == 3
+        assert stats.num_trg_edges == 4
+        # Tags(r): r1 has 2, r2 has 1, r3 has 1.
+        assert stats.tags_per_resource.mean == pytest.approx(4 / 3)
+        # Res(t): rock 2, pop 1, jazz 1.
+        assert stats.resources_per_tag.max == 2
+        # NFG(t): rock-pop linked both ways, jazz isolated.
+        assert stats.fg_out_degree.max == 1
+        assert stats.num_fg_arcs == 2
+
+    def test_without_fg(self, toy_trg):
+        stats = compute_folksonomy_stats(toy_trg)
+        assert stats.fg_out_degree.count == 0
+        assert stats.num_fg_arcs == 0
+
+    def test_table_ii_layout(self, toy_trg):
+        fg = derive_folksonomy_graph(toy_trg)
+        table = compute_folksonomy_stats(toy_trg, fg).table_ii()
+        assert set(table) == {"mu", "sigma", "max"}
+        assert set(table["mu"]) == {"Tags(r)", "Res(t)", "NFG(t)"}
+        assert table["max"]["Res(t)"] == 2
+
+    def test_on_synthetic_dataset(self, tiny_trg, tiny_fg):
+        stats = compute_folksonomy_stats(tiny_trg, tiny_fg)
+        assert stats.tags_per_resource.count == tiny_trg.num_resources
+        assert stats.resources_per_tag.count == tiny_trg.num_tags
+        assert stats.fg_out_degree.count == tiny_fg.num_tags
+        # Standard deviation larger than the mean is the heavy-tail signature
+        # the paper's Table II exhibits for Res(t) and NFG(t).
+        assert stats.resources_per_tag.std > stats.resources_per_tag.mean
+
+
+class TestDegreeCDF:
+    def test_cdf_reaches_one_and_is_monotone(self):
+        values, cumulative = degree_cdf(np.array([1, 1, 2, 5, 5, 5]))
+        assert values.tolist() == [1.0, 2.0, 5.0]
+        assert cumulative[-1] == pytest.approx(1.0)
+        assert all(cumulative[i] <= cumulative[i + 1] for i in range(len(cumulative) - 1))
+        assert cumulative[0] == pytest.approx(2 / 6)
+
+    def test_empty_input(self):
+        values, cumulative = degree_cdf(np.array([]))
+        assert values.size == 0 and cumulative.size == 0

@@ -1,0 +1,96 @@
+"""Unit tests for annotation datasets and the TSV loader."""
+
+import pytest
+
+from repro.datasets.loader import iter_triples_tsv, load_triples_tsv, save_triples_tsv
+from repro.datasets.triples import Annotation, AnnotationDataset
+
+
+class TestAnnotationDataset:
+    def test_append_accepts_tuples_and_annotations(self):
+        dataset = AnnotationDataset()
+        dataset.append(("u1", "r1", "rock"))
+        dataset.append(Annotation("u2", "r1", "pop"))
+        assert len(dataset) == 2
+        assert dataset[0] == Annotation("u1", "r1", "rock")
+
+    def test_append_rejects_other_types(self):
+        dataset = AnnotationDataset()
+        with pytest.raises(TypeError):
+            dataset.append("not-a-triple")
+
+    def test_census(self):
+        dataset = AnnotationDataset(
+            [("u1", "r1", "rock"), ("u2", "r1", "rock"), ("u1", "r2", "pop")]
+        )
+        census = dataset.describe()
+        assert census == {"users": 2, "resources": 2, "tags": 2, "annotations": 3}
+        assert dataset.tag_usage()["rock"] == 2
+        assert dataset.resource_usage()["r1"] == 2
+
+    def test_to_tag_resource_graph_aggregates_users(self):
+        dataset = AnnotationDataset(
+            [("u1", "r1", "rock"), ("u2", "r1", "rock"), ("u3", "r1", "pop")]
+        )
+        trg = dataset.to_tag_resource_graph()
+        assert trg.weight("rock", "r1") == 2
+        assert trg.weight("pop", "r1") == 1
+
+    def test_head_and_triples(self):
+        dataset = AnnotationDataset([(f"u{i}", "r", f"t{i}") for i in range(5)])
+        head = dataset.head(2)
+        assert len(head) == 2
+        assert dataset.triples()[0] == ("u0", "r", "t0")
+
+    def test_extend_and_iter(self):
+        dataset = AnnotationDataset()
+        dataset.extend([("u", "r", "a"), ("u", "r", "b")])
+        assert [a.tag for a in dataset] == ["a", "b"]
+
+
+class TestLoader:
+    def test_round_trip(self, tmp_path):
+        dataset = AnnotationDataset(
+            [("u1", "r1", "rock"), ("u2", "r2", "seen live"), ("u3", "r1", "hip-hop")]
+        )
+        path = tmp_path / "triples.tsv"
+        save_triples_tsv(dataset, path)
+        loaded = load_triples_tsv(path)
+        assert loaded.triples() == dataset.triples()
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "data.tsv"
+        path.write_text("# header\n\nu1\tr1\trock\n", encoding="utf-8")
+        loaded = load_triples_tsv(path)
+        assert len(loaded) == 1
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("u1\tr1\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="3 tab-separated fields"):
+            load_triples_tsv(path)
+
+    def test_empty_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("u1\t\trock\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="empty field"):
+            load_triples_tsv(path)
+
+    def test_limit(self, tmp_path):
+        dataset = AnnotationDataset([(f"u{i}", "r", f"t{i}") for i in range(10)])
+        path = tmp_path / "triples.tsv"
+        save_triples_tsv(dataset, path)
+        assert len(load_triples_tsv(path, limit=4)) == 4
+
+    def test_save_rejects_tabs_in_fields(self, tmp_path):
+        dataset = AnnotationDataset([("u\t1", "r1", "rock")])
+        with pytest.raises(ValueError):
+            save_triples_tsv(dataset, tmp_path / "x.tsv")
+
+    def test_streaming_iterator(self, tmp_path):
+        dataset = AnnotationDataset([(f"u{i}", "r", f"t{i}") for i in range(3)])
+        path = tmp_path / "triples.tsv"
+        save_triples_tsv(dataset, path)
+        streamed = list(iter_triples_tsv(path))
+        assert len(streamed) == 3
+        assert streamed[0].user == "u0"

@@ -1,0 +1,95 @@
+"""Unit tests for the DHT client facade and lookup accounting."""
+
+import pytest
+
+from repro.core.blocks import BlockKey
+from repro.dht.api import DHTClient, LookupStats
+from repro.dht.bootstrap import build_overlay
+from repro.dht.node import NodeConfig
+from repro.simulation.network import NetworkConfig
+
+
+@pytest.fixture()
+def overlay():
+    return build_overlay(
+        6,
+        node_config=NodeConfig(k=8, alpha=2, replicate=2),
+        network_config=NetworkConfig(min_latency_ms=1, max_latency_ms=2, seed=0),
+        seed=0,
+    )
+
+
+@pytest.fixture()
+def client(overlay):
+    return overlay.client(identity=overlay.register_user("alice"))
+
+
+class TestLookupStats:
+    def test_snapshot_and_reset(self):
+        stats = LookupStats(lookups=3, puts=1, gets=2, appends=0, rpc_messages=9, misses=1)
+        snap = stats.snapshot()
+        assert snap["lookups"] == 3
+        stats.reset()
+        assert stats.lookups == 0
+        assert stats.snapshot()["misses"] == 0
+
+
+class TestPrimitives:
+    def test_put_then_get_costs_one_lookup_each(self, client):
+        key = BlockKey.resource_uri("nevermind")
+        client.put(key, {"owner": "nevermind", "type": "4", "uri": "urn:x"})
+        assert client.stats.lookups == 1
+        assert client.stats.puts == 1
+        value = client.get(key)
+        assert value["uri"] == "urn:x"
+        assert client.stats.lookups == 2
+        assert client.stats.gets == 1
+        assert client.stats.misses == 0
+
+    def test_get_missing_key_counts_a_miss(self, client):
+        assert client.get(BlockKey.resource_uri("missing")) is None
+        assert client.stats.misses == 1
+
+    def test_append_and_typed_getters(self, client):
+        key = BlockKey.tag_neighbours("rock")
+        client.append(key, {"pop": 2, "jazz": 1})
+        client.append(key, {"pop": 1})
+        assert client.stats.appends == 2
+        entries = client.get_entries(key)
+        assert entries == {"pop": 3, "jazz": 1}
+        block = client.get_counter_block(key)
+        assert block.owner == "rock"
+        assert block.get("pop") == 3
+
+    def test_append_if_new(self, client):
+        key = BlockKey.tag_neighbours("rock")
+        client.append(key, {"pop": 9}, increments_if_new={"pop": 1})
+        assert client.get_entries(key)["pop"] == 1
+
+    def test_append_empty_increments_is_free(self, client):
+        key = BlockKey.tag_neighbours("rock")
+        client.append(key, {})
+        assert client.stats.lookups == 0
+
+    def test_append_rejects_non_counter_key(self, client):
+        with pytest.raises(ValueError):
+            client.append(BlockKey.resource_uri("x"), {"a": 1})
+
+    def test_get_entries_missing_block_is_empty(self, client):
+        assert client.get_entries(BlockKey.tag_neighbours("ghost")) == {}
+        assert client.get_counter_block(BlockKey.tag_neighbours("ghost")) is None
+
+    def test_rpc_messages_counted(self, client):
+        key = BlockKey.tag_resources("rock")
+        client.append(key, {"r1": 1})
+        assert client.stats.rpc_messages >= 1
+
+    def test_key_mapping_matches_block_digest(self):
+        key = BlockKey.tag_resources("rock")
+        assert DHTClient.key_for(key).to_bytes() == key.digest()
+
+    def test_different_clients_see_the_same_data(self, overlay, client):
+        other = overlay.client(identity=overlay.register_user("bob"))
+        key = BlockKey.resource_tags("r1")
+        client.append(key, {"rock": 1})
+        assert other.get_entries(key) == {"rock": 1}

@@ -1,0 +1,98 @@
+"""Unit tests for overlay construction and membership management."""
+
+import pytest
+
+from repro.dht.bootstrap import build_overlay
+from repro.dht.node import NodeConfig
+from repro.dht.node_id import NodeID
+from repro.simulation.network import NetworkConfig
+
+
+class TestBuildOverlay:
+    def test_builds_requested_number_of_nodes(self):
+        overlay = build_overlay(5, seed=0)
+        assert len(overlay) == 5
+        assert len(overlay.network.addresses) == 5
+
+    def test_rejects_empty_overlay(self):
+        with pytest.raises(ValueError):
+            build_overlay(0)
+
+    def test_all_nodes_have_certified_ids(self):
+        overlay = build_overlay(4, seed=0)
+        for node in overlay.nodes:
+            assert overlay.certification.node_id_for(f"peer-{overlay.nodes.index(node):06d}") is not None
+
+    def test_seeded_overlays_are_identical(self):
+        a = build_overlay(4, seed=42)
+        b = build_overlay(4, seed=42)
+        assert [n.node_id for n in a.nodes] == [n.node_id for n in b.nodes]
+
+    def test_nodes_know_each_other_after_bootstrap(self):
+        overlay = build_overlay(6, seed=1)
+        for node in overlay.nodes[1:]:
+            assert len(node.routing_table) >= 1
+
+
+class TestMembership:
+    def test_add_node_joins_through_live_peer(self):
+        overlay = build_overlay(3, seed=0)
+        new_node = overlay.add_node("late-joiner")
+        assert len(overlay) == 4
+        assert overlay.network.is_registered(new_node.address)
+        assert len(new_node.routing_table) >= 1
+
+    def test_remove_node_republishes_data(self):
+        overlay = build_overlay(
+            4,
+            node_config=NodeConfig(k=8, alpha=2, replicate=1),
+            network_config=NetworkConfig(min_latency_ms=1, max_latency_ms=2, seed=0),
+            seed=0,
+        )
+        victim = overlay.nodes[1]
+        key = NodeID.hash_of("precious")
+        victim.storage.put(key, "data")
+        overlay.remove_node(victim, republish=True)
+        assert not overlay.network.is_registered(victim.address)
+        # Data survives somewhere in the overlay.
+        survivor_values = [
+            node.storage.get(key)
+            for node in overlay.nodes
+            if overlay.network.is_registered(node.address)
+        ]
+        assert "data" in [v for v in survivor_values if v is not None]
+
+    def test_random_node_only_returns_live_nodes(self):
+        overlay = build_overlay(3, seed=0)
+        overlay.nodes[0].leave()
+        for _ in range(10):
+            assert overlay.random_node().address != overlay.nodes[0].address
+
+    def test_random_node_raises_when_everyone_left(self):
+        overlay = build_overlay(2, seed=0)
+        for node in overlay.nodes:
+            node.leave()
+        with pytest.raises(RuntimeError):
+            overlay.random_node()
+
+    def test_node_by_address(self):
+        overlay = build_overlay(3, seed=0)
+        node = overlay.nodes[2]
+        assert overlay.node_by_address(node.address) is node
+        assert overlay.node_by_address("nope") is None
+
+    def test_storage_load_reports_live_nodes_only(self):
+        overlay = build_overlay(3, seed=0)
+        overlay.nodes[0].leave()
+        load = overlay.storage_load()
+        assert overlay.nodes[0].address not in load
+        assert len(load) == 2
+
+    def test_register_user_and_client(self):
+        overlay = build_overlay(3, seed=0)
+        identity = overlay.register_user("alice")
+        client = overlay.client(identity=identity)
+        assert client.identity is identity
+        # A client can be pinned to a specific node too.
+        pinned = overlay.client(node=overlay.nodes[0])
+        assert pinned.node is overlay.nodes[0]

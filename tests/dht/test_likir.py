@@ -1,0 +1,103 @@
+"""Unit tests for the Likir-style identity layer."""
+
+import pytest
+
+from repro.dht.likir import CertificationService, Identity, LikirAuthError, SignedValue
+from repro.dht.node_id import NodeID
+
+
+class TestCertificationService:
+    def test_register_issues_identity_with_derived_node_id(self):
+        service = CertificationService(seed=0)
+        identity = service.register("alice")
+        assert identity.user == "alice"
+        assert isinstance(identity.node_id, NodeID)
+        assert service.is_registered("alice")
+        assert service.node_id_for("alice") == identity.node_id
+
+    def test_register_is_idempotent(self):
+        service = CertificationService(seed=0)
+        first = service.register("alice")
+        second = service.register("alice")
+        assert first == second
+        assert len(service) == 1
+
+    def test_node_id_not_user_chosen(self):
+        """Different services (different nonces) give the same user different
+        node ids: the user cannot pick its position in the key space."""
+        a = CertificationService(seed=1).register("alice")
+        b = CertificationService(seed=2).register("alice")
+        assert a.node_id != b.node_id
+
+    def test_deterministic_issuance_with_seed(self):
+        a = CertificationService(seed=7).register("alice")
+        b = CertificationService(seed=7).register("alice")
+        assert a.node_id == b.node_id
+        assert a.secret == b.secret
+
+    def test_unseeded_service_still_works(self):
+        service = CertificationService()
+        identity = service.register("bob")
+        assert service.secret_for("bob") == identity.secret
+
+    def test_unknown_user_queries(self):
+        service = CertificationService(seed=0)
+        assert service.secret_for("nobody") is None
+        assert service.node_id_for("nobody") is None
+        assert not service.is_registered("nobody")
+
+
+class TestSignedValue:
+    def test_create_and_verify(self):
+        service = CertificationService(seed=0)
+        identity = service.register("alice")
+        key = NodeID.hash_of("rock|2")
+        signed = SignedValue.create(identity, key, {"entries": {"r1": 1}})
+        signed.verify(service)  # does not raise
+
+    def test_tampered_value_rejected(self):
+        service = CertificationService(seed=0)
+        identity = service.register("alice")
+        key = NodeID.hash_of("rock|2")
+        signed = SignedValue.create(identity, key, {"entries": {"r1": 1}})
+        forged = SignedValue(
+            publisher=signed.publisher,
+            key_hex=signed.key_hex,
+            value={"entries": {"r1": 999}},
+            credential=signed.credential,
+        )
+        with pytest.raises(LikirAuthError):
+            forged.verify(service)
+
+    def test_credential_not_transferable_across_keys(self):
+        service = CertificationService(seed=0)
+        identity = service.register("alice")
+        signed = SignedValue.create(identity, NodeID.hash_of("a"), "value")
+        moved = SignedValue(
+            publisher=signed.publisher,
+            key_hex=NodeID.hash_of("b").hex(),
+            value="value",
+            credential=signed.credential,
+        )
+        with pytest.raises(LikirAuthError):
+            moved.verify(service)
+
+    def test_unknown_publisher_rejected(self):
+        service = CertificationService(seed=0)
+        rogue = Identity(user="eve", node_id=NodeID.hash_of("eve"), secret=b"x" * 20)
+        signed = SignedValue.create(rogue, NodeID.hash_of("k"), "value")
+        with pytest.raises(LikirAuthError):
+            signed.verify(service)
+
+    def test_impersonation_rejected(self):
+        """Eve signs with her own key but claims to be Alice."""
+        service = CertificationService(seed=0)
+        service.register("alice")
+        eve = service.register("eve")
+        key = NodeID.hash_of("k")
+        payload = SignedValue.canonical_bytes("alice", key.hex(), "value")
+        forged = SignedValue(
+            publisher="alice", key_hex=key.hex(), value="value", credential=eve.sign(payload)
+        )
+        with pytest.raises(LikirAuthError):
+            forged.verify(service)

@@ -1,0 +1,114 @@
+"""Unit tests for the iterative lookup procedure (scripted transport)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.lookup import iterative_lookup
+from repro.dht.node_id import NodeID
+from repro.dht.routing_table import Contact
+
+
+def contact(value: int) -> Contact:
+    return Contact(node_id=NodeID(value), address=f"addr-{value}")
+
+
+class ScriptedTransport:
+    """Transport whose topology is a static mapping node -> known contacts,
+    with optional value holders and dead nodes."""
+
+    def __init__(self, topology, values=None, dead=None):
+        self.topology = {c.node_id: peers for c, peers in topology.items()}
+        self.values = values or {}
+        self.dead = dead or set()
+        self.queries = 0
+
+    def query(self, target_contact, target, find_value, top_n):
+        self.queries += 1
+        if target_contact.node_id in self.dead:
+            return None
+        if find_value and target_contact.node_id in self.values:
+            return ([], self.values[target_contact.node_id])
+        return (list(self.topology.get(target_contact.node_id, [])), None)
+
+
+class TestFindNode:
+    def test_converges_to_closest_nodes(self):
+        # Chain topology: 100 knows 10, 10 knows 3, 3 knows 1; target is 0.
+        c100, c10, c3, c1 = contact(100), contact(10), contact(3), contact(1)
+        transport = ScriptedTransport({c100: [c10], c10: [c3], c3: [c1], c1: []})
+        outcome = iterative_lookup(transport, NodeID(0), seeds=[c100], k=3, alpha=1)
+        found = [c.node_id.value for c in outcome.closest]
+        assert found[0] == 1
+        assert set(found) <= {1, 3, 10, 100}
+        assert outcome.rounds >= 3
+        assert outcome.succeeded
+
+    def test_respects_k_limit(self):
+        seeds = [contact(i) for i in range(10, 20)]
+        transport = ScriptedTransport({c: [] for c in seeds})
+        outcome = iterative_lookup(transport, NodeID(0), seeds=seeds, k=4, alpha=3)
+        assert len(outcome.closest) == 4
+
+    def test_handles_dead_nodes(self):
+        c5, c6, c7 = contact(5), contact(6), contact(7)
+        transport = ScriptedTransport(
+            {c5: [c6, c7], c6: [], c7: []}, dead={NodeID(6)}
+        )
+        outcome = iterative_lookup(transport, NodeID(0), seeds=[c5], k=3, alpha=2)
+        assert outcome.failures >= 1
+        assert NodeID(6) not in {c.node_id for c in outcome.closest}
+
+    def test_empty_seed_list(self):
+        transport = ScriptedTransport({})
+        outcome = iterative_lookup(transport, NodeID(0), seeds=[], k=3)
+        assert outcome.closest == []
+        assert not outcome.succeeded
+        assert outcome.messages == 0
+
+    def test_all_dead_seeds(self):
+        seeds = [contact(1), contact(2)]
+        transport = ScriptedTransport({c: [] for c in seeds}, dead={NodeID(1), NodeID(2)})
+        outcome = iterative_lookup(transport, NodeID(0), seeds=seeds, k=3)
+        assert not outcome.succeeded
+        assert outcome.failures == 2
+
+    def test_parameter_validation(self):
+        transport = ScriptedTransport({})
+        with pytest.raises(ValueError):
+            iterative_lookup(transport, NodeID(0), seeds=[], k=0)
+        with pytest.raises(ValueError):
+            iterative_lookup(transport, NodeID(0), seeds=[], k=1, alpha=0)
+
+    def test_no_duplicate_queries(self):
+        c1, c2 = contact(1), contact(2)
+        # Both nodes return each other forever; each must be queried only once.
+        transport = ScriptedTransport({c1: [c2], c2: [c1]})
+        outcome = iterative_lookup(transport, NodeID(0), seeds=[c1, c2], k=5, alpha=2)
+        assert transport.queries == 2
+        assert outcome.messages == 2
+
+
+class TestFindValue:
+    def test_short_circuits_on_value(self):
+        c9, c5, c1 = contact(9), contact(5), contact(1)
+        transport = ScriptedTransport(
+            {c9: [c5], c5: [c1], c1: []}, values={NodeID(5): {"entries": {}}}
+        )
+        outcome = iterative_lookup(
+            transport, NodeID(0), seeds=[c9], k=3, alpha=1, find_value=True
+        )
+        assert outcome.found_value
+        assert outcome.value == {"entries": {}}
+        # Node 1 never needed to be queried.
+        assert transport.queries <= 2
+
+    def test_value_not_found_returns_closest(self):
+        c9, c5 = contact(9), contact(5)
+        transport = ScriptedTransport({c9: [c5], c5: []})
+        outcome = iterative_lookup(
+            transport, NodeID(0), seeds=[c9], k=3, alpha=1, find_value=True
+        )
+        assert not outcome.found_value
+        assert outcome.value is None
+        assert {c.node_id.value for c in outcome.closest} == {5, 9}

@@ -1,0 +1,220 @@
+"""Unit tests for the Kademlia node (RPC handling, store/retrieve/append)."""
+
+import pytest
+
+from repro.core.blocks import BlockType
+from repro.dht.likir import CertificationService, LikirAuthError, SignedValue
+from repro.dht.node import KademliaNode, NodeConfig
+from repro.dht.node_id import NodeID
+from repro.simulation.network import NetworkConfig, SimulatedNetwork
+
+
+@pytest.fixture()
+def network():
+    return SimulatedNetwork(NetworkConfig(min_latency_ms=1, max_latency_ms=2, seed=0))
+
+
+@pytest.fixture()
+def certification():
+    return CertificationService(seed=0)
+
+
+def make_node(network, certification, name: str, **config_kwargs) -> KademliaNode:
+    identity = certification.register(name)
+    config = NodeConfig(k=8, alpha=2, replicate=2, **config_kwargs)
+    return KademliaNode(
+        node_id=identity.node_id,
+        network=network,
+        config=config,
+        certification=certification,
+    )
+
+
+@pytest.fixture()
+def trio(network, certification):
+    """Three joined nodes."""
+    a = make_node(network, certification, "a")
+    b = make_node(network, certification, "b")
+    c = make_node(network, certification, "c")
+    a.join(None)
+    b.join(a.contact)
+    c.join(a.contact)
+    return a, b, c
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeConfig(k=0)
+        with pytest.raises(ValueError):
+            NodeConfig(alpha=0)
+        with pytest.raises(ValueError):
+            NodeConfig(replicate=0)
+        with pytest.raises(ValueError):
+            NodeConfig(k=2, replicate=3)
+
+
+class TestMembership:
+    def test_join_populates_routing_tables(self, trio):
+        a, b, c = trio
+        assert b.node_id in a.routing_table
+        assert a.node_id in b.routing_table
+        # c learned about b (or at least about a) through the join lookup.
+        assert len(c.routing_table) >= 1
+        assert all(node.joined for node in trio)
+
+    def test_ping(self, trio):
+        a, b, _c = trio
+        assert a.ping(b.contact)
+
+    def test_ping_dead_node_fails_and_evicts(self, trio):
+        a, b, _c = trio
+        b.leave()
+        assert not a.ping(b.contact)
+        assert b.node_id not in a.routing_table
+
+    def test_leave_unregisters_and_optionally_returns_items(self, trio, network):
+        a, b, _c = trio
+        key = NodeID.hash_of("x")
+        b.storage.put(key, "value")
+        items = b.leave(republish=True)
+        assert key in items
+        assert not network.is_registered(b.address)
+
+
+class TestStoreRetrieve:
+    def test_store_and_retrieve_plain_value(self, trio):
+        a, _b, c = trio
+        key = NodeID.hash_of("some-key")
+        a.store(key, {"payload": 42})
+        value, outcome = c.retrieve(key)
+        assert value == {"payload": 42}
+
+    def test_retrieve_missing_key(self, trio):
+        a, _b, _c = trio
+        value, outcome = a.retrieve(NodeID.hash_of("nothing-here"))
+        assert value is None
+        assert not outcome.found_value
+
+    def test_store_replicates_to_multiple_nodes(self, trio):
+        a, b, c = trio
+        key = NodeID.hash_of("replicated")
+        a.store(key, "v")
+        holders = sum(1 for node in trio if key in node.storage)
+        assert holders >= 2  # replicate=2
+
+    def test_signed_store_verified_and_unwrapped(self, trio, certification):
+        a, _b, c = trio
+        alice = certification.register("alice")
+        key = NodeID.hash_of("signed-key")
+        a.store(key, {"data": 1}, identity=alice)
+        value, _ = c.retrieve(key)
+        assert value == {"data": 1}
+
+    def test_forged_signed_store_rejected(self, trio, certification):
+        a, b, _c = trio
+        alice = certification.register("alice")
+        key = NodeID.hash_of("forged")
+        good = SignedValue.create(alice, key, "value")
+        forged = SignedValue(
+            publisher="alice", key_hex=good.key_hex, value="other", credential=good.credential
+        )
+        from repro.dht.messages import StoreRequest
+
+        with pytest.raises(LikirAuthError):
+            b._dispatch(
+                a.address,
+                StoreRequest(
+                    sender_id=a.node_id, sender_address=a.address, key=key, value=forged
+                ),
+            )
+
+
+class TestAppend:
+    def test_append_accumulates_across_clients(self, trio):
+        a, b, c = trio
+        key = NodeID.hash_of("rock|3")
+        a.append(key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 1})
+        b.append(key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 2, "jazz": 1})
+        value, _ = c.retrieve(key)
+        assert value["entries"]["pop"] == 3
+        assert value["entries"]["jazz"] == 1
+
+    def test_append_if_new_semantics_through_rpc(self, trio):
+        a, _b, c = trio
+        key = NodeID.hash_of("rock|3b")
+        a.append(
+            key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 7}, increments_if_new={"pop": 1}
+        )
+        value, _ = c.retrieve(key)
+        assert value["entries"]["pop"] == 1
+        a.append(
+            key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 7}, increments_if_new={"pop": 1}
+        )
+        value, _ = c.retrieve(key)
+        assert value["entries"]["pop"] == 8
+
+
+class TestServerCounters:
+    def test_rpcs_served_counters_grow(self, trio):
+        a, b, _c = trio
+        before = dict(b.rpcs_served)
+        a.ping(b.contact)
+        a.lookup_node(NodeID.hash_of("target"))
+        assert b.rpcs_served["ping"] >= before["ping"] + 1
+        assert b.rpcs_served["find_node"] >= before["find_node"]
+
+    def test_unknown_rpc_rejected(self, trio):
+        a, b, _c = trio
+        with pytest.raises(TypeError):
+            b._dispatch(a.address, object())
+
+
+class TestLookups:
+    def test_lookup_value_checks_local_storage_first(self, trio, network):
+        a, _b, _c = trio
+        key = NodeID.hash_of("local")
+        a.storage.put(key, "here")
+        sent_before = network.stats.messages_sent
+        outcome = a.lookup_value(key)
+        assert outcome.found_value
+        assert network.stats.messages_sent == sent_before  # no network traffic
+
+    def test_lookup_node_returns_closest_live_contacts(self, trio):
+        a, b, c = trio
+        outcome = a.lookup_node(b.node_id)
+        ids = {contact.node_id for contact in outcome.closest}
+        assert b.node_id in ids
+
+    def test_retrieve_with_top_n_filtering(self, trio):
+        a, _b, c = trio
+        key = NodeID.hash_of("rock|filtered")
+        a.append(
+            key,
+            "rock",
+            BlockType.TAG_NEIGHBOURS,
+            {f"t{i}": i + 1 for i in range(10)},
+        )
+        value, _ = c.retrieve(key, top_n=3)
+        assert len(value["entries"]) == 3
+
+
+class TestLargerOverlay:
+    def test_twenty_node_overlay_stores_and_finds_many_keys(self, network, certification):
+        nodes = []
+        for index in range(20):
+            node = make_node(network, certification, f"peer{index}")
+            node.join(nodes[0].contact if nodes else None)
+            nodes.append(node)
+        # Store 30 keys from random access points, read them back from others.
+        for i in range(30):
+            key = NodeID.hash_of(f"key-{i}")
+            nodes[i % len(nodes)].store(key, f"value-{i}")
+        for i in range(30):
+            key = NodeID.hash_of(f"key-{i}")
+            value, _ = nodes[(i * 7 + 3) % len(nodes)].retrieve(key)
+            assert value == f"value-{i}"
+
+    def test_refresh_buckets_issues_lookups(self, trio):
+        a, _b, _c = trio
+        assert a.refresh_buckets() >= 1

@@ -1,0 +1,92 @@
+"""Unit tests for the identifier space and XOR metric."""
+
+import random
+
+import pytest
+
+from repro.dht.node_id import ID_BITS, ID_BYTES, NodeID, common_prefix_length, xor_distance
+
+
+class TestConstruction:
+    def test_bounds_enforced(self):
+        NodeID(0)
+        NodeID((1 << ID_BITS) - 1)
+        with pytest.raises(ValueError):
+            NodeID(-1)
+        with pytest.raises(ValueError):
+            NodeID(1 << ID_BITS)
+
+    def test_bytes_round_trip(self):
+        node_id = NodeID(123456789)
+        assert NodeID.from_bytes(node_id.to_bytes()) == node_id
+        assert len(node_id.to_bytes()) == ID_BYTES
+
+    def test_hex_round_trip(self):
+        node_id = NodeID.random(random.Random(0))
+        assert NodeID.from_hex(node_id.hex()) == node_id
+
+    def test_from_bytes_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            NodeID.from_bytes(b"\x00" * 10)
+
+    def test_hash_of_is_deterministic_and_injective_in_practice(self):
+        a = NodeID.hash_of("rock|2")
+        b = NodeID.hash_of("rock|2")
+        c = NodeID.hash_of("rock|3")
+        assert a == b
+        assert a != c
+
+    def test_random_is_seed_deterministic(self):
+        assert NodeID.random(random.Random(1)) == NodeID.random(random.Random(1))
+
+
+class TestMetric:
+    def test_distance_to_self_is_zero(self):
+        node_id = NodeID.hash_of("x")
+        assert node_id.distance_to(node_id) == 0
+
+    def test_distance_symmetry(self):
+        a, b = NodeID.hash_of("a"), NodeID.hash_of("b")
+        assert a.distance_to(b) == b.distance_to(a)
+        assert xor_distance(a, b) == a.distance_to(b)
+
+    def test_triangle_inequality_holds_for_xor(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            a, b, c = (NodeID.random(rng) for _ in range(3))
+            assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c)
+
+    def test_unidirectionality(self):
+        """For a fixed point and distance there is exactly one counterpart."""
+        a = NodeID.hash_of("anchor")
+        d = 12345
+        candidates = [x for x in (NodeID(a.value ^ d),) if a.distance_to(x) == d]
+        assert len(candidates) == 1
+
+    def test_bucket_index(self):
+        a = NodeID(0)
+        assert a.bucket_index_for(NodeID(1)) == 0
+        assert a.bucket_index_for(NodeID(2)) == 1
+        assert a.bucket_index_for(NodeID(3)) == 1
+        assert a.bucket_index_for(NodeID(1 << 159)) == 159
+        with pytest.raises(ValueError):
+            a.bucket_index_for(NodeID(0))
+
+    def test_bit_access(self):
+        node_id = NodeID(1 << (ID_BITS - 1))
+        assert node_id.bit(0) == 1
+        assert node_id.bit(1) == 0
+        with pytest.raises(IndexError):
+            node_id.bit(ID_BITS)
+
+    def test_ordering(self):
+        assert NodeID(1) < NodeID(2)
+        assert sorted([NodeID(5), NodeID(1), NodeID(3)])[0] == NodeID(1)
+        assert int(NodeID(9)) == 9
+
+
+class TestPrefix:
+    def test_common_prefix_length(self):
+        assert common_prefix_length(NodeID(0), NodeID(0)) == ID_BITS
+        assert common_prefix_length(NodeID(0), NodeID(1)) == ID_BITS - 1
+        assert common_prefix_length(NodeID(0), NodeID(1 << (ID_BITS - 1))) == 0

@@ -1,0 +1,150 @@
+"""Unit tests for k-buckets and the routing table."""
+
+import random
+
+import pytest
+
+from repro.dht.node_id import ID_BITS, NodeID
+from repro.dht.routing_table import Contact, KBucket, RoutingTable
+
+
+def make_contact(value: int) -> Contact:
+    return Contact(node_id=NodeID(value), address=f"addr-{value}")
+
+
+class TestKBucket:
+    def test_capacity_enforced(self):
+        bucket = KBucket(k=3)
+        for i in range(3):
+            assert bucket.record_contact(make_contact(i + 1))
+        assert bucket.is_full
+        # A fourth contact is parked in the replacement cache.
+        assert not bucket.record_contact(make_contact(99))
+        assert len(bucket) == 3
+        assert make_contact(99).node_id in {c.node_id for c in bucket.replacement_candidates()}
+
+    def test_refresh_moves_contact_to_most_recent(self):
+        bucket = KBucket(k=3)
+        for i in range(1, 4):
+            bucket.record_contact(make_contact(i))
+        bucket.record_contact(make_contact(1))  # refresh
+        assert bucket.least_recently_seen().node_id == NodeID(2)
+
+    def test_evict_promotes_replacement(self):
+        bucket = KBucket(k=2)
+        bucket.record_contact(make_contact(1))
+        bucket.record_contact(make_contact(2))
+        bucket.record_contact(make_contact(3))  # goes to replacement cache
+        bucket.evict(NodeID(1))
+        members = {c.node_id for c in bucket.contacts()}
+        assert NodeID(1) not in members
+        assert NodeID(3) in members
+
+    def test_evict_unknown_contact_is_noop(self):
+        bucket = KBucket(k=2)
+        bucket.record_contact(make_contact(1))
+        bucket.evict(NodeID(42))
+        assert len(bucket) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            KBucket(k=0)
+
+    def test_contains(self):
+        bucket = KBucket(k=2)
+        bucket.record_contact(make_contact(1))
+        assert NodeID(1) in bucket
+        assert NodeID(2) not in bucket
+
+    def test_replacement_cache_bounded(self):
+        bucket = KBucket(k=2)
+        for i in range(1, 10):
+            bucket.record_contact(make_contact(i))
+        assert len(bucket.replacement_candidates()) <= 2
+
+
+class TestRoutingTable:
+    def test_never_stores_owner(self):
+        owner = NodeID(42)
+        table = RoutingTable(owner, k=4)
+        assert table.record_contact(Contact(owner, "self"))
+        assert owner not in table
+        assert len(table) == 0
+
+    def test_contacts_land_in_correct_bucket(self):
+        owner = NodeID(0)
+        table = RoutingTable(owner, k=4)
+        table.record_contact(make_contact(1))       # distance 1 -> bucket 0
+        table.record_contact(make_contact(2))       # distance 2 -> bucket 1
+        table.record_contact(make_contact(1 << 100))
+        assert len(table.bucket(0)) == 1
+        assert len(table.bucket(1)) == 1
+        assert len(table.bucket(100)) == 1
+        assert table.bucket_index(NodeID(1 << 100)) == 100
+
+    def test_closest_contacts_sorted_by_xor_distance(self):
+        owner = NodeID(0)
+        table = RoutingTable(owner, k=8)
+        values = [3, 9, 17, 33, 129, 1025]
+        for value in values:
+            table.record_contact(make_contact(value))
+        target = NodeID(16)
+        closest = table.closest_contacts(target, count=3)
+        distances = [c.distance_to(target) for c in closest]
+        assert distances == sorted(distances)
+        all_distances = sorted(NodeID(v).distance_to(target) for v in values)
+        assert distances == all_distances[:3]
+
+    def test_closest_contacts_defaults_to_k(self):
+        owner = NodeID(0)
+        table = RoutingTable(owner, k=3)
+        for value in range(1, 20):
+            table.record_contact(make_contact(value))
+        assert len(table.closest_contacts(NodeID(7))) <= 3 * ID_BITS  # sanity
+        assert len(table.closest_contacts(NodeID(7))) == 3
+
+    def test_evict_and_least_recently_seen(self):
+        owner = NodeID(0)
+        table = RoutingTable(owner, k=2)
+        table.record_contact(make_contact(1))
+        table.record_contact(make_contact(1))  # refresh
+        assert table.least_recently_seen(NodeID(1)).node_id == NodeID(1)
+        table.evict(NodeID(1))
+        assert NodeID(1) not in table
+        # Evicting the owner is a no-op.
+        table.evict(owner)
+
+    def test_membership_and_iteration(self):
+        owner = NodeID(0)
+        table = RoutingTable(owner, k=4)
+        for value in (5, 6, 7):
+            table.record_contact(make_contact(value))
+        assert NodeID(5) in table
+        assert NodeID(50) not in table
+        assert {c.node_id.value for c in table.contacts()} == {5, 6, 7}
+        assert len(table) == 3
+
+    def test_bucket_utilisation(self):
+        owner = NodeID(0)
+        table = RoutingTable(owner, k=4)
+        table.record_contact(make_contact(1))
+        table.record_contact(make_contact(3))
+        utilisation = table.bucket_utilisation()
+        assert utilisation[0] == 1
+        assert utilisation[1] == 1
+        assert all(size > 0 for size in utilisation.values())
+
+    def test_full_bucket_reports_false_and_keeps_size(self):
+        owner = NodeID(0)
+        table = RoutingTable(owner, k=2)
+        # Bucket 0 contains only distance-1 ids, so use bucket 159 instead:
+        # many ids share the top bit.
+        high = 1 << 159
+        inserted = 0
+        rng = random.Random(0)
+        for _ in range(10):
+            value = high | rng.getrandbits(150)
+            if table.record_contact(make_contact(value)):
+                inserted += 1
+        assert len(table.bucket(159)) == 2
+        assert inserted >= 2

@@ -1,0 +1,171 @@
+"""Unit tests for the per-node storage (token appends, index-side filtering)."""
+
+import pytest
+
+from repro.core.blocks import BlockKey, BlockType
+from repro.dht.node_id import NodeID
+from repro.dht.storage import LocalStorage
+
+
+def key_of(name: str, block_type: BlockType) -> NodeID:
+    return NodeID.from_bytes(BlockKey(name, block_type).digest())
+
+
+class TestOpaqueValues:
+    def test_put_get_delete(self):
+        storage = LocalStorage()
+        key = NodeID.hash_of("k")
+        assert storage.get(key) is None
+        storage.put(key, {"hello": "world"})
+        assert storage.get(key) == {"hello": "world"}
+        assert key in storage
+        assert len(storage) == 1
+        assert storage.delete(key)
+        assert not storage.delete(key)
+        assert storage.get(key) is None
+
+    def test_put_replaces_value(self):
+        storage = LocalStorage()
+        key = NodeID.hash_of("k")
+        storage.put(key, 1)
+        storage.put(key, 2)
+        assert storage.get(key) == 2
+
+    def test_keys_iteration(self):
+        storage = LocalStorage()
+        keys = [NodeID.hash_of(str(i)) for i in range(3)]
+        for key in keys:
+            storage.put(key, "x")
+        assert set(storage.keys()) == set(keys)
+
+
+class TestCounterAppend:
+    def test_append_creates_block_on_first_touch(self):
+        storage = LocalStorage()
+        key = key_of("rock", BlockType.TAG_NEIGHBOURS)
+        size = storage.append(key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 1})
+        assert size == 1
+        block = storage.counter_block(key)
+        assert block.get("pop") == 1
+        assert block.owner == "rock"
+
+    def test_append_accumulates(self):
+        storage = LocalStorage()
+        key = key_of("rock", BlockType.TAG_NEIGHBOURS)
+        storage.append(key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 2})
+        storage.append(key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 3, "jazz": 1})
+        block = storage.counter_block(key)
+        assert block.get("pop") == 5
+        assert block.get("jazz") == 1
+
+    def test_append_if_new_uses_alternate_value_only_for_new_entries(self):
+        """The storage-side half of Approximation B."""
+        storage = LocalStorage()
+        key = key_of("rock", BlockType.TAG_NEIGHBOURS)
+        # "pop" is new: gets the if-new value (1) instead of the exact 5.
+        storage.append(
+            key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 5}, increments_if_new={"pop": 1}
+        )
+        assert storage.counter_block(key).get("pop") == 1
+        # Second time "pop" exists: the exact increment applies.
+        storage.append(
+            key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 5}, increments_if_new={"pop": 1}
+        )
+        assert storage.counter_block(key).get("pop") == 6
+
+    def test_append_accepts_string_block_type(self):
+        storage = LocalStorage()
+        key = key_of("r1", BlockType.RESOURCE_TAGS)
+        storage.append(key, "r1", "1", {"rock": 1})
+        assert storage.counter_block(key).get("rock") == 1
+
+    def test_append_rejects_uri_block_type(self):
+        storage = LocalStorage()
+        with pytest.raises(ValueError):
+            storage.append(NodeID.hash_of("x"), "x", BlockType.RESOURCE_URI, {"a": 1})
+
+    def test_append_rejects_nonpositive_increments(self):
+        storage = LocalStorage()
+        key = key_of("rock", BlockType.TAG_NEIGHBOURS)
+        with pytest.raises(ValueError):
+            storage.append(key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 0})
+        with pytest.raises(ValueError):
+            storage.append(
+                key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 1}, increments_if_new={"pop": 0}
+            )
+
+    def test_append_rejects_metadata_mismatch(self):
+        storage = LocalStorage()
+        key = key_of("rock", BlockType.TAG_NEIGHBOURS)
+        storage.append(key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 1})
+        with pytest.raises(ValueError):
+            storage.append(key, "other-owner", BlockType.TAG_NEIGHBOURS, {"pop": 1})
+        with pytest.raises(ValueError):
+            storage.append(key, "rock", BlockType.TAG_RESOURCES, {"pop": 1})
+
+    def test_append_rejects_non_counter_value(self):
+        storage = LocalStorage()
+        key = NodeID.hash_of("opaque")
+        storage.put(key, "just a string")
+        with pytest.raises(ValueError):
+            storage.append(key, "opaque", BlockType.TAG_NEIGHBOURS, {"pop": 1})
+
+    def test_concurrent_style_appends_commute(self):
+        """Two interleaved publishers converge to the same block state
+        regardless of order."""
+        def run(order):
+            storage = LocalStorage()
+            key = key_of("rock", BlockType.TAG_NEIGHBOURS)
+            for increments in order:
+                storage.append(key, "rock", BlockType.TAG_NEIGHBOURS, increments)
+            return storage.counter_block(key).entries
+
+        ops = [{"pop": 1}, {"jazz": 2}, {"pop": 3, "metal": 1}]
+        assert run(ops) == run(list(reversed(ops)))
+
+
+class TestIndexSideFiltering:
+    def test_get_top_n_truncates_counter_blocks(self):
+        storage = LocalStorage()
+        key = key_of("rock", BlockType.TAG_NEIGHBOURS)
+        storage.append(
+            key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 5, "jazz": 1, "metal": 9, "folk": 2}
+        )
+        payload = storage.get(key, top_n=2)
+        assert payload["truncated"] is True
+        assert set(payload["entries"]) == {"metal", "pop"}
+        # The stored block itself is not truncated.
+        assert len(storage.counter_block(key).entries) == 4
+
+    def test_get_top_n_leaves_small_blocks_untouched(self):
+        storage = LocalStorage()
+        key = key_of("rock", BlockType.TAG_NEIGHBOURS)
+        storage.append(key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 5})
+        payload = storage.get(key, top_n=10)
+        assert "truncated" not in payload
+
+    def test_get_top_n_ignores_opaque_values(self):
+        storage = LocalStorage()
+        key = NodeID.hash_of("opaque")
+        storage.put(key, [1, 2, 3, 4, 5])
+        assert storage.get(key, top_n=1) == [1, 2, 3, 4, 5]
+
+
+class TestIntrospection:
+    def test_total_entries_and_snapshot(self):
+        storage = LocalStorage()
+        k1 = key_of("rock", BlockType.TAG_NEIGHBOURS)
+        k2 = key_of("r1", BlockType.RESOURCE_TAGS)
+        storage.append(k1, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 1, "jazz": 1})
+        storage.append(k2, "r1", BlockType.RESOURCE_TAGS, {"rock": 1})
+        storage.put(NodeID.hash_of("opaque"), "v")
+        assert storage.total_entries() == 3
+        snapshot = storage.items_snapshot()
+        assert len(snapshot) == 3
+
+    def test_counter_block_returns_none_for_missing_or_opaque(self):
+        storage = LocalStorage()
+        assert storage.counter_block(NodeID.hash_of("missing")) is None
+        key = NodeID.hash_of("opaque")
+        storage.put(key, "text")
+        assert storage.counter_block(key) is None

@@ -1,0 +1,75 @@
+"""Unit tests for the typed block store."""
+
+import pytest
+
+from repro.dht.bootstrap import build_overlay
+from repro.dht.node import NodeConfig
+from repro.distributed.block_store import BlockStore
+from repro.simulation.network import NetworkConfig
+
+
+@pytest.fixture()
+def store():
+    overlay = build_overlay(
+        6,
+        node_config=NodeConfig(k=8, alpha=2, replicate=2),
+        network_config=NetworkConfig(min_latency_ms=1, max_latency_ms=2, seed=0),
+        seed=0,
+    )
+    return BlockStore(overlay.client(identity=overlay.register_user("alice")))
+
+
+class TestResourceURI:
+    def test_put_and_get(self, store):
+        store.put_resource_uri("nevermind", "urn:album:1")
+        assert store.get_resource_uri("nevermind") == "urn:album:1"
+
+    def test_missing_uri(self, store):
+        assert store.get_resource_uri("ghost") is None
+
+
+class TestCounterBlocks:
+    def test_resource_tags_round_trip(self, store):
+        store.append_resource_tags("r1", {"rock": 1, "pop": 2})
+        store.append_resource_tags("r1", {"rock": 1})
+        assert store.get_resource_tags("r1") == {"rock": 2, "pop": 2}
+
+    def test_tag_resources_round_trip(self, store):
+        store.append_tag_resources("rock", {"r1": 1})
+        store.append_tag_resources("rock", {"r2": 3})
+        assert store.get_tag_resources("rock") == {"r1": 1, "r2": 3}
+
+    def test_tag_neighbours_with_if_new(self, store):
+        store.append_tag_neighbours("rock", {"pop": 5}, increments_if_new={"pop": 1})
+        assert store.get_tag_neighbours("rock") == {"pop": 1}
+        store.append_tag_neighbours("rock", {"pop": 5}, increments_if_new={"pop": 1})
+        assert store.get_tag_neighbours("rock") == {"pop": 6}
+
+    def test_missing_blocks_are_empty(self, store):
+        assert store.get_resource_tags("ghost") == {}
+        assert store.get_tag_resources("ghost") == {}
+        assert store.get_tag_neighbours("ghost") == {}
+
+    def test_top_n_filtering(self, store):
+        store.append_tag_neighbours("rock", {f"t{i}": i + 1 for i in range(20)})
+        filtered = store.get_tag_neighbours("rock", top_n=5)
+        assert len(filtered) == 5
+        assert min(filtered.values()) >= 16
+
+
+class TestSearchAccessors:
+    def test_search_accessors_apply_configured_bound(self):
+        overlay = build_overlay(4, seed=1)
+        store = BlockStore(overlay.client(), search_top_n=3)
+        store.append_tag_neighbours("rock", {f"t{i}": i + 1 for i in range(10)})
+        store.append_tag_resources("rock", {f"r{i}": 1 for i in range(10)})
+        assert len(store.search_tag_neighbours("rock")) == 3
+        # Resources all have weight 1: truncation keeps exactly 3 of them.
+        assert len(store.search_tag_resources("rock")) == 3
+
+    def test_lookup_counters_exposed(self, store):
+        before = store.lookups
+        store.append_resource_tags("r1", {"rock": 1})
+        store.get_resource_tags("r1")
+        assert store.lookups == before + 2
+        assert store.rpc_messages >= 0

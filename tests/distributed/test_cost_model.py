@@ -1,0 +1,76 @@
+"""Unit tests for the Table I cost model and the cost ledger."""
+
+import pytest
+
+from repro.distributed.cost_model import (
+    CostLedger,
+    OperationCost,
+    PRIMITIVE_COSTS,
+    approximated_tag_cost,
+    insert_cost,
+    naive_tag_cost,
+    search_step_cost,
+)
+
+
+class TestFormulas:
+    def test_insert_cost(self):
+        assert insert_cost(0) == 2
+        assert insert_cost(1) == 4
+        assert insert_cost(10) == 22
+        with pytest.raises(ValueError):
+            insert_cost(-1)
+
+    def test_naive_tag_cost_scales_with_tags(self):
+        assert naive_tag_cost(0) == 4
+        assert naive_tag_cost(100) == 104
+        with pytest.raises(ValueError):
+            naive_tag_cost(-1)
+
+    def test_approximated_tag_cost_constant_in_tags(self):
+        assert approximated_tag_cost(1) == 5
+        assert approximated_tag_cost(10) == 14
+        with pytest.raises(ValueError):
+            approximated_tag_cost(-1)
+
+    def test_search_step_cost(self):
+        assert search_step_cost() == 2
+
+    def test_approximated_never_exceeds_naive_for_large_resources(self):
+        for tags in (10, 100, 1000):
+            for k in (1, 5, 10):
+                if k <= tags:
+                    assert approximated_tag_cost(k) <= naive_tag_cost(tags)
+
+    def test_table_i_dictionary(self):
+        assert set(PRIMITIVE_COSTS) == {"insert", "tag", "search_step"}
+        assert PRIMITIVE_COSTS["tag"]["approximated"] == "4 + k"
+
+
+class TestLedger:
+    def test_record_and_aggregate(self):
+        ledger = CostLedger()
+        ledger.record(OperationCost("tag", lookups=5, size=3))
+        ledger.record(OperationCost("tag", lookups=7, size=10))
+        ledger.record(OperationCost("insert", lookups=8, size=3))
+        assert len(ledger) == 3
+        assert ledger.total_lookups() == 20
+        assert ledger.total_lookups("tag") == 12
+        assert ledger.mean_lookups("tag") == 6.0
+        assert ledger.max_lookups("tag") == 7
+        grouped = ledger.by_operation()
+        assert len(grouped["tag"]) == 2
+
+    def test_summary(self):
+        ledger = CostLedger()
+        ledger.record(OperationCost("insert", lookups=4, size=1))
+        summary = ledger.summary()
+        assert summary["insert"]["count"] == 1
+        assert summary["insert"]["mean_lookups"] == 4.0
+
+    def test_missing_operation_raises(self):
+        ledger = CostLedger()
+        with pytest.raises(ValueError):
+            ledger.mean_lookups("tag")
+        with pytest.raises(ValueError):
+            ledger.max_lookups("tag")

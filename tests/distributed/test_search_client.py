@@ -1,0 +1,86 @@
+"""Unit tests for the distributed faceted-search client."""
+
+import pytest
+
+from repro.core.faceted_search import FacetedSearch, ModelView
+from repro.core.tagging_model import TaggingModel
+from repro.dht.bootstrap import build_overlay
+from repro.dht.node import NodeConfig
+from repro.distributed.block_store import BlockStore
+from repro.distributed.naive_protocol import NaiveProtocol
+from repro.distributed.search_client import DistributedFacetedSearch, DistributedView
+from repro.simulation.network import NetworkConfig
+
+
+@pytest.fixture()
+def populated():
+    """An overlay populated with a small catalogue via the naive protocol,
+    plus the equivalent in-memory exact model."""
+    overlay = build_overlay(
+        8,
+        node_config=NodeConfig(k=8, alpha=2, replicate=2),
+        network_config=NetworkConfig(min_latency_ms=1, max_latency_ms=2, seed=0),
+        seed=0,
+    )
+    store = BlockStore(overlay.client(identity=overlay.register_user("publisher")))
+    protocol = NaiveProtocol(store)
+    reference = TaggingModel()
+    catalogue = [
+        ("nevermind", ["rock", "grunge", "90s"]),
+        ("in-utero", ["rock", "grunge"]),
+        ("ok-computer", ["rock", "alternative", "90s"]),
+        ("kid-a", ["alternative", "electronic"]),
+        ("discovery", ["electronic", "dance"]),
+    ]
+    for resource, tags in catalogue:
+        protocol.insert_resource(resource, tags)
+        reference.insert_resource(resource, tags)
+    protocol.add_tag("nevermind", "seattle")
+    reference.add_tag("nevermind", "seattle")
+    return overlay, store, reference
+
+
+class TestDistributedView:
+    def test_view_matches_reference_model(self, populated):
+        _overlay, store, reference = populated
+        view = DistributedView(store)
+        for tag in reference.trg.tags:
+            assert dict(view.neighbour_similarities(tag)) == dict(reference.fg.out_arcs(tag))
+            assert view.resources_of(tag) == reference.trg.resource_set(tag)
+
+    def test_unknown_tag_is_empty(self, populated):
+        _overlay, store, _reference = populated
+        view = DistributedView(store)
+        assert view.neighbour_similarities("ghost") == {}
+        assert view.resources_of("ghost") == set()
+
+
+class TestDistributedFacetedSearch:
+    def test_same_path_as_local_engine(self, populated):
+        _overlay, store, reference = populated
+        distributed = DistributedFacetedSearch(store, resource_threshold=1, seed=4)
+        local = FacetedSearch(ModelView.from_model(reference), resource_threshold=1, seed=4)
+        for strategy in ("first", "last"):
+            assert distributed.run("rock", strategy).path == local.run("rock", strategy).path
+
+    def test_cost_per_step_is_two_lookups(self, populated):
+        _overlay, store, _reference = populated
+        search = DistributedFacetedSearch(store, resource_threshold=1, seed=0)
+        result = search.run("rock", "first")
+        assert result.length >= 2
+        assert search.lookups_per_step() == pytest.approx(2.0)
+        assert len(search.ledger.records) == result.length
+
+    def test_search_from_isolated_tag(self, populated):
+        overlay, store, _reference = populated
+        # A tag with no FG neighbours: publish a single-tag resource.
+        NaiveProtocol(BlockStore(overlay.client(identity=overlay.register_user("other")))).insert_resource(
+            "lonely-res", ["lonely-tag"]
+        )
+        search = DistributedFacetedSearch(store, resource_threshold=0, seed=0)
+        result = search.run("lonely-tag", "random")
+        assert result.length == 1
+        # The search stops immediately (no related tags to refine with) but
+        # still returns the tag's own resource set.
+        assert result.final_resources == frozenset({"lonely-res"})
+        assert result.stop_reason in {"tags_exhausted", "no_candidates"}

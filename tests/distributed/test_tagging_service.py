@@ -1,0 +1,152 @@
+"""Unit tests for the DHARMA service facade and the distributed faceted search."""
+
+import pytest
+
+from repro.core.approximation import default_approximation
+from repro.dht.bootstrap import build_overlay
+from repro.dht.node import NodeConfig
+from repro.distributed.cost_model import approximated_tag_cost, insert_cost, search_step_cost
+from repro.distributed.tagging_service import DharmaService, ServiceConfig
+from repro.simulation.network import NetworkConfig
+
+
+@pytest.fixture()
+def overlay():
+    return build_overlay(
+        10,
+        node_config=NodeConfig(k=8, alpha=2, replicate=2),
+        network_config=NetworkConfig(min_latency_ms=1, max_latency_ms=2, seed=0),
+        seed=0,
+    )
+
+
+@pytest.fixture()
+def service(overlay):
+    return DharmaService(
+        overlay,
+        user="alice",
+        config=ServiceConfig(protocol="approximated", approximation=default_approximation(2), seed=0),
+    )
+
+
+def publish_music_catalogue(service):
+    service.insert_resource("nevermind", ["rock", "grunge", "90s"], uri="urn:album:1")
+    service.insert_resource("in-utero", ["rock", "grunge"], uri="urn:album:2")
+    service.insert_resource("ok-computer", ["rock", "alternative", "90s"], uri="urn:album:3")
+    service.insert_resource("kid-a", ["alternative", "electronic"], uri="urn:album:4")
+    service.insert_resource("discovery", ["electronic", "dance"], uri="urn:album:5")
+    service.add_tag("nevermind", "seattle")
+    service.add_tag("in-utero", "seattle")
+    service.add_tag("ok-computer", "british")
+
+
+class TestServiceConfig:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(protocol="magic")
+
+    def test_naive_protocol_selectable(self, overlay):
+        service = DharmaService(overlay, user="bob", config=ServiceConfig(protocol="naive"))
+        assert service.protocol.name == "naive"
+
+    def test_default_is_approximated_with_k1(self, overlay):
+        service = DharmaService(overlay, user="carol")
+        assert service.protocol.name == "approximated"
+        assert service.protocol.k == 1
+
+
+class TestPrimitives:
+    def test_insert_and_read_back(self, service):
+        cost = service.insert_resource("nevermind", ["rock", "grunge"], uri="urn:album:1")
+        assert cost.lookups == insert_cost(2)
+        assert service.tags_of("nevermind") == {"rock": 1, "grunge": 1}
+        assert service.resources_of("rock") == {"nevermind": 1}
+        assert service.resolve("nevermind") == "urn:album:1"
+
+    def test_add_tag_cost_bound(self, service):
+        service.insert_resource("res", [f"t{i}" for i in range(9)])
+        cost = service.add_tag("res", "extra")
+        assert cost.lookups <= approximated_tag_cost(2)
+
+    def test_related_tags_ranked(self, service):
+        publish_music_catalogue(service)
+        related = service.related_tags("rock")
+        names = [t for t, _ in related]
+        assert "grunge" in names
+        weights = [w for _, w in related]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_resolve_unknown_resource(self, service):
+        assert service.resolve("ghost") is None
+
+    def test_total_lookups_and_cost_summary(self, service):
+        publish_music_catalogue(service)
+        assert service.total_lookups > 0
+        summary = service.cost_summary()
+        assert summary["insert"]["count"] == 5
+        assert summary["tag"]["count"] == 3
+
+
+class TestDistributedSearch:
+    def test_faceted_search_narrows_to_grunge_albums(self, service):
+        publish_music_catalogue(service)
+        result = service.faceted_search("grunge", "first")
+        assert result.path[0] == "grunge"
+        assert result.final_resources <= {"nevermind", "in-utero"}
+
+    def test_search_step_cost_matches_table_i(self, service):
+        publish_music_catalogue(service)
+        before = service.total_lookups
+        result = service.faceted_search("rock", "last")
+        measured = service.total_lookups - before
+        assert measured == search_step_cost() * result.length
+        assert service.search.lookups_per_step() == pytest.approx(search_step_cost())
+
+    def test_search_from_unknown_tag_finishes_immediately(self, service):
+        result = service.faceted_search("unheard-of", "random")
+        assert result.length == 1
+        assert result.final_resources == frozenset()
+
+    def test_search_respects_index_side_filtering(self, overlay):
+        service = DharmaService(
+            overlay,
+            user="dave",
+            config=ServiceConfig(search_top_n=2, seed=0),
+        )
+        publish_music_catalogue(service)
+        # With aggressive filtering the search still terminates and never
+        # crashes; the displayed candidate set is simply smaller.
+        result = service.faceted_search("rock", "first")
+        assert result.length >= 1
+
+
+class TestMultiUser:
+    def test_two_services_share_the_same_folksonomy(self, overlay):
+        alice = DharmaService(overlay, user="alice", config=ServiceConfig(seed=1))
+        bob = DharmaService(overlay, user="bob", config=ServiceConfig(seed=2))
+        alice.insert_resource("nevermind", ["rock", "grunge"])
+        bob.add_tag("nevermind", "seattle")
+        # Both see the merged state.
+        assert alice.tags_of("nevermind") == {"rock": 1, "grunge": 1, "seattle": 1}
+        assert bob.resources_of("seattle") == {"nevermind": 1}
+
+    def test_concurrent_same_tag_insertions_do_not_double_count(self, overlay):
+        """The race Approximation B removes: two users adding the same new tag
+        to the same resource must not inflate sim(t, tau) to 2*u(tau, r)."""
+        alice = DharmaService(overlay, user="alice", config=ServiceConfig(seed=1))
+        bob = DharmaService(overlay, user="bob", config=ServiceConfig(seed=2))
+        alice.insert_resource("nevermind", ["rock"])
+        # Make u(rock, nevermind) larger than 1.
+        alice.add_tag("nevermind", "rock")
+        alice.add_tag("nevermind", "rock")  # weight 3 now
+        # Both users concurrently discover the resource and tag it "grunge".
+        alice.add_tag("nevermind", "grunge")
+        bob.add_tag("nevermind", "grunge")
+        arcs = alice.related_tags("grunge")
+        weight = dict(arcs)["rock"]
+        # Exact would be 3 for the first user; the second user's token adds at
+        # most u(rock, r) again only through the legitimate exact rule.  With
+        # Approximation B the first creation is 1, the second (arc now exists
+        # and the tag is new for that user's view) adds the exact 3 -> total 4,
+        # but never the doubled 6 the naive read-modify-write could produce.
+        assert weight <= 4

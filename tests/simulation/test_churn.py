@@ -1,0 +1,85 @@
+"""Unit tests for the churn process."""
+
+import pytest
+
+from repro.dht.bootstrap import build_overlay
+from repro.dht.node import NodeConfig
+from repro.simulation.churn import ChurnConfig, ChurnProcess
+from repro.simulation.event_queue import EventQueue
+from repro.simulation.network import NetworkConfig
+
+
+def small_overlay(n=6):
+    return build_overlay(
+        n,
+        node_config=NodeConfig(k=8, alpha=2, replicate=2),
+        network_config=NetworkConfig(min_latency_ms=1, max_latency_ms=2, seed=0),
+        seed=0,
+    )
+
+
+class TestConfigValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(join_rate=-1)
+        with pytest.raises(ValueError):
+            ChurnConfig(mean_session_s=0)
+        with pytest.raises(ValueError):
+            ChurnConfig(crash_probability=1.5)
+        with pytest.raises(ValueError):
+            ChurnConfig(min_nodes=0)
+
+
+class TestChurnProcess:
+    def test_departures_respect_min_nodes(self):
+        overlay = small_overlay(4)
+        queue = EventQueue(overlay.clock)
+        config = ChurnConfig(join_rate=0.0, mean_session_s=1.0, crash_probability=1.0, min_nodes=3, seed=0)
+        process = ChurnProcess(overlay, queue, config)
+        process.start()
+        queue.run_until(overlay.clock.now + 60_000, max_events=500)
+        live = sum(1 for n in overlay.nodes if overlay.network.is_registered(n.address))
+        assert live >= 3
+
+    def test_joins_grow_the_overlay(self):
+        overlay = small_overlay(3)
+        queue = EventQueue(overlay.clock)
+        config = ChurnConfig(join_rate=1.0, mean_session_s=10_000.0, min_nodes=2, seed=1)
+        process = ChurnProcess(overlay, queue, config)
+        process.start()
+        queue.run_until(overlay.clock.now + 20_000, max_events=200)
+        assert process.joins >= 1
+        assert len(overlay.nodes) > 3
+
+    def test_graceful_and_crash_departures_counted(self):
+        overlay = small_overlay(8)
+        queue = EventQueue(overlay.clock)
+        config = ChurnConfig(join_rate=0.0, mean_session_s=2.0, crash_probability=0.5, min_nodes=2, seed=2)
+        process = ChurnProcess(overlay, queue, config)
+        process.start()
+        queue.run_until(overlay.clock.now + 120_000, max_events=500)
+        assert process.graceful_leaves + process.crashes >= 1
+
+    def test_overlay_survives_churn_for_lookups(self):
+        """Data stored before churn is still retrievable afterwards as long as
+        departures are graceful."""
+        from repro.dht.node_id import NodeID
+
+        overlay = small_overlay(8)
+        keys = [NodeID.hash_of(f"key-{i}") for i in range(10)]
+        for i, key in enumerate(keys):
+            overlay.nodes[i % 8].store(key, f"v{i}")
+
+        queue = EventQueue(overlay.clock)
+        config = ChurnConfig(join_rate=0.5, mean_session_s=5.0, crash_probability=0.0, min_nodes=4, seed=3)
+        process = ChurnProcess(overlay, queue, config)
+        process.start()
+        queue.run_until(overlay.clock.now + 30_000, max_events=300)
+
+        access = overlay.random_node()
+        recovered = 0
+        for i, key in enumerate(keys):
+            value, _ = access.retrieve(key)
+            if value == f"v{i}":
+                recovered += 1
+        assert recovered >= 8  # graceful departures republish

@@ -1,0 +1,109 @@
+"""Unit tests for the virtual clock and the discrete-event queue."""
+
+import pytest
+
+from repro.simulation.clock import SimulationClock
+from repro.simulation.event_queue import EventQueue
+
+
+class TestClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimulationClock()
+        assert clock.now == 0.0
+        assert clock.advance(5.0) == 5.0
+        assert clock.now == 5.0
+
+    def test_advance_rejects_negative(self):
+        clock = SimulationClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = SimulationClock(start=10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+        clock.advance_to(20.0)
+        assert clock.now == 20.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationClock(start=-1.0)
+
+
+class TestEventQueue:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule_at(30, lambda: order.append("c"))
+        queue.schedule_at(10, lambda: order.append("a"))
+        queue.schedule_at(20, lambda: order.append("b"))
+        queue.run_all()
+        assert order == ["a", "b", "c"]
+        assert queue.clock.now == 30
+        assert queue.processed == 3
+
+    def test_simultaneous_events_run_in_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for label in "xyz":
+            queue.schedule_at(5, lambda l=label: order.append(l))
+        queue.run_all()
+        assert order == ["x", "y", "z"]
+
+    def test_schedule_in_uses_relative_delay(self):
+        queue = EventQueue()
+        queue.clock.advance(100)
+        seen = []
+        queue.schedule_in(50, lambda: seen.append(queue.clock.now))
+        queue.run_all()
+        assert seen == [150]
+
+    def test_cannot_schedule_in_the_past(self):
+        queue = EventQueue()
+        queue.clock.advance(10)
+        with pytest.raises(ValueError):
+            queue.schedule_at(5, lambda: None)
+        with pytest.raises(ValueError):
+            queue.schedule_in(-1, lambda: None)
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule_at(10, lambda: fired.append("x"))
+        event.cancel()
+        queue.schedule_at(20, lambda: fired.append("y"))
+        queue.run_all()
+        assert fired == ["y"]
+        assert len(queue) == 0
+
+    def test_run_until_respects_deadline(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_at(10, lambda: fired.append(10))
+        queue.schedule_at(30, lambda: fired.append(30))
+        executed = queue.run_until(20)
+        assert executed == 1
+        assert fired == [10]
+        assert queue.clock.now == 20
+        assert queue.peek_time() == 30
+
+    def test_step_returns_none_when_empty(self):
+        queue = EventQueue()
+        assert queue.step() is None
+        assert queue.peek_time() is None
+
+    def test_self_rescheduling_event_bounded_by_run_all_guard(self):
+        queue = EventQueue()
+
+        def reschedule():
+            queue.schedule_in(1, reschedule)
+
+        queue.schedule_in(1, reschedule)
+        with pytest.raises(RuntimeError):
+            queue.run_all(max_events=50)
+
+    def test_run_until_max_events_cap(self):
+        queue = EventQueue()
+        for t in range(10):
+            queue.schedule_at(t + 1, lambda: None)
+        assert queue.run_until(100, max_events=3) == 3

@@ -1,0 +1,99 @@
+"""Unit tests for tagging workloads."""
+
+import pytest
+
+from repro.core.tagging_model import TaggingModel
+from repro.simulation.workload import TaggingWorkload, WorkloadEvent
+
+
+class TestWorkloadEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadEvent(kind="retag", resource="r", tags=("a",))
+        with pytest.raises(ValueError):
+            WorkloadEvent(kind="tag", resource="r", tags=("a", "b"))
+        with pytest.raises(ValueError):
+            WorkloadEvent(kind="insert", resource="r", tags=())
+
+
+class TestConstruction:
+    def test_from_triples_groups_first_insertion(self):
+        triples = [
+            ("u1", "r1", "rock"),
+            ("u2", "r1", "pop"),
+            ("u3", "r2", "jazz"),
+            ("u4", "r1", "rock"),
+        ]
+        workload = TaggingWorkload.from_triples(triples)
+        kinds = [(e.kind, e.resource) for e in workload]
+        assert kinds == [("insert", "r1"), ("tag", "r1"), ("insert", "r2"), ("tag", "r1")]
+
+    def test_from_triples_all_tags_mode(self):
+        triples = [("u", "r1", "rock"), ("u", "r1", "pop")]
+        workload = TaggingWorkload.from_triples(triples, group_first_insertion=False)
+        assert all(e.kind == "tag" for e in workload)
+
+    def test_shuffled_keeps_inserts_before_their_tags(self):
+        triples = [(f"u{i}", f"r{i % 4}", f"t{i % 7}") for i in range(40)]
+        workload = TaggingWorkload.from_triples(triples)
+        shuffled = workload.shuffled(seed=3)
+        assert len(shuffled) == len(workload)
+        seen_insert: set[str] = set()
+        for event in shuffled:
+            if event.kind == "insert":
+                seen_insert.add(event.resource)
+            else:
+                assert event.resource in seen_insert
+
+    def test_len_and_iteration(self):
+        workload = TaggingWorkload([WorkloadEvent("insert", "r1", ("a",))])
+        assert len(workload) == 1
+        assert list(workload)[0].resource == "r1"
+
+
+class TestReplay:
+    def test_replay_against_in_memory_model(self):
+        triples = [
+            ("u1", "r1", "rock"),
+            ("u2", "r1", "pop"),
+            ("u3", "r1", "rock"),
+            ("u4", "r2", "rock"),
+        ]
+        workload = TaggingWorkload.from_triples(triples)
+        model = TaggingModel()
+        stats = workload.replay(model)
+        assert stats.insert_ops == 2
+        assert stats.tag_ops == 2
+        assert stats.total_ops == 4
+        assert model.trg.weight("rock", "r1") == 2
+        model.check_model_invariant()
+
+    def test_replay_limit(self):
+        triples = [(f"u{i}", "r1", f"t{i}") for i in range(10)]
+        workload = TaggingWorkload.from_triples(triples)
+        model = TaggingModel()
+        stats = workload.replay(model, limit=3)
+        assert stats.total_ops == 3
+
+    def test_replay_error_handling(self):
+        class FailingBackend:
+            def insert_resource(self, resource, tags):
+                raise RuntimeError("boom")
+
+            def add_tag(self, resource, tag):
+                raise RuntimeError("boom")
+
+        workload = TaggingWorkload.from_triples([("u", "r", "t")])
+        with pytest.raises(RuntimeError):
+            workload.replay(FailingBackend())
+        stats = workload.replay(FailingBackend(), ignore_errors=True)
+        assert stats.errors == 1
+        assert stats.total_ops == 0
+
+    def test_replay_of_dataset_matches_direct_aggregation(self, tiny_dataset):
+        """Replaying the workload built from a dataset produces the same TRG
+        as aggregating the dataset directly."""
+        workload = TaggingWorkload.from_triples(tiny_dataset.triples())
+        model = TaggingModel()
+        workload.replay(model)
+        assert model.trg == tiny_dataset.to_tag_resource_graph()

@@ -1,0 +1,82 @@
+"""Tests for the ``dharma`` command-line front-end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.lastfm_synthetic import LastfmSyntheticConfig, generate_lastfm_like
+from repro.datasets.loader import save_triples_tsv
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "triples.tsv"
+    dataset = generate_lastfm_like(
+        LastfmSyntheticConfig(
+            num_resources=80, num_tags=60, num_users=60, max_tags_per_resource=12,
+            synonym_families=2, seed=5,
+        )
+    )
+    save_triples_tsv(dataset, path)
+    return path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command, extra in [
+            ("generate", ["out.tsv"]),
+            ("stats", ["in.tsv"]),
+            ("evolve", ["in.tsv"]),
+            ("converge", ["in.tsv"]),
+            ("overlay", ["in.tsv"]),
+        ]:
+            args = parser.parse_args([command, *extra])
+            assert args.command == command
+
+
+class TestCommands:
+    def test_generate_writes_tsv(self, tmp_path, capsys):
+        output = tmp_path / "generated.tsv"
+        assert main(["generate", str(output), "--preset", "tiny", "--seed", "3"]) == 0
+        assert output.exists()
+        out = capsys.readouterr().out
+        assert "generated dataset" in out
+
+    def test_stats_prints_table_ii(self, dataset_path, capsys):
+        assert main(["stats", str(dataset_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "NFG(t)" in out
+
+    def test_evolve_prints_table_iii(self, dataset_path, capsys):
+        assert main(["evolve", str(dataset_path), "--k", "1", "--limit", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "Recall" in out
+
+    def test_converge_prints_table_iv(self, dataset_path, capsys):
+        assert main(
+            [
+                "converge",
+                str(dataset_path),
+                "--start-tags", "5",
+                "--random-runs", "3",
+                "--limit", "400",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "original" in out and "approximated" in out
+
+    def test_overlay_replay_reports_costs(self, dataset_path, capsys):
+        assert main(
+            ["overlay", str(dataset_path), "--nodes", "8", "--limit", "60", "--k", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "overlay replay" in out
+        assert "measured primitive costs" in out
+        assert "hotspot" in out

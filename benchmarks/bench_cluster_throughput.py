@@ -1,0 +1,108 @@
+"""Experiment E10 (extension) -- cluster throughput and engine savings.
+
+The cluster harness (:mod:`repro.simulation.cluster`) spins up a 1,000-node
+Likir overlay, replays a tagging workload through a pool of DHARMA clients
+and then runs popularity-weighted faceted searches.  This benchmark compares
+the approximated protocol with the batched/cached lookup engine **off** (the
+seed behaviour: one full iterative lookup per block access) and **on** (route
+caching + in-flight dedup + LRU/TTL block cache), plus the naive protocol as
+the paper's baseline, and reports:
+
+* operations per virtual second and per wall second,
+* DHT messages per tagging operation and per search,
+* per-node served-RPC load (mean / max / hotspot ratio).
+
+The acceptance bar of the engine work is asserted here: with the engine on,
+the approximated protocol must need at least 20% fewer DHT messages per
+search than with it off.
+
+``BENCH_SMOKE=1`` shrinks the cluster to 64 nodes so CI can execute the
+script end-to-end in seconds.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_banner, smoke_scaled
+from repro.analysis.report import format_table
+from repro.simulation.cluster import ClusterConfig, run_cluster_benchmark
+from repro.simulation.workload import TaggingWorkload
+
+NUM_NODES = smoke_scaled(1000, 64)
+OPS = smoke_scaled(400, 120)
+SEARCHES = smoke_scaled(40, 12)
+CLIENTS = 4
+
+#: Engine-on must cut messages per search by at least this factor.
+MIN_SEARCH_SAVINGS = 0.20
+
+METRICS = [
+    "ops", "errors", "ops_per_virtual_s", "ops_per_wall_s",
+    "messages_total", "messages_per_op", "messages_per_search",
+    "mean_search_path", "mean_rpcs", "max_rpcs", "hotspot_ratio",
+    "cache_hit_rate",
+]
+
+
+def _run(workload: TaggingWorkload, protocol: str, engine_on: bool, seed: int = 0):
+    config = ClusterConfig(
+        num_nodes=NUM_NODES,
+        clients=CLIENTS,
+        protocol=protocol,
+        k=1,
+        cache_capacity=4096 if engine_on else 0,
+        batch_lookups=engine_on,
+        seed=seed,
+    )
+    return run_cluster_benchmark(config, workload, ops=OPS, searches=SEARCHES)
+
+
+class TestClusterThroughput:
+    def test_engine_cuts_messages_per_search(self, benchmark, bench_dataset):
+        workload = TaggingWorkload.from_triples(bench_dataset.triples())
+
+        def run():
+            return {
+                "naive/plain": _run(workload, "naive", engine_on=False),
+                "approximated/plain": _run(workload, "approximated", engine_on=False),
+                "approximated/engine": _run(workload, "approximated", engine_on=True),
+            }
+
+        reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+        print_banner(
+            f"E10 -- cluster throughput: {NUM_NODES} nodes, {OPS} ops, "
+            f"{SEARCHES} searches, {CLIENTS} clients"
+        )
+        headers = ["metric", *reports.keys()]
+        rows = [
+            [metric, *[reports[label].summary().get(metric, 0.0) for label in reports]]
+            for metric in METRICS
+        ]
+        print(format_table(headers, rows, precision=2))
+
+        plain = reports["approximated/plain"]
+        engine = reports["approximated/engine"]
+        savings_search = 1.0 - engine.messages_per_search / plain.messages_per_search
+        savings_op = 1.0 - engine.messages_per_op / plain.messages_per_op
+        print(
+            f"\nengine savings (approximated): {savings_search:.1%} messages/search, "
+            f"{savings_op:.1%} messages/op"
+        )
+        print("expected shape: the engine cuts messages per search by >= 20% and raises")
+        print("throughput; the approximated protocol stays cheaper than the naive one.")
+
+        # No operation may be lost by the engine path.
+        for label, report in reports.items():
+            assert report.workload.errors == 0, f"{label} dropped operations"
+            assert report.ops == OPS
+        # Acceptance: >= 20% fewer DHT messages per search with the engine on.
+        assert savings_search >= MIN_SEARCH_SAVINGS, (
+            f"engine saved only {savings_search:.1%} messages/search "
+            f"({engine.messages_per_search:.1f} vs {plain.messages_per_search:.1f})"
+        )
+        # The engine must also help the write path and overall throughput.
+        assert engine.messages_per_op < plain.messages_per_op
+        assert engine.ops_per_virtual_second > plain.ops_per_virtual_second
+        # And the paper's protocol comparison must still hold on the cluster.
+        naive = reports["naive/plain"]
+        assert plain.messages_per_op <= naive.messages_per_op

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import statistics
 
-from benchmarks.conftest import print_banner
+from benchmarks.conftest import print_banner, smoke_scaled
 from repro.analysis.report import format_mapping, format_table
 from repro.core.approximation import default_approximation
 from repro.dht.bootstrap import build_overlay
@@ -21,8 +21,8 @@ from repro.distributed.tagging_service import DharmaService, ServiceConfig
 from repro.simulation.network import NetworkConfig
 from repro.simulation.workload import TaggingWorkload
 
-NUM_NODES = 24
-OPS = 400
+NUM_NODES = smoke_scaled(24, 12)
+OPS = smoke_scaled(400, 120)
 
 
 def _replay(dataset, protocol: str, k: int = 1, seed: int = 0):

@@ -9,14 +9,18 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import print_banner
+from benchmarks.conftest import print_banner, smoke_scaled
 from repro.analysis.cdf import cdf_at
 from repro.analysis.convergence import ConvergenceConfig, run_convergence_experiment
 from repro.analysis.report import format_cdf, format_table
 
 #: Scaled-down experiment (the paper uses 100 start tags x 100 random runs on
 #: a dataset three orders of magnitude larger).
-CONFIG = ConvergenceConfig(num_start_tags=40, random_runs_per_tag=15, seed=0)
+CONFIG = ConvergenceConfig(
+    num_start_tags=smoke_scaled(40, 8),
+    random_runs_per_tag=smoke_scaled(15, 3),
+    seed=0,
+)
 
 
 @pytest.fixture(scope="module")

@@ -6,12 +6,16 @@ strategy, on the original and the k=1 approximated graph.
 
 from __future__ import annotations
 
-from benchmarks.conftest import print_banner
+from benchmarks.conftest import print_banner, smoke_scaled
 from benchmarks.paper_reference import TABLE_IV
 from repro.analysis.convergence import ConvergenceConfig, run_convergence_experiment
 from repro.analysis.report import format_table
 
-CONFIG = ConvergenceConfig(num_start_tags=40, random_runs_per_tag=15, seed=0)
+CONFIG = ConvergenceConfig(
+    num_start_tags=smoke_scaled(40, 8),
+    random_runs_per_tag=smoke_scaled(15, 3),
+    seed=0,
+)
 
 
 class TestTable4:

@@ -16,6 +16,8 @@ normal runs at the end of each benchmark's first execution).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis.evolution import EvolutionConfig, simulate_approximated_evolution
@@ -24,10 +26,21 @@ from repro.core.tagging_model import derive_folksonomy_graph
 from repro.datasets.lastfm_synthetic import PRESETS, generate_lastfm_like
 
 
+#: Smoke mode (``BENCH_SMOKE=1``): every benchmark runs a sharply reduced
+#: problem so the whole suite finishes in tens of seconds.  CI uses it to
+#: keep the perf scripts from silently rotting; the numbers it produces are
+#: *not* meaningful measurements.
+BENCH_SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
 #: Preset used throughout the harness.  "small" keeps the full suite in the
 #: minutes range; switch to "medium" for a closer (but slower) approximation
 #: of the paper's scale.
-BENCH_PRESET = "small"
+BENCH_PRESET = "tiny" if BENCH_SMOKE else "small"
+
+
+def smoke_scaled(full, smoke):
+    """Pick the reduced *smoke* value when ``BENCH_SMOKE=1`` is set."""
+    return smoke if BENCH_SMOKE else full
 
 
 @pytest.fixture(scope="session")

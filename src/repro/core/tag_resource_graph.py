@@ -18,7 +18,7 @@ consistency is asserted by the property-based tests in
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["TagResourceGraph", "TRGEdge"]
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.approximation import EXACT, ApproximationConfig
 from repro.core.folksonomy_graph import FolksonomyGraph

@@ -10,7 +10,7 @@ across users) and basic census figures.
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
 from repro.core.tag_resource_graph import TagResourceGraph

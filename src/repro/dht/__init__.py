@@ -28,6 +28,7 @@ from repro.dht.node_id import NodeID, xor_distance
 from repro.dht.routing_table import Contact, KBucket, RoutingTable
 from repro.dht.node import KademliaNode, NodeConfig
 from repro.dht.api import DHTClient, LookupStats
+from repro.dht.batched_lookup import BatchedLookupConfig, BatchedLookupEngine, BatchStats
 from repro.dht.likir import Identity, SignedValue, LikirAuthError
 from repro.dht.bootstrap import Overlay, build_overlay
 
@@ -41,6 +42,9 @@ __all__ = [
     "NodeConfig",
     "DHTClient",
     "LookupStats",
+    "BatchedLookupConfig",
+    "BatchedLookupEngine",
+    "BatchStats",
     "Identity",
     "SignedValue",
     "LikirAuthError",

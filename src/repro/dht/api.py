@@ -18,10 +18,12 @@ same yardstick.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import Sequence
+from dataclasses import dataclass
 from typing import Any
 
 from repro.core.blocks import BlockKey, BlockType, CounterBlock, block_for_type
+from repro.dht.batched_lookup import BatchedLookupEngine
 from repro.dht.likir import Identity
 from repro.dht.node import KademliaNode
 from repro.dht.node_id import NodeID
@@ -65,11 +67,28 @@ class LookupStats:
 
 
 class DHTClient:
-    """Application-level access point to the overlay."""
+    """Application-level access point to the overlay.
 
-    def __init__(self, node: KademliaNode, identity: Identity | None = None) -> None:
+    When a :class:`~repro.dht.batched_lookup.BatchedLookupEngine` is supplied,
+    every primitive routes through it (route caching, in-flight dedup, round
+    coalescing); without one the client talks to the node directly, which is
+    the seed behaviour.  Either way each application-level PUT/GET/APPEND
+    still counts as exactly one overlay lookup in :class:`LookupStats` -- the
+    engine changes how many *RPC messages* a lookup costs, not the paper's
+    lookup arithmetic.
+    """
+
+    def __init__(
+        self,
+        node: KademliaNode,
+        identity: Identity | None = None,
+        engine: BatchedLookupEngine | None = None,
+    ) -> None:
+        if engine is not None and engine.node is not node:
+            raise ValueError("the lookup engine must wrap the client's access node")
         self.node = node
         self.identity = identity
+        self.engine = engine
         self.stats = LookupStats()
 
     # ------------------------------------------------------------------ #
@@ -88,7 +107,10 @@ class DHTClient:
     def put(self, block_key: BlockKey, value: Any) -> None:
         """Store an opaque value under *block_key* (one overlay lookup)."""
         key = self.key_for(block_key)
-        outcome = self.node.store(key, value, identity=self.identity)
+        if self.engine is not None:
+            outcome = self.engine.store(key, value, identity=self.identity)
+        else:
+            outcome = self.node.store(key, value, identity=self.identity)
         self.stats.puts += 1
         self.stats.lookups += 1
         self.stats.rpc_messages += outcome.messages
@@ -109,13 +131,22 @@ class DHTClient:
         if not increments:
             return
         key = self.key_for(block_key)
-        outcome = self.node.append(
-            key=key,
-            owner=block_key.name,
-            block_type=block_key.block_type,
-            increments=increments,
-            increments_if_new=increments_if_new,
-        )
+        if self.engine is not None:
+            outcome = self.engine.append(
+                key,
+                owner=block_key.name,
+                block_type=block_key.block_type,
+                increments=increments,
+                increments_if_new=increments_if_new,
+            )
+        else:
+            outcome = self.node.append(
+                key=key,
+                owner=block_key.name,
+                block_type=block_key.block_type,
+                increments=increments,
+                increments_if_new=increments_if_new,
+            )
         self.stats.appends += 1
         self.stats.lookups += 1
         self.stats.rpc_messages += outcome.messages
@@ -123,13 +154,37 @@ class DHTClient:
     def get(self, block_key: BlockKey, top_n: int | None = None) -> Any | None:
         """Retrieve the raw value stored under *block_key* (one lookup)."""
         key = self.key_for(block_key)
-        value, outcome = self.node.retrieve(key, top_n=top_n)
+        if self.engine is not None:
+            value, outcome = self.engine.retrieve(key, top_n=top_n)
+        else:
+            value, outcome = self.node.retrieve(key, top_n=top_n)
         self.stats.gets += 1
         self.stats.lookups += 1
         self.stats.rpc_messages += outcome.messages
         if value is None:
             self.stats.misses += 1
         return value
+
+    def get_many(self, block_keys: Sequence[BlockKey], top_n: int | None = None) -> list[Any | None]:
+        """Retrieve several blocks in one batch (one lookup charged per key).
+
+        With an engine the batch shares lookup rounds (dedup + coalescing);
+        without one it degrades to sequential :meth:`get` calls, so callers
+        can always use the batch form.
+        """
+        if self.engine is None:
+            return [self.get(block_key, top_n=top_n) for block_key in block_keys]
+        keys = [self.key_for(block_key) for block_key in block_keys]
+        results = self.engine.retrieve_many(keys, top_n=top_n)
+        values: list[Any | None] = []
+        for value, outcome in results:
+            self.stats.gets += 1
+            self.stats.lookups += 1
+            self.stats.rpc_messages += outcome.messages
+            if value is None:
+                self.stats.misses += 1
+            values.append(value)
+        return values
 
     # ------------------------------------------------------------------ #
     # typed helpers for DHARMA blocks
@@ -155,3 +210,15 @@ class DHTClient:
         """GET a counter block's entries as a plain dict ({} when absent)."""
         block = self.get_counter_block(block_key, top_n=top_n)
         return dict(block.entries) if block is not None else {}
+
+    def get_entries_many(
+        self, block_keys: Sequence[BlockKey], top_n: int | None = None
+    ) -> list[dict[str, int]]:
+        """Batch form of :meth:`get_entries`, preserving request order."""
+        entries: list[dict[str, int]] = []
+        for payload in self.get_many(block_keys, top_n=top_n):
+            if payload is None:
+                entries.append({})
+            else:
+                entries.append({e: c for e, c in payload["entries"].items() if c})
+        return entries

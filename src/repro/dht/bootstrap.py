@@ -14,7 +14,6 @@ from dataclasses import dataclass, field
 
 from repro.dht.likir import CertificationService, Identity
 from repro.dht.node import KademliaNode, NodeConfig
-from repro.dht.node_id import NodeID
 from repro.dht.api import DHTClient
 from repro.simulation.clock import SimulationClock
 from repro.simulation.network import NetworkConfig, SimulatedNetwork

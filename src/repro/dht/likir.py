@@ -28,7 +28,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.dht.node_id import NodeID

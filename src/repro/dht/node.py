@@ -118,11 +118,16 @@ class KademliaNode:
         """Entry point registered with the network."""
         if not isinstance(request, RPCRequest):
             raise TypeError(f"unknown RPC {type(request).__name__}")
-        # Every message refreshes the sender's entry in the routing table.
-        self._note_contact(Contact(node_id=request.sender_id, address=request.sender_address))
+        # Every message refreshes the sender's entry in the routing table.  A
+        # PING must not trigger the ping-before-evict policy while being
+        # served: with saturated tables (1k-node clusters) the synchronous
+        # evict-pings would otherwise cascade node-to-node without bound.
+        sender = Contact(node_id=request.sender_id, address=request.sender_address)
         if isinstance(request, PingRequest):
+            self.routing_table.record_contact(sender)
             self.rpcs_served["ping"] += 1
             return PingResponse(responder_id=self.node_id)
+        self._note_contact(sender)
         if isinstance(request, StoreRequest):
             return self._handle_store(request)
         if isinstance(request, AppendRequest):
@@ -284,31 +289,89 @@ class KademliaNode:
     # client side: application operations
     # ------------------------------------------------------------------ #
 
-    def store(self, key: NodeID, value: Any, identity: Identity | None = None) -> LookupOutcome:
-        """PUT *value* under *key* on the ``replicate`` closest nodes."""
+    def store_at(
+        self,
+        targets: list[Contact],
+        key: NodeID,
+        value: Any,
+        identity: Identity | None = None,
+    ) -> int:
+        """Send the STORE of *value* directly to *targets* (no lookup).
+
+        Returns the number of replicas that accepted the value.  Used by the
+        normal :meth:`store` path after its lookup, and by the batched lookup
+        engine when the replica set is already known from the route cache.
+        """
         if identity is not None:
             value = SignedValue.create(identity, key, value)
-        outcome = self.lookup_node(key)
-        targets = outcome.closest[: self.config.replicate] or [self.contact]
         request = StoreRequest(
             sender_id=self.node_id,
             sender_address=self.address,
             key=key,
             value=value,
         )
-        stored_somewhere = False
+        stored = 0
         for contact in targets:
             if contact.node_id == self.node_id:
                 self.storage.put(key, value, now=self.network.clock.now)
-                stored_somewhere = True
+                stored += 1
                 continue
             response = self._call(contact, request)
             if isinstance(response, StoreResponse) and response.stored:
-                stored_somewhere = True
-        if not stored_somewhere:
+                stored += 1
+        return stored
+
+    def store(self, key: NodeID, value: Any, identity: Identity | None = None) -> LookupOutcome:
+        """PUT *value* under *key* on the ``replicate`` closest nodes."""
+        outcome = self.lookup_node(key)
+        targets = outcome.closest[: self.config.replicate] or [self.contact]
+        if not self.store_at(targets, key, value, identity=identity):
             # Last resort: keep the value locally so it is not lost.
+            if identity is not None:
+                value = SignedValue.create(identity, key, value)
             self.storage.put(key, value, now=self.network.clock.now)
         return outcome
+
+    def append_at(
+        self,
+        targets: list[Contact],
+        key: NodeID,
+        owner: str,
+        block_type: BlockType,
+        increments: dict[str, int],
+        increments_if_new: dict[str, int] | None = None,
+    ) -> int:
+        """Send the APPEND directly to *targets* (no lookup).
+
+        Returns the number of replicas that applied the increments; the
+        counterpart of :meth:`store_at` for commutative counter updates.
+        """
+        request = AppendRequest(
+            sender_id=self.node_id,
+            sender_address=self.address,
+            key=key,
+            owner=owner,
+            block_type=block_type.value,
+            increments=dict(increments),
+            increments_if_new=dict(increments_if_new) if increments_if_new else None,
+        )
+        applied = 0
+        for contact in targets:
+            if contact.node_id == self.node_id:
+                self.storage.append(
+                    key,
+                    owner,
+                    block_type,
+                    increments,
+                    now=self.network.clock.now,
+                    increments_if_new=increments_if_new,
+                )
+                applied += 1
+                continue
+            response = self._call(contact, request)
+            if isinstance(response, AppendResponse) and response.applied:
+                applied += 1
+        return applied
 
     def append(
         self,
@@ -321,32 +384,14 @@ class KademliaNode:
         """Apply counter *increments* to the block at *key* on its replicas."""
         outcome = self.lookup_node(key)
         targets = outcome.closest[: self.config.replicate] or [self.contact]
-        request = AppendRequest(
-            sender_id=self.node_id,
-            sender_address=self.address,
-            key=key,
-            owner=owner,
-            block_type=block_type.value,
-            increments=dict(increments),
-            increments_if_new=dict(increments_if_new) if increments_if_new else None,
-        )
-        applied_somewhere = False
-        for contact in targets:
-            if contact.node_id == self.node_id:
-                self.storage.append(
-                    key,
-                    owner,
-                    block_type,
-                    increments,
-                    now=self.network.clock.now,
-                    increments_if_new=increments_if_new,
-                )
-                applied_somewhere = True
-                continue
-            response = self._call(contact, request)
-            if isinstance(response, AppendResponse) and response.applied:
-                applied_somewhere = True
-        if not applied_somewhere:
+        if not self.append_at(
+            targets,
+            key,
+            owner,
+            block_type,
+            increments,
+            increments_if_new=increments_if_new,
+        ):
             self.storage.append(
                 key,
                 owner,
@@ -357,15 +402,18 @@ class KademliaNode:
             )
         return outcome
 
-    def retrieve(self, key: NodeID, top_n: int | None = None) -> tuple[Any | None, LookupOutcome]:
-        """GET the value stored under *key* (or None)."""
-        outcome = self.lookup_value(key, top_n=top_n)
-        value = outcome.value
+    def unwrap_value(self, value: Any) -> Any:
+        """Verify and strip the Likir credential of a retrieved value."""
         if isinstance(value, SignedValue):
             if self.config.verify_credentials and self.certification is not None:
                 value.verify(self.certification)
             value = value.value
-        return value, outcome
+        return value
+
+    def retrieve(self, key: NodeID, top_n: int | None = None) -> tuple[Any | None, LookupOutcome]:
+        """GET the value stored under *key* (or None)."""
+        outcome = self.lookup_value(key, top_n=top_n)
+        return self.unwrap_value(outcome.value), outcome
 
     # ------------------------------------------------------------------ #
     # membership

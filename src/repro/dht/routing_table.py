@@ -15,8 +15,8 @@ easy to property-test (see ``tests/dht/test_routing_table.py``).
 from __future__ import annotations
 
 from collections import OrderedDict
-from collections.abc import Iterable, Iterator
-from dataclasses import dataclass, field
+from collections.abc import Iterator
+from dataclasses import dataclass
 
 from repro.dht.node_id import ID_BITS, NodeID
 

@@ -19,7 +19,7 @@ the UDP payload bound of overlay messages for very popular tags.
 from __future__ import annotations
 
 from collections.abc import Iterator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.core.blocks import BlockType, CounterBlock, block_for_type

@@ -18,6 +18,7 @@ This subpackage puts the :mod:`repro.core` model on top of the
 """
 
 from repro.distributed.cost_model import (
+    CacheStats,
     CostLedger,
     OperationCost,
     PRIMITIVE_COSTS,
@@ -26,6 +27,7 @@ from repro.distributed.cost_model import (
     naive_tag_cost,
     search_step_cost,
 )
+from repro.distributed.block_cache import MISSING, BlockCache
 from repro.distributed.block_store import BlockStore
 from repro.distributed.naive_protocol import NaiveProtocol
 from repro.distributed.approximated_protocol import ApproximatedProtocol
@@ -33,8 +35,11 @@ from repro.distributed.tagging_service import DharmaService, ServiceConfig
 from repro.distributed.search_client import DistributedView, DistributedFacetedSearch
 
 __all__ = [
+    "CacheStats",
     "CostLedger",
     "OperationCost",
+    "MISSING",
+    "BlockCache",
     "PRIMITIVE_COSTS",
     "insert_cost",
     "naive_tag_cost",

@@ -1,0 +1,167 @@
+"""An LRU + TTL cache for DHARMA blocks.
+
+Every block read in the seed implementation resolves to a full iterative
+overlay lookup, even when the same block was fetched moments earlier -- the
+search client in particular re-reads the ``t̂``/``t̄`` blocks of popular tags
+over and over.  :class:`BlockCache` sits in front of
+:class:`~repro.distributed.block_store.BlockStore` and short-circuits those
+repeated reads:
+
+* **LRU eviction** bounds the memory footprint (``capacity`` entries);
+* **TTL expiry** (against the *virtual* simulation clock, so experiments stay
+  deterministic) bounds staleness for workloads that never write;
+* **group invalidation** keeps the cache coherent with the write path: all
+  cached variants of a block (one per index-side ``top_n`` bound) are dropped
+  the moment the block is appended to or replaced, so a re-tag is visible to
+  the next read.
+
+The counters live in :class:`~repro.distributed.cost_model.CacheStats`, the
+cost-model type the protocols sample to report cached-vs-network costs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from typing import Any
+
+from repro.distributed.cost_model import CacheStats
+
+__all__ = ["MISSING", "BlockCache"]
+
+
+class _Missing:
+    """Sentinel distinguishing "not cached" from a cached ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "<MISSING>"
+
+
+MISSING = _Missing()
+
+
+class BlockCache:
+    """Bounded LRU cache with optional TTL and group invalidation.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached entries; the least recently used entry is
+        evicted when a put would exceed it.
+    ttl_ms:
+        Entry lifetime in (virtual) milliseconds; ``None`` disables expiry.
+    clock:
+        Zero-argument callable returning the current time in milliseconds.
+        Experiments pass the simulation clock so TTL behaviour is
+        deterministic; the default fixed clock makes a TTL-less cache work
+        without any wiring.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl_ms: float | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if ttl_ms is not None and ttl_ms <= 0:
+            raise ValueError("ttl_ms must be > 0 (None disables expiry)")
+        self.capacity = capacity
+        self.ttl_ms = ttl_ms
+        self.clock = clock or (lambda: 0.0)
+        self.stats = CacheStats()
+        #: key -> (value, stored_at_ms, group)
+        self._entries: OrderedDict[Hashable, tuple[Any, float, Hashable]] = OrderedDict()
+        #: group -> keys currently cached under it
+        self._groups: dict[Hashable, set[Hashable]] = {}
+
+    # -- introspection ----------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.get(key, record=False) is not MISSING
+
+    # -- core operations ---------------------------------------------------- #
+
+    def get(self, key: Hashable, record: bool = True) -> Any:
+        """Return the cached value or :data:`MISSING`.
+
+        *record* controls whether the access is counted in the hit/miss
+        statistics (peeking with ``record=False`` leaves them untouched).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            if record:
+                self.stats.misses += 1
+            return MISSING
+        value, stored_at, group = entry
+        if self.ttl_ms is not None and self.clock() - stored_at > self.ttl_ms:
+            self._remove(key, group)
+            if record:
+                self.stats.expirations += 1
+                self.stats.misses += 1
+            return MISSING
+        self._entries.move_to_end(key)
+        if record:
+            self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any, group: Hashable | None = None) -> None:
+        """Cache *value* under *key*, tagged with an invalidation *group*.
+
+        The group defaults to the key itself, so ``invalidate_group(key)``
+        always works even for ungrouped entries.
+        """
+        if group is None:
+            group = key
+        if key in self._entries:
+            self._remove(key, self._entries[key][2])
+        elif len(self._entries) >= self.capacity:
+            evicted_key, (_, _, evicted_group) = self._entries.popitem(last=False)
+            self._discard_from_group(evicted_key, evicted_group)
+            self.stats.evictions += 1
+        self._entries[key] = (value, self.clock(), group)
+        self._groups.setdefault(group, set()).add(key)
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; True if it was cached."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        self._remove(key, entry[2])
+        self.stats.invalidations += 1
+        return True
+
+    def invalidate_group(self, group: Hashable) -> int:
+        """Drop every entry cached under *group*; returns how many."""
+        keys = self._groups.pop(group, None)
+        if not keys:
+            return 0
+        for key in keys:
+            self._entries.pop(key, None)
+        self.stats.invalidations += len(keys)
+        return len(keys)
+
+    def clear(self) -> None:
+        """Drop everything (counted as invalidations)."""
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+        self._groups.clear()
+
+    # -- internals ---------------------------------------------------------- #
+
+    def _remove(self, key: Hashable, group: Hashable) -> None:
+        self._entries.pop(key, None)
+        self._discard_from_group(key, group)
+
+    def _discard_from_group(self, key: Hashable, group: Hashable) -> None:
+        keys = self._groups.get(group)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._groups[group]

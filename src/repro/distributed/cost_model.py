@@ -30,6 +30,7 @@ __all__ = [
     "approximated_tag_cost",
     "search_step_cost",
     "PRIMITIVE_COSTS",
+    "CacheStats",
     "OperationCost",
     "CostLedger",
 ]
@@ -75,6 +76,50 @@ PRIMITIVE_COSTS = {
 }
 
 
+@dataclass(slots=True)
+class CacheStats:
+    """Counters of a block cache sitting in front of the overlay.
+
+    The cost model distinguishes *network* lookups (what the paper charges)
+    from *cached* reads served locally at zero overlay cost; these counters
+    are how a cache reports the split back to the experiments.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+
+    @property
+    def reads(self) -> int:
+        """Total read attempts that went through the cache."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of reads served from the cache (0.0 when unused)."""
+        reads = self.reads
+        return self.hits / reads if reads else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
 @dataclass(frozen=True, slots=True)
 class OperationCost:
     """Measured cost of one primitive invocation."""
@@ -85,6 +130,9 @@ class OperationCost:
     #: operation for tag, 0 for search steps.
     size: int = 0
     rpc_messages: int = 0
+    #: Block reads served by a local cache instead of the overlay (always 0
+    #: when no cache is configured); ``lookups`` counts network reads only.
+    cache_hits: int = 0
 
 
 @dataclass
@@ -124,6 +172,11 @@ class CostLedger:
             raise ValueError(f"no records for operation {operation!r}")
         return max(values)
 
+    def total_cache_hits(self, operation: str | None = None) -> int:
+        return sum(
+            r.cache_hits for r in self.records if operation is None or r.operation == operation
+        )
+
     def summary(self) -> dict[str, dict[str, float]]:
         """Per-operation mean / max / count, for benchmark reports."""
         out: dict[str, dict[str, float]] = {}
@@ -134,5 +187,6 @@ class CostLedger:
                 "mean_lookups": statistics.fmean(lookups),
                 "max_lookups": max(lookups),
                 "total_lookups": sum(lookups),
+                "cache_hits": sum(r.cache_hits for r in records),
             }
         return out

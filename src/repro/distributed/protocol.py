@@ -65,6 +65,7 @@ class BaseDharmaProtocol(ABC):
             raise ValueError("a resource must be inserted with at least one tag")
         before = self.store.lookups
         before_rpc = self.store.rpc_messages
+        before_cached = self.store.cache_hits
 
         # Type-4 block: the resource URI.
         self.store.put_resource_uri(resource, uri or f"urn:dharma:{resource}")
@@ -82,6 +83,7 @@ class BaseDharmaProtocol(ABC):
             lookups=self.store.lookups - before,
             size=len(unique_tags),
             rpc_messages=self.store.rpc_messages - before_rpc,
+            cache_hits=self.store.cache_hits - before_cached,
         )
         self.ledger.record(cost)
         return cost
@@ -94,6 +96,7 @@ class BaseDharmaProtocol(ABC):
         """Attach *tag* to the existing *resource* (one user annotation)."""
         before = self.store.lookups
         before_rpc = self.store.rpc_messages
+        before_cached = self.store.cache_hits
 
         # 1 lookup: read r̄ to learn the co-tags and whether the tag is new.
         tags_before = self.store.get_resource_tags(resource)
@@ -112,6 +115,7 @@ class BaseDharmaProtocol(ABC):
             lookups=self.store.lookups - before,
             size=len(co_tags),
             rpc_messages=self.store.rpc_messages - before_rpc,
+            cache_hits=self.store.cache_hits - before_cached,
         )
         self.ledger.record(cost)
         return cost

@@ -24,15 +24,29 @@ __all__ = ["DistributedView", "DistributedFacetedSearch"]
 
 
 class DistributedView:
-    """Folksonomy view backed by DHT blocks (2 lookups per tag visited)."""
+    """Folksonomy view backed by DHT blocks (2 lookups per tag visited).
+
+    The search engine always reads a tag's ``t̂`` block and then its ``t̄``
+    block; the view fetches both through the store's batch accessor, so a
+    configured lookup engine resolves the pair in one coalesced schedule, and
+    keeps the ``t̄`` half in a one-entry buffer for the immediately following
+    :meth:`resources_of` call.  The cost stays 2 lookups per visited tag.
+    """
 
     def __init__(self, store: BlockStore) -> None:
         self.store = store
+        self._pending: tuple[str, dict[str, int]] | None = None
 
     def neighbour_similarities(self, tag: str) -> Mapping[str, int]:
-        return self.store.search_tag_neighbours(tag)
+        neighbours, resources = self.store.search_tag_blocks(tag)
+        self._pending = (tag, resources)
+        return neighbours
 
     def resources_of(self, tag: str) -> set[str]:
+        if self._pending is not None and self._pending[0] == tag:
+            resources = self._pending[1]
+            self._pending = None
+            return set(resources)
         return set(self.store.search_tag_resources(tag))
 
 

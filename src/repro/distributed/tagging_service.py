@@ -19,8 +19,10 @@ from dataclasses import dataclass
 from repro.core.approximation import ApproximationConfig, default_approximation
 from repro.core.faceted_search import SearchResult, SearchStrategy
 from repro.dht.api import DHTClient
+from repro.dht.batched_lookup import BatchedLookupConfig, BatchedLookupEngine
 from repro.dht.bootstrap import Overlay
 from repro.distributed.approximated_protocol import ApproximatedProtocol
+from repro.distributed.block_cache import BlockCache
 from repro.distributed.block_store import BlockStore
 from repro.distributed.cost_model import CostLedger, OperationCost
 from repro.distributed.naive_protocol import NaiveProtocol
@@ -43,11 +45,21 @@ class ServiceConfig:
     resource_threshold: int = 10
     #: Index-side filtering bound applied to search GETs (None = whole block).
     search_top_n: int | None = None
+    #: Block-cache capacity; 0 disables the cache (the seed behaviour: every
+    #: read is an overlay lookup).
+    cache_capacity: int = 0
+    #: Block-cache entry lifetime in virtual ms (None = no expiry).
+    cache_ttl_ms: float | None = None
+    #: Route lookups through a :class:`BatchedLookupEngine` (route caching,
+    #: in-flight dedup, coalesced rounds) instead of raw iterative lookups.
+    batch_lookups: bool = False
     seed: int | None = 0
 
     def __post_init__(self) -> None:
         if self.protocol not in ("approximated", "naive"):
             raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be >= 0")
 
 
 class DharmaService:
@@ -62,8 +74,24 @@ class DharmaService:
         self.overlay = overlay
         self.config = config or ServiceConfig()
         self.identity = overlay.register_user(user)
-        self.client: DHTClient = overlay.client(identity=self.identity)
-        self.store = BlockStore(self.client, search_top_n=self.config.search_top_n)
+        access_node = overlay.random_node()
+        self.engine: BatchedLookupEngine | None = None
+        if self.config.batch_lookups:
+            self.engine = BatchedLookupEngine(access_node, BatchedLookupConfig())
+        self.client: DHTClient = DHTClient(
+            access_node, identity=self.identity, engine=self.engine
+        )
+        self.cache: BlockCache | None = None
+        if self.config.cache_capacity:
+            clock = overlay.clock
+            self.cache = BlockCache(
+                capacity=self.config.cache_capacity,
+                ttl_ms=self.config.cache_ttl_ms,
+                clock=lambda: clock.now,
+            )
+        self.store = BlockStore(
+            self.client, search_top_n=self.config.search_top_n, cache=self.cache
+        )
         self.ledger = CostLedger()
         if self.config.protocol == "naive":
             self.protocol = NaiveProtocol(self.store, ledger=self.ledger, seed=self.config.seed)
@@ -133,3 +161,12 @@ class DharmaService:
     def cost_summary(self) -> dict[str, dict[str, float]]:
         """Per-primitive measured cost summary (mean/max/total lookups)."""
         return self.ledger.summary()
+
+    def efficiency_snapshot(self) -> dict[str, dict[str, float]]:
+        """Counters of the optional cache / lookup engine (empty when off)."""
+        out: dict[str, dict[str, float]] = {}
+        if self.cache is not None:
+            out["cache"] = self.cache.stats.snapshot()
+        if self.engine is not None:
+            out["engine"] = dict(self.engine.stats.snapshot())
+        return out

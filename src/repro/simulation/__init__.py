@@ -26,7 +26,34 @@ from repro.simulation.network import (
 from repro.simulation.churn import ChurnConfig, ChurnProcess
 from repro.simulation.workload import TaggingWorkload, WorkloadEvent, WorkloadStats
 
+#: Cluster-harness exports resolved lazily (PEP 562): the cluster module sits
+#: on top of repro.dht, which itself imports repro.simulation.network, so a
+#: top-level import here would be circular.
+_CLUSTER_EXPORTS = frozenset(
+    {
+        "ClusterConfig",
+        "ClusterReport",
+        "SearchSample",
+        "SimulatedCluster",
+        "run_cluster_benchmark",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _CLUSTER_EXPORTS:
+        from repro.simulation import cluster
+
+        return getattr(cluster, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "ClusterConfig",
+    "ClusterReport",
+    "SearchSample",
+    "SimulatedCluster",
+    "run_cluster_benchmark",
     "SimulationClock",
     "Event",
     "EventQueue",

@@ -1,0 +1,457 @@
+"""An in-process cluster harness for 1,000+ node experiments.
+
+The seed tooling tops out at a few dozen nodes because
+:func:`~repro.dht.bootstrap.build_overlay` joins every node through the full
+iterative procedure (quadratic-ish message cost in the overlay size).  The
+cluster harness scales the same substrate to four-digit node counts:
+
+* **fast bootstrap** -- nodes are wired by seeding each routing table
+  directly with its XOR-space neighbourhood (the nodes adjacent in sorted id
+  order) plus a spray of random long-range contacts.  That is exactly the
+  table shape a converged Kademlia overlay settles into, minus the join
+  traffic, so iterative lookups behave normally from the first operation.
+  Small clusters can still use the faithful ``"iterative"`` join;
+* **event-driven workloads** -- tagging operations from a
+  :class:`~repro.simulation.workload.TaggingWorkload` are scheduled on the
+  shared :class:`~repro.simulation.event_queue.EventQueue` at a configurable
+  arrival interval and fan out round-robin over a pool of DHARMA service
+  clients, each bound to a different access node;
+* **per-node throughput accounting** -- RPCs served per node, hotspot
+  ratios, and operations per virtual/wall second are collected into a
+  :class:`ClusterReport` that the ``cluster-bench`` CLI and the throughput
+  benchmark print.
+
+The harness is also where the batched lookup engine and the block cache pay
+off: flipping :attr:`ClusterConfig.batch_lookups` / ``cache_capacity`` turns
+both on for every client, which is how the naive-vs-engine comparisons are
+produced.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from repro.core.approximation import default_approximation
+from repro.dht.bootstrap import Overlay, build_overlay
+from repro.dht.likir import CertificationService
+from repro.dht.node import KademliaNode, NodeConfig
+from repro.dht.routing_table import Contact
+from repro.distributed.tagging_service import DharmaService, ServiceConfig
+from repro.simulation.event_queue import EventQueue
+from repro.simulation.network import NetworkConfig, SimulatedNetwork
+from repro.simulation.workload import TaggingWorkload, WorkloadStats
+
+__all__ = [
+    "ClusterConfig",
+    "SearchSample",
+    "ClusterReport",
+    "SimulatedCluster",
+    "run_cluster_benchmark",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterConfig:
+    """Shape and policy of a simulated cluster."""
+
+    num_nodes: int = 1000
+    #: Number of DHARMA service clients driving the workload (each bound to a
+    #: distinct access node, round-robin).
+    clients: int = 4
+    #: "approximated" or "naive" maintenance protocol.
+    protocol: str = "approximated"
+    #: Connection parameter of Approximation A.
+    k: int = 1
+    #: Block-cache capacity per client (0 = cache off).
+    cache_capacity: int = 4096
+    #: Block-cache TTL in virtual ms.  Each client only sees its *own* writes
+    #: invalidate its cache, so with several clients the TTL is what bounds
+    #: how stale a cached block can get relative to other clients' writes;
+    #: the default trades ~2 virtual seconds of staleness for the message
+    #: savings (None would make that staleness unbounded).
+    cache_ttl_ms: float | None = 2_000.0
+    #: Route lookups through the batched lookup engine.
+    batch_lookups: bool = True
+    #: Kademlia parameters (modest ``k`` keeps 1k-node runs fast).
+    node_k: int = 8
+    alpha: int = 3
+    replicate: int = 2
+    #: One-way latency bounds of the simulated transport (virtual ms).
+    min_latency_ms: float = 1.0
+    max_latency_ms: float = 5.0
+    #: "fast" (direct table seeding), "iterative" (faithful joins) or "auto"
+    #: (iterative up to 128 nodes, fast beyond).
+    bootstrap: str = "auto"
+    #: Ring/random contacts per node under fast bootstrap.
+    ring_neighbours: int = 4
+    random_contacts: int = 24
+    #: Virtual ms between successive workload arrivals.
+    op_interval_ms: float = 20.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.bootstrap not in ("fast", "iterative", "auto"):
+            raise ValueError(f"unknown bootstrap mode {self.bootstrap!r}")
+        if self.protocol not in ("approximated", "naive"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+
+    def service_config(self, seed: int) -> ServiceConfig:
+        return ServiceConfig(
+            protocol=self.protocol,
+            approximation=default_approximation(k=self.k),
+            cache_capacity=self.cache_capacity,
+            cache_ttl_ms=self.cache_ttl_ms,
+            batch_lookups=self.batch_lookups,
+            seed=seed,
+        )
+
+
+@dataclass(slots=True)
+class SearchSample:
+    """Cost of one faceted search run against the cluster."""
+
+    start_tag: str
+    path_length: int
+    messages: int
+    lookups: int
+    found_resources: int
+
+
+@dataclass
+class ClusterReport:
+    """Aggregated outcome of a cluster run (tagging + searches)."""
+
+    config: ClusterConfig
+    workload: WorkloadStats = field(default_factory=WorkloadStats)
+    searches: list[SearchSample] = field(default_factory=list)
+    virtual_time_ms: float = 0.0
+    wall_time_s: float = 0.0
+    messages_total: int = 0
+    lookups_total: int = 0
+    #: RPCs served per node address at the end of the run.
+    rpcs_per_node: dict[str, int] = field(default_factory=dict)
+    cache: dict[str, float] = field(default_factory=dict)
+    engine: dict[str, float] = field(default_factory=dict)
+
+    # -- derived ----------------------------------------------------------- #
+
+    @property
+    def ops(self) -> int:
+        return self.workload.total_ops
+
+    @property
+    def ops_per_virtual_second(self) -> float:
+        seconds = self.virtual_time_ms / 1000.0
+        return self.ops / seconds if seconds else 0.0
+
+    @property
+    def ops_per_wall_second(self) -> float:
+        return self.ops / self.wall_time_s if self.wall_time_s else 0.0
+
+    @property
+    def messages_per_op(self) -> float:
+        return self.messages_total / self.ops if self.ops else 0.0
+
+    @property
+    def messages_per_search(self) -> float:
+        if not self.searches:
+            return 0.0
+        return statistics.fmean(s.messages for s in self.searches)
+
+    @property
+    def mean_search_path(self) -> float:
+        if not self.searches:
+            return 0.0
+        return statistics.fmean(s.path_length for s in self.searches)
+
+    def node_throughput(self) -> dict[str, float]:
+        """Mean / max / hotspot-ratio of per-node served RPC load."""
+        served = list(self.rpcs_per_node.values())
+        if not served:
+            return {"mean_rpcs": 0.0, "max_rpcs": 0.0, "hotspot_ratio": 0.0}
+        mean = statistics.fmean(served)
+        peak = max(served)
+        return {
+            "mean_rpcs": mean,
+            "max_rpcs": float(peak),
+            "hotspot_ratio": peak / mean if mean else 0.0,
+        }
+
+    def summary(self) -> dict[str, float]:
+        """Flat mapping for tables and JSON-ish reports."""
+        out = {
+            "nodes": self.config.num_nodes,
+            "clients": self.config.clients,
+            "ops": self.ops,
+            "errors": self.workload.errors,
+            "searches": len(self.searches),
+            "virtual_time_s": self.virtual_time_ms / 1000.0,
+            "wall_time_s": self.wall_time_s,
+            "ops_per_virtual_s": self.ops_per_virtual_second,
+            "ops_per_wall_s": self.ops_per_wall_second,
+            "messages_total": self.messages_total,
+            "messages_per_op": self.messages_per_op,
+            "messages_per_search": self.messages_per_search,
+            "mean_search_path": self.mean_search_path,
+            "lookups_total": self.lookups_total,
+        }
+        out.update(self.node_throughput())
+        if self.cache:
+            out["cache_hit_rate"] = self.cache.get("hit_rate", 0.0)
+        return out
+
+
+class SimulatedCluster:
+    """A wired overlay of :attr:`ClusterConfig.num_nodes` Likir nodes plus a
+    pool of DHARMA service clients, driven from one event queue."""
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config or ClusterConfig()
+        self._rng = random.Random(self.config.seed)
+        self.overlay = self._build_overlay()
+        self.queue = EventQueue(clock=self.overlay.clock)
+        self.services = self._build_services()
+        self._search_rng = random.Random(self.config.seed)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def _build_overlay(self) -> Overlay:
+        cfg = self.config
+        node_config = NodeConfig(k=cfg.node_k, alpha=cfg.alpha, replicate=cfg.replicate)
+        network_config = NetworkConfig(
+            min_latency_ms=cfg.min_latency_ms,
+            max_latency_ms=cfg.max_latency_ms,
+            seed=cfg.seed,
+        )
+        mode = cfg.bootstrap
+        if mode == "auto":
+            mode = "iterative" if cfg.num_nodes <= 128 else "fast"
+        if mode == "iterative":
+            return build_overlay(
+                cfg.num_nodes,
+                node_config=node_config,
+                network_config=network_config,
+                seed=cfg.seed,
+            )
+        return self._fast_bootstrap(node_config, network_config)
+
+    def _fast_bootstrap(
+        self, node_config: NodeConfig, network_config: NetworkConfig
+    ) -> Overlay:
+        """Wire the overlay without join traffic.
+
+        Each routing table is seeded with the node's neighbourhood in sorted
+        id order (which is its XOR-space vicinity) plus random long-range
+        contacts, reproducing the converged shape of a Kademlia table: close
+        buckets dense, far buckets sampled.
+        """
+        cfg = self.config
+        network = SimulatedNetwork(config=network_config)
+        certification = CertificationService(seed=cfg.seed)
+        overlay = Overlay(
+            network=network,
+            certification=certification,
+            node_config=node_config,
+            _rng=random.Random(cfg.seed),
+        )
+        for index in range(cfg.num_nodes):
+            identity = certification.register(f"peer-{index:06d}")
+            node = KademliaNode(
+                node_id=identity.node_id,
+                network=network,
+                config=node_config,
+                certification=certification,
+            )
+            node.joined = True
+            overlay.nodes.append(node)
+
+        ordered = sorted(overlay.nodes, key=lambda n: n.node_id.value)
+        count = len(ordered)
+        contacts = [n.contact for n in ordered]
+        ring = cfg.ring_neighbours
+        for position, node in enumerate(ordered):
+            neighbourhood: list[Contact] = []
+            for offset in range(1, ring + 1):
+                neighbourhood.append(contacts[(position - offset) % count])
+                neighbourhood.append(contacts[(position + offset) % count])
+            sampled = self._rng.sample(range(count), min(cfg.random_contacts, count))
+            for index in sampled:
+                neighbourhood.append(contacts[index])
+            for contact in neighbourhood:
+                if contact.node_id != node.node_id:
+                    node.routing_table.record_contact(contact)
+        return overlay
+
+    def _build_services(self) -> list[DharmaService]:
+        cfg = self.config
+        services = []
+        for index in range(cfg.clients):
+            services.append(
+                DharmaService(
+                    self.overlay,
+                    user=f"client-{index:03d}",
+                    config=cfg.service_config(seed=cfg.seed + index),
+                )
+            )
+        return services
+
+    def __len__(self) -> int:
+        return len(self.overlay)
+
+    # ------------------------------------------------------------------ #
+    # workload driving
+    # ------------------------------------------------------------------ #
+
+    def run_workload(
+        self,
+        workload: TaggingWorkload,
+        limit: int | None = None,
+        ignore_errors: bool = True,
+    ) -> WorkloadStats:
+        """Replay *workload* through the client pool via the event queue.
+
+        Events are scheduled ``op_interval_ms`` of virtual time apart and
+        round-robin over the services; network latencies advance the same
+        clock, so the run yields a meaningful virtual-throughput figure.
+        """
+        stats = WorkloadStats()
+        events = workload.events if limit is None else workload.events[:limit]
+        start = self.queue.clock.now
+
+        def dispatch(event_index: int) -> None:
+            event = events[event_index]
+            service = self.services[event_index % len(self.services)]
+            try:
+                if event.kind == "insert":
+                    service.insert_resource(event.resource, list(event.tags))
+                    stats.insert_ops += 1
+                else:
+                    service.add_tag(event.resource, event.tags[0])
+                    stats.tag_ops += 1
+            except Exception:
+                if not ignore_errors:
+                    raise
+                stats.errors += 1
+
+        for index in range(len(events)):
+            self.queue.schedule_at(
+                start + index * self.config.op_interval_ms,
+                (lambda i=index: dispatch(i)),
+                label=f"op-{index}",
+            )
+        self.queue.run_all(max_events=len(events) + 1)
+        return stats
+
+    def run_searches(
+        self,
+        start_tags: list[str],
+        strategy: str = "random",
+    ) -> list[SearchSample]:
+        """Run one faceted search per start tag, measuring per-search cost."""
+        samples: list[SearchSample] = []
+        network_stats = self.overlay.network.stats
+        for tag in start_tags:
+            service = self.services[self._search_rng.randrange(len(self.services))]
+            before_messages = network_stats.messages_sent
+            before_lookups = service.total_lookups
+            result = service.faceted_search(tag, strategy)
+            samples.append(
+                SearchSample(
+                    start_tag=tag,
+                    path_length=result.length,
+                    messages=network_stats.messages_sent - before_messages,
+                    lookups=service.total_lookups - before_lookups,
+                    found_resources=len(result.final_resources),
+                )
+            )
+        return samples
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def report(
+        self,
+        workload: WorkloadStats | None = None,
+        searches: list[SearchSample] | None = None,
+        wall_time_s: float = 0.0,
+    ) -> ClusterReport:
+        """Bundle the run's counters into a :class:`ClusterReport`."""
+        report = ClusterReport(config=self.config)
+        if workload is not None:
+            report.workload = workload
+        if searches is not None:
+            report.searches = searches
+        report.virtual_time_ms = self.overlay.clock.now
+        report.wall_time_s = wall_time_s
+        report.messages_total = self.overlay.network.stats.messages_sent
+        report.lookups_total = sum(s.total_lookups for s in self.services)
+        report.rpcs_per_node = {
+            node.address: sum(node.rpcs_served.values()) for node in self.overlay.nodes
+        }
+        cache_stats = [s.cache.stats for s in self.services if s.cache is not None]
+        if cache_stats:
+            merged = {
+                "hits": float(sum(c.hits for c in cache_stats)),
+                "misses": float(sum(c.misses for c in cache_stats)),
+                "invalidations": float(sum(c.invalidations for c in cache_stats)),
+                "evictions": float(sum(c.evictions for c in cache_stats)),
+                "expirations": float(sum(c.expirations for c in cache_stats)),
+            }
+            reads = merged["hits"] + merged["misses"]
+            merged["hit_rate"] = merged["hits"] / reads if reads else 0.0
+            report.cache = merged
+        engine_stats = [s.engine.stats for s in self.services if s.engine is not None]
+        if engine_stats:
+            report.engine = {
+                key: float(sum(e.snapshot()[key] for e in engine_stats))
+                for key in engine_stats[0].snapshot()
+            }
+        return report
+
+
+def run_cluster_benchmark(
+    config: ClusterConfig,
+    workload: TaggingWorkload,
+    ops: int | None = None,
+    searches: int = 30,
+    strategy: str = "random",
+) -> ClusterReport:
+    """Build a cluster, replay *ops* events, run *searches* searches, report.
+
+    The convenience entry point shared by ``dharma cluster-bench`` and the
+    throughput benchmark; start tags are drawn deterministically from the
+    workload's most used tags, popularity-proportionally (folksonomy tag usage
+    is heavily skewed, so real search traffic revisits hot tags), keeping runs
+    comparable across configurations.
+    """
+    started = time.perf_counter()
+    cluster = SimulatedCluster(config)
+    workload_stats = cluster.run_workload(workload, limit=ops)
+
+    usage: dict[str, int] = {}
+    events = workload.events if ops is None else workload.events[:ops]
+    for event in events:
+        for tag in event.tags:
+            usage[tag] = usage.get(tag, 0) + 1
+    ranked = sorted(usage, key=lambda t: (-usage[t], t))
+    rng = random.Random(config.seed)
+    pool = ranked[: max(searches, 10)]
+    if pool and searches > 0:
+        start_tags = rng.choices(pool, weights=[usage[t] for t in pool], k=searches)
+    else:
+        # Nothing was replayed (ops=0 or an empty dataset): no tags to search.
+        start_tags = []
+
+    search_samples = cluster.run_searches(start_tags, strategy=strategy)
+    wall = time.perf_counter() - started
+    return cluster.report(workload_stats, search_samples, wall_time_s=wall)

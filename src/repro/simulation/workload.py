@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from collections.abc import Iterable, Iterator, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol
 
 __all__ = ["TaggingBackend", "WorkloadEvent", "WorkloadStats", "TaggingWorkload"]

@@ -1,0 +1,165 @@
+"""Unit tests for the block cache and its BlockStore integration."""
+
+import pytest
+
+from repro.core.approximation import default_approximation
+from repro.dht.bootstrap import build_overlay
+from repro.dht.node import NodeConfig
+from repro.distributed.approximated_protocol import ApproximatedProtocol
+from repro.distributed.block_cache import MISSING, BlockCache
+from repro.distributed.block_store import BlockStore
+from repro.simulation.network import NetworkConfig
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestBlockCacheCore:
+    def test_get_miss_then_hit(self):
+        cache = BlockCache(capacity=4)
+        assert cache.get("a") is MISSING
+        cache.put("a", {"x": 1})
+        assert cache.get("a") == {"x": 1}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = BlockCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is MISSING
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_ttl_expiry_uses_injected_clock(self):
+        clock = FakeClock()
+        cache = BlockCache(capacity=4, ttl_ms=100.0, clock=clock)
+        cache.put("a", 1)
+        clock.now = 99.0
+        assert cache.get("a") == 1
+        clock.now = 101.0
+        assert cache.get("a") is MISSING
+        assert cache.stats.expirations == 1
+        # The expired entry is gone, not just hidden.
+        assert len(cache) == 0
+
+    def test_invalidate_single_and_group(self):
+        cache = BlockCache(capacity=8)
+        cache.put(("k", None), 1, group="k")
+        cache.put(("k", 5), 2, group="k")
+        cache.put(("other", None), 3, group="other")
+        assert cache.invalidate_group("k") == 2
+        assert cache.get(("k", None), record=False) is MISSING
+        assert cache.get(("k", 5), record=False) is MISSING
+        assert cache.get(("other", None), record=False) == 3
+        assert cache.stats.invalidations == 2
+        assert cache.invalidate(("other", None))
+        assert not cache.invalidate(("other", None))
+
+    def test_peek_does_not_touch_stats(self):
+        cache = BlockCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a", record=False)
+        cache.get("zz", record=False)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockCache(capacity=0)
+        with pytest.raises(ValueError):
+            BlockCache(ttl_ms=0)
+
+
+@pytest.fixture()
+def cached_store():
+    overlay = build_overlay(
+        10,
+        node_config=NodeConfig(k=8, alpha=3, replicate=2),
+        network_config=NetworkConfig(min_latency_ms=1.0, max_latency_ms=2.0, seed=11),
+        seed=11,
+    )
+    clock = overlay.clock
+    cache = BlockCache(capacity=64, clock=lambda: clock.now)
+    client = overlay.client(identity=overlay.register_user("cache-user"))
+    return overlay, BlockStore(client, cache=cache), cache
+
+
+class TestBlockStoreIntegration:
+    def test_cached_read_costs_zero_lookups(self, cached_store):
+        _overlay, store, cache = cached_store
+        store.append_tag_resources("rock", {"r1": 1, "r2": 2})
+        first = store.lookups
+        assert store.get_tag_resources("rock") == {"r1": 1, "r2": 2}
+        after_first = store.lookups
+        assert after_first == first + 1
+        # Second read is a cache hit: same data, no overlay lookup.
+        assert store.get_tag_resources("rock") == {"r1": 1, "r2": 2}
+        assert store.lookups == after_first
+        assert store.cache_hits == 1
+        assert cache.stats.hits == 1
+
+    def test_invalidation_on_retag_keeps_reads_fresh(self, cached_store):
+        _overlay, store, _cache = cached_store
+        store.append_resource_tags("r1", {"rock": 1})
+        assert store.get_resource_tags("r1") == {"rock": 1}
+        # The re-tag must invalidate the cached r̄ block...
+        store.append_resource_tags("r1", {"indie": 1})
+        assert store.get_resource_tags("r1") == {"rock": 1, "indie": 1}
+        # ...and the same holds for every top_n variant of the block.
+        store.get_resource_tags("r1", top_n=1)
+        store.append_resource_tags("r1", {"jazz": 1})
+        assert store.get_resource_tags("r1", top_n=3) == {
+            "rock": 1, "indie": 1, "jazz": 1,
+        }
+
+    def test_returned_dict_is_a_copy(self, cached_store):
+        _overlay, store, _cache = cached_store
+        store.append_tag_neighbours("rock", {"indie": 2})
+        first = store.get_tag_neighbours("rock")
+        first["indie"] = 999
+        assert store.get_tag_neighbours("rock") == {"indie": 2}
+
+    def test_resource_uri_cached_and_invalidated(self, cached_store):
+        _overlay, store, _cache = cached_store
+        store.put_resource_uri("r9", "urn:one")
+        assert store.get_resource_uri("r9") == "urn:one"
+        lookups = store.lookups
+        assert store.get_resource_uri("r9") == "urn:one"
+        assert store.lookups == lookups  # served from cache
+        store.put_resource_uri("r9", "urn:two")
+        assert store.get_resource_uri("r9") == "urn:two"
+
+    def test_empty_blocks_are_not_cached(self, cached_store):
+        _overlay, store, _cache = cached_store
+        assert store.get_tag_resources("ghost") == {}
+        lookups = store.lookups
+        # A second read of an absent block must go to the overlay again (the
+        # block may have been created elsewhere in the meantime).
+        assert store.get_tag_resources("ghost") == {}
+        assert store.lookups == lookups + 1
+
+    def test_protocol_reports_cached_vs_network_costs(self, cached_store):
+        overlay, store, _cache = cached_store
+        protocol = ApproximatedProtocol(
+            store, approximation=default_approximation(k=1), seed=0
+        )
+        protocol.insert_resource("r1", ["rock", "indie"])
+        # Warm the cache with the r̄ block, then tag: the protocol's read of
+        # r̄ is served locally and the operation cost records it.
+        store.get_resource_tags("r1")
+        cost = protocol.add_tag("r1", "grunge")
+        assert cost.cache_hits >= 1
+        # Network lookups dropped below the analytic 4 + k by the cached read.
+        assert cost.lookups < 4 + 1 + 1
+        summary = protocol.ledger.summary()
+        assert summary["tag"]["cache_hits"] >= 1

@@ -1,0 +1,111 @@
+"""Tests for the in-process cluster harness."""
+
+import pytest
+
+from repro.simulation.cluster import (
+    ClusterConfig,
+    SimulatedCluster,
+    run_cluster_benchmark,
+)
+from repro.simulation.workload import TaggingWorkload, WorkloadEvent
+
+
+def small_workload() -> TaggingWorkload:
+    triples = [
+        ("u1", "r1", "rock"), ("u2", "r1", "indie"), ("u3", "r1", "grunge"),
+        ("u1", "r2", "rock"), ("u2", "r2", "pop"), ("u3", "r2", "rock"),
+        ("u1", "r3", "jazz"), ("u2", "r3", "fusion"), ("u1", "r3", "rock"),
+        ("u2", "r4", "indie"), ("u3", "r4", "rock"), ("u1", "r4", "pop"),
+    ]
+    return TaggingWorkload.from_triples(triples)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    config = ClusterConfig(
+        num_nodes=60,
+        clients=3,
+        bootstrap="fast",  # force the scalable path even at a small size
+        op_interval_ms=5.0,
+        seed=13,
+    )
+    return SimulatedCluster(config)
+
+
+class TestConstruction:
+    def test_fast_bootstrap_wires_every_node(self, cluster):
+        assert len(cluster) == 60
+        for node in cluster.overlay.nodes:
+            assert node.joined
+            assert sum(1 for _ in node.routing_table.contacts()) > 0
+        assert len(cluster.services) == 3
+        # Engine defaults are on: every client got a cache and an engine.
+        for service in cluster.services:
+            assert service.cache is not None
+            assert service.engine is not None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(bootstrap="warp")
+        with pytest.raises(ValueError):
+            ClusterConfig(protocol="telepathy")
+
+    def test_auto_bootstrap_uses_iterative_joins_when_small(self):
+        cluster = SimulatedCluster(ClusterConfig(num_nodes=6, clients=1, seed=3))
+        # Iterative joins generate join traffic; fast bootstrap does not.
+        assert cluster.overlay.network.stats.messages_sent > 0
+
+
+class TestWorkloadDriving:
+    def test_workload_replays_without_losses(self, cluster):
+        stats = cluster.run_workload(small_workload(), ignore_errors=False)
+        assert stats.errors == 0
+        assert stats.insert_ops == 4
+        assert stats.tag_ops == 8
+        # The event queue drained and virtual time moved forward.
+        assert len(cluster.queue) == 0
+        assert cluster.overlay.clock.now > 0
+
+    def test_written_state_is_readable_from_any_client(self, cluster):
+        # Runs after the module-scoped replay above.
+        reader = cluster.services[-1]
+        assert reader.tags_of("r1") == {"rock": 1, "indie": 1, "grunge": 1}
+        resources = reader.resources_of("rock")
+        assert set(resources) == {"r1", "r2", "r3", "r4"}
+
+    def test_searches_report_per_search_cost(self, cluster):
+        samples = cluster.run_searches(["rock", "indie"], strategy="random")
+        assert len(samples) == 2
+        for sample in samples:
+            assert sample.path_length >= 1
+            assert sample.lookups >= 2  # at least one step = 2 block reads
+
+    def test_report_aggregates(self, cluster):
+        report = cluster.report()
+        assert report.messages_total == cluster.overlay.network.stats.messages_sent
+        assert len(report.rpcs_per_node) == 60
+        throughput = report.node_throughput()
+        assert throughput["max_rpcs"] >= throughput["mean_rpcs"] > 0
+        assert report.cache  # engine on -> cache counters present
+        assert report.engine
+        summary = report.summary()
+        assert summary["nodes"] == 60
+        assert "cache_hit_rate" in summary
+
+
+class TestBenchmarkEntryPoint:
+    def test_run_cluster_benchmark_end_to_end(self):
+        config = ClusterConfig(
+            num_nodes=40, clients=2, bootstrap="fast", op_interval_ms=2.0, seed=7
+        )
+        report = run_cluster_benchmark(
+            config, small_workload(), ops=12, searches=4
+        )
+        assert report.ops == 12
+        assert report.workload.errors == 0
+        assert len(report.searches) == 4
+        assert report.messages_per_search > 0
+        assert report.ops_per_virtual_second > 0
+        assert report.wall_time_s > 0

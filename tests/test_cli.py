@@ -33,6 +33,7 @@ class TestParser:
             ("evolve", ["in.tsv"]),
             ("converge", ["in.tsv"]),
             ("overlay", ["in.tsv"]),
+            ("cluster-bench", []),
         ]:
             args = parser.parse_args([command, *extra])
             assert args.command == command
@@ -80,3 +81,22 @@ class TestCommands:
         assert "overlay replay" in out
         assert "measured primitive costs" in out
         assert "hotspot" in out
+
+    def test_cluster_bench_compares_engine_on_off(self, dataset_path, capsys):
+        assert main(
+            [
+                "cluster-bench",
+                "--dataset", str(dataset_path),
+                "--nodes", "24",
+                "--clients", "2",
+                "--ops", "30",
+                "--searches", "4",
+                "--engine", "both",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cluster-bench -- 24 nodes" in out
+        assert "messages_per_search" in out
+        assert "approximated/plain" in out and "approximated/engine" in out
+        assert "engine saves" in out
+        assert "lookup engine counters" in out

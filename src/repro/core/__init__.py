@@ -23,6 +23,8 @@ used stand-alone as an in-memory folksonomy engine, and it doubles as the
 from repro.core.tag_resource_graph import TagResourceGraph
 from repro.core.folksonomy_graph import FolksonomyGraph
 from repro.core.tagging_model import TaggingModel
+from repro.core.interning import StringInterner
+from repro.core.compact import CompactFolksonomy, freeze_folksonomy
 from repro.core.faceted_search import (
     FacetedSearch,
     SearchState,
@@ -45,6 +47,9 @@ __all__ = [
     "TagResourceGraph",
     "FolksonomyGraph",
     "TaggingModel",
+    "StringInterner",
+    "CompactFolksonomy",
+    "freeze_folksonomy",
     "FacetedSearch",
     "SearchState",
     "SearchStrategy",

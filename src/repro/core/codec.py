@@ -1,0 +1,275 @@
+"""Struct-packed varint binary codec for the four DHARMA block types.
+
+The paper's cost model counts overlay *lookups*; at production scale the
+other axis that matters is *bytes on the wire*.  This module defines a
+compact, deterministic binary encoding for the block payloads of
+:mod:`repro.core.blocks` so the DHT layer can account (and a real transport
+could ship) the exact serialized size of every block read and write:
+
+========  ==========================================================
+offset    content
+========  ==========================================================
+0         magic ``0xDA``
+1         format version (``0x01``)
+2         block-type byte: ``1``-``4`` for whole blocks, the same
+          value with the high bit set (``0x81``-``0x83``) for APPEND
+          increment messages
+3...      owner name: uvarint byte-length + UTF-8 bytes
+...       body (see below)
+========  ==========================================================
+
+Counter blocks (types 1-3) encode their entries as a uvarint count followed
+by ``(uvarint name-length, UTF-8 name, uvarint counter)`` triples **sorted
+by name**, so equal blocks always serialize to equal bytes.  The URI block
+(type 4) encodes the URI as one length-prefixed string.  APPEND messages
+carry the increments map in the same entry layout, then one flag byte and,
+when the flag is ``0x01``, the ``increments_if_new`` map (Approximation B's
+storage-side rule).
+
+All integers use unsigned LEB128 ("uvarint"): 7 value bits per byte, high
+bit says "more bytes follow" -- the standard varint of protobuf and WebAssembly.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.blocks import BlockType
+
+__all__ = [
+    "CodecError",
+    "encode_uvarint",
+    "decode_uvarint",
+    "encode_block",
+    "decode_block",
+    "encode_append",
+    "decode_append",
+    "BlockCodec",
+]
+
+_MAGIC = 0xDA
+_VERSION = 1
+_APPEND_FLAG = 0x80
+_HEADER = struct.Struct("<BBB")
+
+#: Overlay key size charged as request overhead per primitive (the 160-bit
+#: SHA-1 block key of Section IV-A).
+KEY_BYTES = 20
+
+
+class CodecError(ValueError):
+    """Raised on malformed binary block data."""
+
+
+# --------------------------------------------------------------------- #
+# varints
+# --------------------------------------------------------------------- #
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Unsigned LEB128 encoding of *value* (must be >= 0)."""
+    if value < 0:
+        raise CodecError(f"uvarint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode one LEB128 integer; returns ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise CodecError("truncated uvarint")
+        byte = data[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+        if shift > 63:
+            raise CodecError("uvarint too long")
+
+
+def _write_string(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    out += encode_uvarint(len(raw))
+    out += raw
+
+
+def _read_string(data: bytes, offset: int) -> tuple[str, int]:
+    length, offset = decode_uvarint(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise CodecError("truncated string")
+    return data[offset:end].decode("utf-8"), end
+
+
+def _write_entries(out: bytearray, entries: dict[str, int]) -> None:
+    out += encode_uvarint(len(entries))
+    for name in sorted(entries):
+        _write_string(out, name)
+        out += encode_uvarint(entries[name])
+
+
+def _read_entries(data: bytes, offset: int) -> tuple[dict[str, int], int]:
+    count, offset = decode_uvarint(data, offset)
+    entries: dict[str, int] = {}
+    for _ in range(count):
+        name, offset = _read_string(data, offset)
+        value, offset = decode_uvarint(data, offset)
+        entries[name] = value
+    return entries, offset
+
+
+# --------------------------------------------------------------------- #
+# whole blocks
+# --------------------------------------------------------------------- #
+
+
+def encode_block(payload: dict) -> bytes:
+    """Serialize a block payload (the ``to_payload()`` dict) to bytes."""
+    try:
+        block_type = BlockType(payload["type"])
+        owner = payload["owner"]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise CodecError(f"not a block payload: {payload!r}") from exc
+    out = bytearray(_HEADER.pack(_MAGIC, _VERSION, int(block_type.value)))
+    _write_string(out, owner)
+    if block_type is BlockType.RESOURCE_URI:
+        _write_string(out, payload["uri"])
+    else:
+        _write_entries(out, payload["entries"])
+    return bytes(out)
+
+
+def decode_block(data: bytes) -> dict:
+    """Inverse of :func:`encode_block`; returns the payload dict."""
+    type_byte, offset = _check_header(data)
+    if type_byte & _APPEND_FLAG:
+        raise CodecError("data is an append message, use decode_append()")
+    block_type = _block_type_for(type_byte)
+    owner, offset = _read_string(data, offset)
+    if block_type is BlockType.RESOURCE_URI:
+        uri, offset = _read_string(data, offset)
+        _check_consumed(data, offset)
+        return {"owner": owner, "type": block_type.value, "uri": uri}
+    entries, offset = _read_entries(data, offset)
+    _check_consumed(data, offset)
+    return {"owner": owner, "type": block_type.value, "entries": entries}
+
+
+# --------------------------------------------------------------------- #
+# append (increment) messages
+# --------------------------------------------------------------------- #
+
+
+def encode_append(
+    owner: str,
+    block_type: BlockType,
+    increments: dict[str, int],
+    increments_if_new: dict[str, int] | None = None,
+) -> bytes:
+    """Serialize the wire message of one counter-block APPEND."""
+    if not block_type.is_counter:
+        raise CodecError("append messages exist only for counter blocks")
+    out = bytearray(
+        _HEADER.pack(_MAGIC, _VERSION, int(block_type.value) | _APPEND_FLAG)
+    )
+    _write_string(out, owner)
+    _write_entries(out, increments)
+    if increments_if_new is None:
+        out.append(0x00)
+    else:
+        out.append(0x01)
+        _write_entries(out, increments_if_new)
+    return bytes(out)
+
+
+def decode_append(data: bytes) -> tuple[str, BlockType, dict[str, int], dict[str, int] | None]:
+    """Inverse of :func:`encode_append`."""
+    type_byte, offset = _check_header(data)
+    if not type_byte & _APPEND_FLAG:
+        raise CodecError("data is a whole block, use decode_block()")
+    block_type = _block_type_for(type_byte & ~_APPEND_FLAG)
+    owner, offset = _read_string(data, offset)
+    increments, offset = _read_entries(data, offset)
+    if offset >= len(data):
+        raise CodecError("truncated append flag")
+    flag = data[offset]
+    offset += 1
+    increments_if_new: dict[str, int] | None = None
+    if flag == 0x01:
+        increments_if_new, offset = _read_entries(data, offset)
+    elif flag != 0x00:
+        raise CodecError(f"bad increments_if_new flag {flag:#x}")
+    _check_consumed(data, offset)
+    return owner, block_type, increments, increments_if_new
+
+
+def _check_header(data: bytes) -> tuple[int, int]:
+    if len(data) < _HEADER.size:
+        raise CodecError("truncated header")
+    magic, version, type_byte = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise CodecError(f"bad magic {magic:#x}")
+    if version != _VERSION:
+        raise CodecError(f"unsupported codec version {version}")
+    return type_byte, _HEADER.size
+
+
+def _block_type_for(type_byte: int) -> BlockType:
+    try:
+        return BlockType(str(type_byte))
+    except ValueError:
+        raise CodecError(f"unknown block type byte {type_byte:#x}") from None
+
+
+def _check_consumed(data: bytes, offset: int) -> None:
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} trailing bytes")
+
+
+# --------------------------------------------------------------------- #
+# accounting facade
+# --------------------------------------------------------------------- #
+
+
+class BlockCodec:
+    """Stateless encode/decode/size facade used by the DHT client.
+
+    ``payload_size`` never raises: values that are not block payloads (only
+    possible through the raw :meth:`repro.dht.api.DHTClient.put` API) are
+    charged their UTF-8 ``repr`` size so accounting stays total.
+    """
+
+    encode_block = staticmethod(encode_block)
+    decode_block = staticmethod(decode_block)
+    encode_append = staticmethod(encode_append)
+    decode_append = staticmethod(decode_append)
+
+    def payload_size(self, value) -> int:
+        """Wire size of an arbitrary stored value, in bytes."""
+        if isinstance(value, dict) and "type" in value:
+            try:
+                return len(encode_block(value))
+            except CodecError:
+                pass
+        return len(repr(value).encode("utf-8"))
+
+    def append_size(
+        self,
+        owner: str,
+        block_type: BlockType,
+        increments: dict[str, int],
+        increments_if_new: dict[str, int] | None = None,
+    ) -> int:
+        """Wire size of one APPEND message, in bytes."""
+        return len(encode_append(owner, block_type, increments, increments_if_new))

@@ -1,0 +1,461 @@
+"""Read-optimised, array-backed folksonomy index.
+
+``freeze()``-ing a :class:`~repro.core.tagging_model.TaggingModel` (or a bare
+TRG/FG pair) produces a :class:`CompactFolksonomy`: every tag and resource
+name is interned to a dense integer id and both graphs are re-laid-out as
+sorted, contiguous id vectors (numpy arrays),
+
+* per tag, the FG adjacency as parallel arrays (neighbour ids ascending,
+  similarities, and a precomputed 64-bit **rank key** ``-sim * 2^32 + id``
+  whose ascending order is exactly the ``(-similarity, name)`` display
+  order), plus the materialised **rank index** -- the neighbours pre-sorted
+  by that key -- so ``ranked_neighbours(limit=k)`` is an O(k) slice instead
+  of an O(d log d) sort per call;
+* per tag, the TRG adjacency ``Res(t)`` as a sorted resource-id array with
+  parallel weights;
+* cached out-degrees and weight totals for every vertex.
+
+Ids are assigned in **sorted name order**, so comparing ids compares names
+lexicographically -- the property that makes the id-level ``(-sim, id)``
+ranking of the faceted-search fast path identical to the string-level
+``(-sim, name)`` ranking of the mutable engine (ties included).
+
+The module also hosts the sorted-array intersection kernels used by the
+faceted-search fast path.  Both are *galloping* intersections: the smaller
+side's ids are located in the larger side by vectorised binary search
+(``numpy.searchsorted``), giving O(n log m) with C-speed probes -- the
+regime faceted search lives in, where the candidate set collapses while hub
+neighbourhoods stay large.
+
+A :class:`CompactFolksonomy` satisfies the
+:class:`~repro.core.faceted_search.FolksonomyView` protocol, so it can be
+passed directly to :class:`~repro.core.faceted_search.FacetedSearch` --
+which recognises it (via the :attr:`CompactFolksonomy.compact` marker) and
+switches to the array-backed fast path while producing byte-identical
+search results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.folksonomy_graph import FolksonomyGraph
+from repro.core.tag_resource_graph import TagResourceGraph
+from repro.perf import PERF
+
+__all__ = [
+    "CompactFolksonomy",
+    "freeze_folksonomy",
+    "intersect_sorted",
+    "intersect_sorted_with_values",
+]
+
+_ID_DTYPE = np.int32
+_SIM_DTYPE = np.int64
+
+_EMPTY_IDS = np.empty(0, dtype=_ID_DTYPE)
+_EMPTY_SIMS = np.empty(0, dtype=_SIM_DTYPE)
+
+
+def _rank_keys(ids: np.ndarray, sims: np.ndarray) -> np.ndarray:
+    """64-bit keys whose ascending order is the ``(-sim, id)`` display order.
+
+    ``-sim * 2^32 + id`` packs both sort dimensions into one integer (ids are
+    dense and < 2^32; similarities are annotation counts, far below 2^31), so
+    top-k display selection becomes a single-key partition instead of a
+    tuple-key sort.
+    """
+    return sims.astype(np.int64) * np.int64(-(1 << 32)) + ids
+
+
+def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two ascending unique id arrays, as a new ascending array.
+
+    Galloping kernel: every id of the smaller side is binary-searched in the
+    larger side (vectorised ``searchsorted``), O(n log m) for n ids probing
+    m -- the merge-vs-gallop choice collapses to galloping because the probes
+    run at C speed regardless of the size ratio.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if len(a) > len(b):
+        a, b = b, a
+    if len(a) == 0 or len(b) == 0:
+        return a[:0]
+    positions = np.searchsorted(b, a)
+    np.minimum(positions, len(b) - 1, out=positions)
+    return a[b[positions] == a]
+
+
+def intersect_sorted_with_values(
+    a: np.ndarray, b: np.ndarray, b_values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``a ∩ b`` with the parallel *b_values* of every surviving id.
+
+    Returns two new parallel arrays (ascending ids, values).  Same galloping
+    kernel as :func:`intersect_sorted`, probing with the smaller side.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    b_values = np.asarray(b_values)
+    if len(a) == 0 or len(b) == 0:
+        return a[:0], b_values[:0]
+    if len(a) <= len(b):
+        positions = np.searchsorted(b, a)
+        np.minimum(positions, len(b) - 1, out=positions)
+        mask = b[positions] == a
+        return a[mask], b_values[positions[mask]]
+    positions = np.searchsorted(a, b)
+    np.minimum(positions, len(a) - 1, out=positions)
+    mask = a[positions] == b
+    return b[mask], b_values[mask]
+
+
+def _intersect_with_sims_and_keys(
+    cand_ids: np.ndarray,
+    nbr_ids: np.ndarray,
+    nbr_sims: np.ndarray,
+    nbr_keys: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One faceted-search refinement: ``cand ∩ NFG(next)`` carrying the
+    survivor's similarity and rank key from the neighbour side."""
+    if len(cand_ids) == 0 or len(nbr_ids) == 0:
+        return _EMPTY_IDS, _EMPTY_SIMS, _EMPTY_SIMS
+    if len(cand_ids) <= len(nbr_ids):
+        positions = np.searchsorted(nbr_ids, cand_ids)
+        np.minimum(positions, len(nbr_ids) - 1, out=positions)
+        mask = nbr_ids[positions] == cand_ids
+        selected = positions[mask]
+        return cand_ids[mask], nbr_sims[selected], nbr_keys[selected]
+    positions = np.searchsorted(cand_ids, nbr_ids)
+    np.minimum(positions, len(cand_ids) - 1, out=positions)
+    mask = cand_ids[positions] == nbr_ids
+    return nbr_ids[mask], nbr_sims[mask], nbr_keys[mask]
+
+
+class CompactFolksonomy:
+    """Immutable array-backed snapshot of a (TRG, FG) pair.
+
+    Build one with :func:`freeze_folksonomy` or
+    :meth:`~repro.core.tagging_model.TaggingModel.freeze`; the structure is
+    read-only by contract (accessors hand out the internal arrays without
+    copying -- do not mutate them).
+    """
+
+    __slots__ = (
+        "_tag_names",
+        "_tag_ids",
+        "_res_names",
+        "_res_ids",
+        "_nbr_ids",
+        "_nbr_sims",
+        "_nbr_keys",
+        "_rank_ids",
+        "_rank_sims",
+        "_res_of",
+        "_res_weights",
+        "_out_degrees",
+        "_sim_totals",
+        "_tag_degrees",
+        "_num_arcs",
+        "_total_sim_weight",
+        "_degrees_view",
+    )
+
+    def __init__(self, trg: TagResourceGraph, fg: FolksonomyGraph) -> None:
+        with PERF.timer("core.freeze"):
+            self._build(trg, fg)
+
+    def _build(self, trg: TagResourceGraph, fg: FolksonomyGraph) -> None:
+        tag_names = sorted(fg.tags | trg.tags)
+        res_names = sorted(trg.resources)
+        tag_ids = {name: index for index, name in enumerate(tag_names)}
+        res_ids = {name: index for index, name in enumerate(res_names)}
+
+        nbr_ids: list[np.ndarray] = []
+        nbr_sims: list[np.ndarray] = []
+        nbr_keys: list[np.ndarray] = []
+        rank_ids: list[np.ndarray] = []
+        rank_sims: list[np.ndarray] = []
+        res_of: list[np.ndarray] = []
+        res_weights: list[np.ndarray] = []
+        out_degrees = np.zeros(len(tag_names), dtype=np.int64)
+        sim_totals = np.zeros(len(tag_names), dtype=np.int64)
+        tag_degrees = np.zeros(len(tag_names), dtype=np.int64)
+        num_arcs = 0
+        total_sim_weight = 0
+
+        # Freeze-time hot loop: name->id translation runs through C-speed
+        # ``map(dict.__getitem__, ...)`` and the source adjacency dicts are
+        # read in place (no per-tag copies) -- freeze cost is part of the
+        # amortised bill every frozen search pays.
+        fg_adjacency = fg._out  # noqa: SLF001 - core-internal read-only access
+        trg_adjacency = trg._resources_of  # noqa: SLF001
+        tag_lookup = tag_ids.__getitem__
+        res_lookup = res_ids.__getitem__
+
+        for index, name in enumerate(tag_names):
+            arcs = fg_adjacency.get(name)
+            if arcs:
+                count = len(arcs)
+                ids = np.fromiter(map(tag_lookup, arcs), dtype=_ID_DTYPE, count=count)
+                sims = np.fromiter(arcs.values(), dtype=_SIM_DTYPE, count=count)
+                order = ids.argsort()
+                ids = ids[order]
+                sims = sims[order]
+                keys = _rank_keys(ids, sims)
+                rank = keys.argsort()
+                degree = count
+                total = int(sims.sum())
+            else:
+                ids = _EMPTY_IDS
+                sims = _EMPTY_SIMS
+                keys = _EMPTY_SIMS
+                rank = _EMPTY_SIMS
+                degree = 0
+                total = 0
+            nbr_ids.append(ids)
+            nbr_sims.append(sims)
+            nbr_keys.append(keys)
+            rank_ids.append(ids[rank] if degree else _EMPTY_IDS)
+            rank_sims.append(sims[rank] if degree else _EMPTY_SIMS)
+            out_degrees[index] = degree
+            sim_totals[index] = total
+            num_arcs += degree
+            total_sim_weight += total
+
+            resources = trg_adjacency.get(name)
+            if resources:
+                count = len(resources)
+                rids = np.fromiter(map(res_lookup, resources), dtype=_ID_DTYPE, count=count)
+                weights = np.fromiter(resources.values(), dtype=_SIM_DTYPE, count=count)
+                rorder = rids.argsort()
+                res_of.append(rids[rorder])
+                res_weights.append(weights[rorder])
+                tag_degrees[index] = count
+            else:
+                res_of.append(_EMPTY_IDS)
+                res_weights.append(_EMPTY_SIMS)
+
+        self._tag_names = tag_names
+        self._tag_ids = tag_ids
+        self._res_names = res_names
+        self._res_ids = res_ids
+        self._nbr_ids = nbr_ids
+        self._nbr_sims = nbr_sims
+        self._nbr_keys = nbr_keys
+        self._rank_ids = rank_ids
+        self._rank_sims = rank_sims
+        self._res_of = res_of
+        self._res_weights = res_weights
+        self._out_degrees = out_degrees
+        self._sim_totals = sim_totals
+        self._tag_degrees = tag_degrees
+        self._num_arcs = num_arcs
+        self._total_sim_weight = total_sim_weight
+        self._degrees_view: dict[str, int] | None = None
+        PERF.count("freeze.tags", len(tag_names))
+        PERF.count("freeze.arcs", num_arcs)
+
+    # ------------------------------------------------------------------ #
+    # identity / sizes
+    # ------------------------------------------------------------------ #
+
+    @property
+    def compact(self) -> "CompactFolksonomy":
+        """Marker consumed by the faceted-search fast path (self)."""
+        return self
+
+    @property
+    def num_tags(self) -> int:
+        return len(self._tag_names)
+
+    @property
+    def num_resources(self) -> int:
+        return len(self._res_names)
+
+    @property
+    def num_arcs(self) -> int:
+        return self._num_arcs
+
+    @property
+    def total_weight(self) -> int:
+        """Sum of FG similarities over all arcs (matches the source FG)."""
+        return self._total_sim_weight
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self._tag_ids
+
+    def tag_id_of(self, tag: str) -> int | None:
+        return self._tag_ids.get(tag)
+
+    def tag_name(self, tag_id: int) -> str:
+        return self._tag_names[tag_id]
+
+    def resource_id_of(self, resource: str) -> int | None:
+        return self._res_ids.get(resource)
+
+    def resource_name(self, resource_id: int) -> str:
+        return self._res_names[resource_id]
+
+    def tag_names_for(self, tag_id_array: np.ndarray) -> list[str]:
+        """Batch id->name translation (C-speed map over the name table)."""
+        return list(map(self._tag_names.__getitem__, tag_id_array.tolist()))
+
+    def resource_names_for(self, resource_id_array: np.ndarray) -> list[str]:
+        """Batch resource id->name translation."""
+        return list(map(self._res_names.__getitem__, resource_id_array.tolist()))
+
+    @property
+    def tags(self) -> list[str]:
+        """All tag names in id (= sorted) order (do not mutate)."""
+        return self._tag_names
+
+    # ------------------------------------------------------------------ #
+    # id-level accessors (the faceted-search fast path)
+    # ------------------------------------------------------------------ #
+
+    def neighbour_ids(self, tag_id: int) -> np.ndarray:
+        """Ascending neighbour-id array of the tag (do not mutate)."""
+        return self._nbr_ids[tag_id]
+
+    def neighbour_sims(self, tag_id: int) -> np.ndarray:
+        """Similarities parallel to :meth:`neighbour_ids` (do not mutate)."""
+        return self._nbr_sims[tag_id]
+
+    def neighbour_rank_keys(self, tag_id: int) -> np.ndarray:
+        """Packed ``(-sim, id)`` keys parallel to :meth:`neighbour_ids`."""
+        return self._nbr_keys[tag_id]
+
+    def rank_index(self, tag_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """Neighbour ids and similarities ordered by ``(-sim, name)``."""
+        return self._rank_ids[tag_id], self._rank_sims[tag_id]
+
+    def resource_ids(self, tag_id: int) -> np.ndarray:
+        """Ascending ``Res(t)`` resource-id array (do not mutate)."""
+        return self._res_of[tag_id]
+
+    def out_degree_by_id(self, tag_id: int) -> int:
+        return int(self._out_degrees[tag_id])
+
+    def refine_candidates(
+        self, cand_ids: np.ndarray, next_tag_id: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``cand ∩ NFG(next)`` with the survivors' sims and rank keys."""
+        return _intersect_with_sims_and_keys(
+            cand_ids,
+            self._nbr_ids[next_tag_id],
+            self._nbr_sims[next_tag_id],
+            self._nbr_keys[next_tag_id],
+        )
+
+    # ------------------------------------------------------------------ #
+    # name-level accessors (drop-in for FolksonomyGraph / FolksonomyView)
+    # ------------------------------------------------------------------ #
+
+    def neighbour_similarities(self, tag: str) -> dict[str, int]:
+        """``{t': sim(tag, t')}`` -- the FolksonomyView protocol method."""
+        tag_id = self._tag_ids.get(tag)
+        if tag_id is None:
+            return {}
+        names = self._tag_names
+        ids = self._nbr_ids[tag_id].tolist()
+        sims = self._nbr_sims[tag_id].tolist()
+        return {names[ids[k]]: sims[k] for k in range(len(ids))}
+
+    def resources_of(self, tag: str) -> set[str]:
+        """``Res(tag)`` -- the FolksonomyView protocol method."""
+        tag_id = self._tag_ids.get(tag)
+        if tag_id is None:
+            return set()
+        names = self._res_names
+        return {names[rid] for rid in self._res_of[tag_id].tolist()}
+
+    def resource_weights_of(self, tag: str) -> dict[str, int]:
+        """``{r: u(tag, r)}`` reconstructed from the weight arrays."""
+        tag_id = self._tag_ids.get(tag)
+        if tag_id is None:
+            return {}
+        names = self._res_names
+        ids = self._res_of[tag_id].tolist()
+        weights = self._res_weights[tag_id].tolist()
+        return {names[ids[k]]: weights[k] for k in range(len(ids))}
+
+    def similarity(self, source: str, target: str) -> int:
+        """``sim(source, target)``; 0 when either tag or the arc is absent."""
+        source_id = self._tag_ids.get(source)
+        target_id = self._tag_ids.get(target)
+        if source_id is None or target_id is None:
+            return 0
+        ids = self._nbr_ids[source_id]
+        k = int(np.searchsorted(ids, target_id))
+        if k < len(ids) and ids[k] == target_id:
+            return int(self._nbr_sims[source_id][k])
+        return 0
+
+    def ranked_neighbours(self, tag: str, limit: int | None = None) -> list[tuple[str, int]]:
+        """Neighbours ranked by decreasing similarity (name tie-break).
+
+        Served from the precomputed rank index: O(limit) per call, same
+        ordering as :meth:`FolksonomyGraph.ranked_neighbours`.
+        """
+        tag_id = self._tag_ids.get(tag)
+        if tag_id is None:
+            return []
+        ids, sims = self._rank_ids[tag_id], self._rank_sims[tag_id]
+        stop = len(ids) if limit is None else min(limit, len(ids))
+        names = self._tag_names
+        return [
+            (names[ident], sim)
+            for ident, sim in zip(ids[:stop].tolist(), sims[:stop].tolist())
+        ]
+
+    def top_k_neighbours(self, tag: str, k: int) -> list[tuple[str, int]]:
+        """Alias of ``ranked_neighbours(tag, limit=k)`` (tag-cloud query)."""
+        return self.ranked_neighbours(tag, limit=k)
+
+    # ------------------------------------------------------------------ #
+    # cached degree / weight statistics
+    # ------------------------------------------------------------------ #
+
+    def out_degree(self, tag: str) -> int:
+        tag_id = self._tag_ids.get(tag)
+        return int(self._out_degrees[tag_id]) if tag_id is not None else 0
+
+    def out_degrees(self) -> dict[str, int]:
+        """``{t: |NFG(t)|}`` served from the frozen counts (do not mutate)."""
+        if self._degrees_view is None:
+            self._degrees_view = dict(zip(self._tag_names, self._out_degrees.tolist()))
+        return self._degrees_view
+
+    def out_degree_array(self) -> np.ndarray:
+        """All FG out-degrees in tag-id order (do not mutate)."""
+        return self._out_degrees
+
+    def tag_degree(self, tag: str) -> int:
+        """``|Res(t)|`` from the frozen counts."""
+        tag_id = self._tag_ids.get(tag)
+        return int(self._tag_degrees[tag_id]) if tag_id is not None else 0
+
+    def tag_degree_array(self) -> np.ndarray:
+        """All ``|Res(t)|`` counts in tag-id order (do not mutate)."""
+        return self._tag_degrees
+
+    def similarity_total(self, tag: str) -> int:
+        """Total outgoing similarity weight of *tag* (cached)."""
+        tag_id = self._tag_ids.get(tag)
+        return int(self._sim_totals[tag_id]) if tag_id is not None else 0
+
+    def __len__(self) -> int:
+        return self._num_arcs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"CompactFolksonomy(tags={self.num_tags}, resources={self.num_resources}, "
+            f"arcs={self.num_arcs})"
+        )
+
+
+def freeze_folksonomy(trg: TagResourceGraph, fg: FolksonomyGraph) -> CompactFolksonomy:
+    """Freeze a (TRG, FG) pair into a read-optimised :class:`CompactFolksonomy`."""
+    return CompactFolksonomy(trg, fg)

@@ -33,6 +33,11 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
+from repro.core.compact import CompactFolksonomy, intersect_sorted
+from repro.perf import PERF
+
 __all__ = [
     "FolksonomyView",
     "ModelView",
@@ -296,9 +301,19 @@ class FacetedSearch:
 
         Returns a :class:`SearchResult` whose :attr:`~SearchResult.length` is
         the path-length statistic reported in Table IV / Figure 7.
+
+        When the view is backed by a frozen
+        :class:`~repro.core.compact.CompactFolksonomy` the engine switches to
+        the array-backed fast path (sorted-id merge/galloping intersections,
+        precomputed rank indexes); the produced :class:`SearchResult` is
+        identical to the generic path's, step for step.
         """
         if isinstance(strategy, str):
             strategy = make_strategy(strategy)
+        PERF.count("search.runs")
+        index = getattr(self.view, "compact", None)
+        if isinstance(index, CompactFolksonomy):
+            return self._run_compact(index, start_tag, strategy)
         state = self.start(start_tag)
         while True:
             reason = self.is_finished(state)
@@ -312,9 +327,110 @@ class FacetedSearch:
 
     @staticmethod
     def _finish(state: SearchState, reason: str) -> SearchResult:
+        PERF.count("search.steps", len(state.path))
         return SearchResult(
             path=tuple(state.path),
             final_tags=frozenset(state.candidate_tags),
             final_resources=frozenset(state.candidate_resources),
             stop_reason=reason,
         )
+
+    # ------------------------------------------------------------------ #
+    # array-backed fast path (frozen CompactFolksonomy views)
+    # ------------------------------------------------------------------ #
+
+    def _run_compact(
+        self, index: CompactFolksonomy, start_tag: str, strategy: SearchStrategy
+    ) -> SearchResult:
+        """The :meth:`run` loop over sorted id arrays.
+
+        Mirrors the generic recurrence exactly: candidate tags/resources are
+        ascending id arrays intersected by the galloping kernels of
+        :mod:`repro.core.compact`, and the displayed top-``display_limit`` is
+        served from the frozen rank index on the first step and from a
+        single-key partition of the packed ``(-sim, id)`` rank keys on later
+        steps.  Because compact ids are assigned in sorted-name order, the
+        id-level ``(-sim, id)`` ranking equals the generic ``(-sim, name)``
+        ranking, so both paths visit the same tags and return the same
+        result sets.
+
+        Candidates never re-include visited tags: candidate sets only shrink
+        under intersection, the start neighbourhood excludes the start tag,
+        and ``next ∉ NFG(next)`` (the FG has no self-arcs), so the generic
+        path's ``- set(path)`` subtraction is a no-op here by construction.
+        """
+        PERF.count("search.compact_runs")
+        rng = self._rng
+        path = [start_tag]
+        current_id = index.tag_id_of(start_tag)
+        if current_id is None:
+            cand_ids = cand_sims = cand_keys = cand_res = np.empty(0, dtype=np.int64)
+        else:
+            cand_ids = index.neighbour_ids(current_id)
+            cand_sims = index.neighbour_sims(current_id)
+            cand_keys = index.neighbour_rank_keys(current_id)
+            cand_res = index.resource_ids(current_id)
+
+        while True:
+            if len(cand_res) <= self.resource_threshold:
+                reason = "resources_threshold"
+                break
+            if len(cand_ids) <= 1:
+                reason = "tags_exhausted"
+                break
+            if len(path) >= self.max_steps:
+                reason = "max_steps"
+                break
+            displayed = self._displayed_compact(
+                index, current_id, cand_ids, cand_sims, cand_keys
+            )
+            if not displayed:
+                reason = "no_candidates"
+                break
+            next_tag = strategy.select(path[-1], displayed, rng)
+            next_id = index.tag_id_of(next_tag)
+            assert next_id is not None  # displayed tags come from the index
+            path.append(next_tag)
+            cand_ids, cand_sims, cand_keys = index.refine_candidates(cand_ids, next_id)
+            cand_res = intersect_sorted(cand_res, index.resource_ids(next_id))
+            current_id = next_id
+
+        PERF.count("search.steps", len(path))
+        return SearchResult(
+            path=tuple(path),
+            final_tags=frozenset(index.tag_names_for(cand_ids)),
+            final_resources=frozenset(index.resource_names_for(cand_res)),
+            stop_reason=reason,
+        )
+
+    def _displayed_compact(
+        self,
+        index: CompactFolksonomy,
+        current_id: int | None,
+        cand_ids: np.ndarray,
+        cand_sims: np.ndarray,
+        cand_keys: np.ndarray,
+    ) -> list[tuple[str, int]]:
+        """Top-``display_limit`` candidates by ``(-sim, name)`` as (name, sim).
+
+        The candidate set is always a subset of the current tag's
+        neighbourhood; when it still *is* the full neighbourhood (the first
+        step of every search) the precomputed rank index answers in
+        O(limit).  Afterwards the packed rank keys reduce the tuple ordering
+        to a single-integer ``argpartition`` + small sort.
+        """
+        limit = self.display_limit
+        count = len(cand_ids)
+        if current_id is not None and count == index.out_degree_by_id(current_id):
+            rank_ids, rank_sims = index.rank_index(current_id)
+            stop = min(limit, count)
+            return list(
+                zip(index.tag_names_for(rank_ids[:stop]), rank_sims[:stop].tolist())
+            )
+        if count <= limit:
+            order = np.argsort(cand_keys)
+        else:
+            top = np.argpartition(cand_keys, limit)[:limit]
+            order = top[np.argsort(cand_keys[top])]
+        ordered_ids = cand_ids[order]
+        return list(zip(index.tag_names_for(ordered_ids), cand_sims[order].tolist()))

@@ -18,10 +18,18 @@ maintained through the model operations).
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 
+from repro.core.interning import StringInterner
+
 __all__ = ["FolksonomyGraph", "FGArc"]
+
+#: Depth of the per-tag rank cache maintained for :meth:`FolksonomyGraph.\
+#: ranked_neighbours`.  Covers the paper's top-100 tag-cloud display with
+#: headroom; deeper queries fall back to ``heapq.nsmallest``.
+RANK_CACHE_DEPTH = 128
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,13 +57,27 @@ class FolksonomyGraph:
         graph with.
     """
 
-    __slots__ = ("_out", "_arc_count", "_total_weight")
+    __slots__ = (
+        "_out",
+        "_arc_count",
+        "_total_weight",
+        "_interner",
+        "_rank_cache",
+        "_degree_cache",
+    )
 
     def __init__(self, arcs: Iterable[tuple[str, str, int]] | None = None) -> None:
         # tag -> {neighbour: sim(tag, neighbour)}
         self._out: dict[str, dict[str, int]] = {}
         self._arc_count = 0
         self._total_weight = 0
+        #: tag name <-> dense integer id, maintained as vertices appear.
+        self._interner = StringInterner()
+        #: tag -> top-``RANK_CACHE_DEPTH`` ranked neighbours; entries are
+        #: dropped whenever the tag's adjacency is mutated.
+        self._rank_cache: dict[str, list[tuple[str, int]]] = {}
+        #: memoised ``out_degrees()`` result, invalidated on any mutation.
+        self._degree_cache: dict[str, int] | None = None
         if arcs is not None:
             for source, target, weight in arcs:
                 self.set_similarity(source, target, weight)
@@ -104,8 +126,34 @@ class FolksonomyGraph:
         return len(self._out.get(tag, {}))
 
     def out_degrees(self) -> dict[str, int]:
-        """``{t: |NFG(t)|}`` for every tag."""
-        return {t: len(adj) for t, adj in self._out.items()}
+        """``{t: |NFG(t)|}`` for every tag.
+
+        The mapping is memoised and invalidated on mutation, so repeated
+        degree-distribution scans (Table II, Figures 5/6) stop rebuilding a
+        dict per call.  Treat the returned mapping as read-only.
+        """
+        if self._degree_cache is None:
+            self._degree_cache = {t: len(adj) for t, adj in self._out.items()}
+        return self._degree_cache
+
+    # ------------------------------------------------------------------ #
+    # interned ids
+    # ------------------------------------------------------------------ #
+
+    @property
+    def interner(self) -> StringInterner:
+        """Tag-name interner maintained alongside the vertex set."""
+        return self._interner
+
+    def tag_id(self, tag: str) -> int | None:
+        """Dense id of *tag* (None when the tag was never seen).
+
+        Ids follow first-seen order and belong to this mutable graph's
+        interner; they are a *different* id space from the sorted-name ids a
+        :class:`~repro.core.compact.CompactFolksonomy` assigns at freeze
+        time -- never index frozen arrays with them.
+        """
+        return self._interner.id_of(tag)
 
     def arcs(self) -> Iterator[FGArc]:
         for source, adj in self._out.items():
@@ -119,13 +167,28 @@ class FolksonomyGraph:
         This is the ordering that the search front-end would display in a tag
         cloud, and the ordering whose preservation Table III measures
         (Kendall's tau).
+
+        Bounded queries (``limit`` below the out-degree) are served from a
+        per-tag top-``RANK_CACHE_DEPTH`` rank cache maintained across calls
+        (invalidated when the tag's adjacency changes), with a
+        ``heapq.nsmallest`` fallback for deeper cuts -- so the tag-cloud
+        query pays O(limit), not O(d log d), per call.
         """
-        ranked = sorted(
-            self._out.get(tag, {}).items(), key=lambda item: (-item[1], item[0])
-        )
-        if limit is not None:
-            ranked = ranked[:limit]
-        return ranked
+        adjacency = self._out.get(tag)
+        if not adjacency:
+            return []
+        degree = len(adjacency)
+        if limit is None or limit >= degree:
+            ranked = sorted(adjacency.items(), key=lambda item: (-item[1], item[0]))
+            return ranked if limit is None else ranked[:limit]
+        cached = self._rank_cache.get(tag)
+        if cached is None or len(cached) < min(limit, degree):
+            depth = min(max(limit, RANK_CACHE_DEPTH), degree)
+            cached = heapq.nsmallest(
+                depth, adjacency.items(), key=lambda item: (-item[1], item[0])
+            )
+            self._rank_cache[tag] = cached
+        return cached[:limit]
 
     # ------------------------------------------------------------------ #
     # mutators
@@ -133,7 +196,10 @@ class FolksonomyGraph:
 
     def ensure_tag(self, tag: str) -> None:
         """Add *tag* with no incident arcs (idempotent)."""
-        self._out.setdefault(tag, {})
+        if tag not in self._out:
+            self._out[tag] = {}
+            self._interner.intern(tag)
+            self._degree_cache = None
 
     def increment(self, source: str, target: str, amount: int = 1) -> int:
         """Increment ``sim(source, target)`` by *amount*, creating the arc if
@@ -142,13 +208,16 @@ class FolksonomyGraph:
             raise ValueError("cannot create a self-similarity arc")
         if amount < 1:
             raise ValueError(f"amount must be >= 1, got {amount}")
-        adj = self._out.setdefault(source, {})
-        self._out.setdefault(target, {})
+        self.ensure_tag(source)
+        self.ensure_tag(target)
+        adj = self._out[source]
         old = adj.get(target, 0)
         adj[target] = old + amount
         if old == 0:
             self._arc_count += 1
+            self._degree_cache = None
         self._total_weight += amount
+        self._rank_cache.pop(source, None)
         return old + amount
 
     def set_similarity(self, source: str, target: str, weight: int) -> None:
@@ -157,18 +226,22 @@ class FolksonomyGraph:
             raise ValueError("cannot create a self-similarity arc")
         if weight < 0:
             raise ValueError(f"weight must be >= 0, got {weight}")
-        adj = self._out.setdefault(source, {})
-        self._out.setdefault(target, {})
+        self.ensure_tag(source)
+        self.ensure_tag(target)
+        adj = self._out[source]
         old = adj.get(target, 0)
+        self._rank_cache.pop(source, None)
         if weight == 0:
             if old:
                 del adj[target]
                 self._arc_count -= 1
                 self._total_weight -= old
+                self._degree_cache = None
             return
         adj[target] = weight
         if old == 0:
             self._arc_count += 1
+            self._degree_cache = None
         self._total_weight += weight - old
 
     # ------------------------------------------------------------------ #
@@ -180,6 +253,7 @@ class FolksonomyGraph:
         clone._out = {t: dict(adj) for t, adj in self._out.items()}
         clone._arc_count = self._arc_count
         clone._total_weight = self._total_weight
+        clone._interner = self._interner.copy()
         return clone
 
     def check_existence_symmetry(self) -> None:

@@ -1,0 +1,86 @@
+"""String interning: dense integer ids for tag and resource names.
+
+Every hot structure of the folksonomy core ultimately keys on strings (tag
+and resource names).  At million-vertex scale the repeated hashing, equality
+checks and per-entry pointer chasing of ``dict[str, ...]`` dominate the
+analytics and search paths, so the core threads a :class:`StringInterner`
+through the mutable graphs: each vertex name is assigned a small dense
+integer id the first time it is seen, and the read-optimised
+:class:`~repro.core.compact.CompactFolksonomy` produced by ``freeze()``
+stores adjacency as sorted ``array``-backed id vectors instead of dicts.
+
+Ids are dense (``0..n-1`` in first-seen order), never recycled, and stable
+for the lifetime of the interner, so they can be used as indexes into
+parallel arrays.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["StringInterner"]
+
+
+class StringInterner:
+    """Bidirectional mapping between strings and dense integer ids.
+
+    ``intern`` assigns the next free id to an unseen name (idempotent for
+    known names); ``name_of`` is the O(1) reverse lookup.  The table only
+    grows -- removing a graph edge keeps its vertices interned, exactly like
+    the mutable graphs keep their vertex dicts.
+    """
+
+    __slots__ = ("_ids", "_names")
+
+    def __init__(self, names: Iterable[str] | None = None) -> None:
+        self._ids: dict[str, int] = {}
+        self._names: list[str] = []
+        if names is not None:
+            for name in names:
+                self.intern(name)
+
+    def intern(self, name: str) -> int:
+        """Return the id of *name*, assigning the next dense id if unseen."""
+        ident = self._ids.get(name)
+        if ident is None:
+            ident = len(self._names)
+            self._ids[name] = ident
+            self._names.append(name)
+        return ident
+
+    def intern_many(self, names: Iterable[str]) -> list[int]:
+        """Intern every name, returning the ids in input order."""
+        return [self.intern(name) for name in names]
+
+    def id_of(self, name: str) -> int | None:
+        """The id of *name*, or ``None`` when it was never interned."""
+        return self._ids.get(name)
+
+    def name_of(self, ident: int) -> str:
+        """The name owning id *ident* (raises ``IndexError`` when unknown)."""
+        if ident < 0:
+            raise IndexError(f"invalid interned id {ident}")
+        return self._names[ident]
+
+    @property
+    def names(self) -> list[str]:
+        """All interned names in id order (do not mutate)."""
+        return self._names
+
+    def copy(self) -> "StringInterner":
+        clone = StringInterner()
+        clone._ids = dict(self._ids)
+        clone._names = list(self._names)
+        return clone
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"StringInterner(size={len(self._names)})"

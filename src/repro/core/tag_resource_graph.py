@@ -20,6 +20,8 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 
+from repro.core.interning import StringInterner
+
 __all__ = ["TagResourceGraph", "TRGEdge"]
 
 
@@ -51,7 +53,16 @@ class TagResourceGraph:
         the graph.
     """
 
-    __slots__ = ("_tags_of", "_resources_of", "_edge_count", "_total_weight")
+    __slots__ = (
+        "_tags_of",
+        "_resources_of",
+        "_edge_count",
+        "_total_weight",
+        "_tag_interner",
+        "_resource_interner",
+        "_tag_degree_cache",
+        "_resource_degree_cache",
+    )
 
     def __init__(self, edges: Iterable[tuple[str, str, int]] | None = None) -> None:
         # resource -> {tag: weight}
@@ -60,6 +71,13 @@ class TagResourceGraph:
         self._resources_of: dict[str, dict[str, int]] = {}
         self._edge_count = 0
         self._total_weight = 0
+        #: name <-> dense integer id maps, maintained as vertices appear.
+        self._tag_interner = StringInterner()
+        self._resource_interner = StringInterner()
+        #: memoised ``tag_degrees()`` / ``resource_degrees()`` results,
+        #: invalidated on any mutation.
+        self._tag_degree_cache: dict[str, int] | None = None
+        self._resource_degree_cache: dict[str, int] | None = None
         if edges is not None:
             for tag, resource, weight in edges:
                 self.set_weight(tag, resource, weight)
@@ -147,11 +165,17 @@ class TagResourceGraph:
 
     def ensure_resource(self, resource: str) -> None:
         """Add *resource* to ``R`` with no incident edges (idempotent)."""
-        self._tags_of.setdefault(resource, {})
+        if resource not in self._tags_of:
+            self._tags_of[resource] = {}
+            self._resource_interner.intern(resource)
+            self._resource_degree_cache = None
 
     def ensure_tag(self, tag: str) -> None:
         """Add *tag* to ``T`` with no incident edges (idempotent)."""
-        self._resources_of.setdefault(tag, {})
+        if tag not in self._resources_of:
+            self._resources_of[tag] = {}
+            self._tag_interner.intern(tag)
+            self._tag_degree_cache = None
 
     def add_annotation(self, tag: str, resource: str, count: int = 1) -> int:
         """Record that *count* further users tagged *resource* with *tag*.
@@ -161,14 +185,18 @@ class TagResourceGraph:
         """
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
-        res_adj = self._tags_of.setdefault(resource, {})
-        tag_adj = self._resources_of.setdefault(tag, {})
+        self.ensure_resource(resource)
+        self.ensure_tag(tag)
+        res_adj = self._tags_of[resource]
+        tag_adj = self._resources_of[tag]
         old = res_adj.get(tag, 0)
         new = old + count
         res_adj[tag] = new
         tag_adj[resource] = new
         if old == 0:
             self._edge_count += 1
+            self._tag_degree_cache = None
+            self._resource_degree_cache = None
         self._total_weight += count
         return new
 
@@ -179,8 +207,10 @@ class TagResourceGraph:
         """
         if weight < 0:
             raise ValueError(f"weight must be >= 0, got {weight}")
-        res_adj = self._tags_of.setdefault(resource, {})
-        tag_adj = self._resources_of.setdefault(tag, {})
+        self.ensure_resource(resource)
+        self.ensure_tag(tag)
+        res_adj = self._tags_of[resource]
+        tag_adj = self._resources_of[tag]
         old = res_adj.get(tag, 0)
         if weight == 0:
             if old:
@@ -188,11 +218,15 @@ class TagResourceGraph:
                 del tag_adj[resource]
                 self._edge_count -= 1
                 self._total_weight -= old
+                self._tag_degree_cache = None
+                self._resource_degree_cache = None
             return
         res_adj[tag] = weight
         tag_adj[resource] = weight
         if old == 0:
             self._edge_count += 1
+            self._tag_degree_cache = None
+            self._resource_degree_cache = None
         self._total_weight += weight - old
 
     def remove_edge(self, tag: str, resource: str) -> None:
@@ -204,12 +238,52 @@ class TagResourceGraph:
     # ------------------------------------------------------------------ #
 
     def resource_degrees(self) -> dict[str, int]:
-        """``{r: |Tags(r)|}`` for every resource."""
-        return {r: len(adj) for r, adj in self._tags_of.items()}
+        """``{r: |Tags(r)|}`` for every resource.
+
+        Memoised until the next mutation; treat as read-only.
+        """
+        if self._resource_degree_cache is None:
+            self._resource_degree_cache = {r: len(adj) for r, adj in self._tags_of.items()}
+        return self._resource_degree_cache
 
     def tag_degrees(self) -> dict[str, int]:
-        """``{t: |Res(t)|}`` for every tag."""
-        return {t: len(adj) for t, adj in self._resources_of.items()}
+        """``{t: |Res(t)|}`` for every tag.
+
+        Memoised until the next mutation; treat as read-only.
+        """
+        if self._tag_degree_cache is None:
+            self._tag_degree_cache = {t: len(adj) for t, adj in self._resources_of.items()}
+        return self._tag_degree_cache
+
+    # ------------------------------------------------------------------ #
+    # interned ids
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tag_interner(self) -> StringInterner:
+        """Tag-name interner maintained alongside ``T``."""
+        return self._tag_interner
+
+    @property
+    def resource_interner(self) -> StringInterner:
+        """Resource-name interner maintained alongside ``R``."""
+        return self._resource_interner
+
+    def tag_id(self, tag: str) -> int | None:
+        """Dense id of *tag* (None when the tag was never seen).
+
+        First-seen-order ids owned by this graph's interner -- a different
+        id space from the sorted-name ids of a frozen
+        :class:`~repro.core.compact.CompactFolksonomy`; never mix the two.
+        """
+        return self._tag_interner.id_of(tag)
+
+    def resource_id(self, resource: str) -> int | None:
+        """Dense id of *resource* (None when the resource was never seen).
+
+        Same first-seen-order caveat as :meth:`tag_id`.
+        """
+        return self._resource_interner.id_of(resource)
 
     def resource_popularity(self, resource: str) -> int:
         """Total number of annotations on *resource* (sum of edge weights)."""
@@ -244,6 +318,8 @@ class TagResourceGraph:
         clone._resources_of = {t: dict(adj) for t, adj in self._resources_of.items()}
         clone._edge_count = self._edge_count
         clone._total_weight = self._total_weight
+        clone._tag_interner = self._tag_interner.copy()
+        clone._resource_interner = self._resource_interner.copy()
         return clone
 
     def check_consistency(self) -> None:

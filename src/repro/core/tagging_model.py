@@ -211,6 +211,19 @@ class TaggingModel:
         the search front-end would display)."""
         return self.fg.ranked_neighbours(tag, limit=limit)
 
+    def freeze(self):
+        """Snapshot the model into a read-optimised
+        :class:`~repro.core.compact.CompactFolksonomy`.
+
+        The frozen index serves analytics and faceted search from sorted
+        id arrays and precomputed rank indexes; the mutable model keeps
+        accepting operations independently (the snapshot does not track
+        later mutations -- freeze again after a batch of updates).
+        """
+        from repro.core.compact import CompactFolksonomy
+
+        return CompactFolksonomy(self.trg, self.fg)
+
     # ------------------------------------------------------------------ #
     # invariants
     # ------------------------------------------------------------------ #

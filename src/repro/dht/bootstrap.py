@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.core.codec import BlockCodec
 from repro.dht.likir import CertificationService, Identity
 from repro.dht.node import KademliaNode, NodeConfig
 from repro.dht.api import DHTClient
@@ -53,9 +54,18 @@ class Overlay:
             raise RuntimeError("overlay has no live node")
         return live[self._rng.randrange(len(live))]
 
-    def client(self, identity: Identity | None = None, node: KademliaNode | None = None) -> DHTClient:
-        """Create an application client bound to *node* (random by default)."""
-        return DHTClient(node or self.random_node(), identity=identity)
+    def client(
+        self,
+        identity: Identity | None = None,
+        node: KademliaNode | None = None,
+        codec: "BlockCodec | None" = None,
+    ) -> DHTClient:
+        """Create an application client bound to *node* (random by default).
+
+        Pass a :class:`~repro.core.codec.BlockCodec` to enable
+        bytes-on-the-wire accounting on the client's stats.
+        """
+        return DHTClient(node or self.random_node(), identity=identity, codec=codec)
 
     def register_user(self, user: str) -> Identity:
         """Issue a Likir identity for an application user."""

@@ -43,10 +43,19 @@ class DistributedView:
         return neighbours
 
     def resources_of(self, tag: str) -> set[str]:
-        if self._pending is not None and self._pending[0] == tag:
-            resources = self._pending[1]
-            self._pending = None
-            return set(resources)
+        """``Res(tag)``, served from the one-entry ``t̄`` buffer when it was
+        coalesced by the immediately preceding :meth:`neighbour_similarities`
+        call for the *same* tag.
+
+        The buffer is strictly one-shot: any :meth:`resources_of` call
+        consumes it, and a call for a *different* tag discards it and pays a
+        fresh lookup -- the buffered block must never outlive the search step
+        it was fetched for, or a write between steps could serve stale data.
+        """
+        pending = self._pending
+        self._pending = None
+        if pending is not None and pending[0] == tag:
+            return set(pending[1])
         return set(self.store.search_tag_resources(tag))
 
 
@@ -81,17 +90,23 @@ class DistributedFacetedSearch:
     def run(self, start_tag: str, strategy: SearchStrategy | str) -> SearchResult:
         """Run a full search, recording the lookup cost of every step."""
         before = self.store.lookups
+        before_bytes = self.store.wire_bytes
         result = self.engine.run(start_tag, strategy)
         total = self.store.lookups - before
+        total_bytes = self.store.wire_bytes - before_bytes
         # The engine touches the view once per tag on the path, costing two
-        # lookups each; spread the measured total uniformly over the steps so
+        # lookups each; spread the measured totals uniformly over the steps so
         # per-step records stay meaningful even if a future view caches.
         steps = max(result.length, 1)
         base, remainder = divmod(total, steps)
+        bytes_base, bytes_remainder = divmod(total_bytes, steps)
         for index in range(steps):
             lookups = base + (1 if index < remainder else 0)
+            wire_bytes = bytes_base + (1 if index < bytes_remainder else 0)
             self.ledger.record(
-                OperationCost(operation="search_step", lookups=lookups, size=0)
+                OperationCost(
+                    operation="search_step", lookups=lookups, size=0, wire_bytes=wire_bytes
+                )
             )
         return result
 

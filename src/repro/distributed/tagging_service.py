@@ -17,6 +17,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.core.approximation import ApproximationConfig, default_approximation
+from repro.core.codec import BlockCodec
 from repro.core.faceted_search import SearchResult, SearchStrategy
 from repro.dht.api import DHTClient
 from repro.dht.batched_lookup import BatchedLookupConfig, BatchedLookupEngine
@@ -53,6 +54,9 @@ class ServiceConfig:
     #: Route lookups through a :class:`BatchedLookupEngine` (route caching,
     #: in-flight dedup, coalesced rounds) instead of raw iterative lookups.
     batch_lookups: bool = False
+    #: Account bytes-on-the-wire through the binary block codec (lookup
+    #: counts and stored values are unaffected; see Table I codec-on tests).
+    wire_codec: bool = False
     seed: int | None = 0
 
     def __post_init__(self) -> None:
@@ -79,7 +83,10 @@ class DharmaService:
         if self.config.batch_lookups:
             self.engine = BatchedLookupEngine(access_node, BatchedLookupConfig())
         self.client: DHTClient = DHTClient(
-            access_node, identity=self.identity, engine=self.engine
+            access_node,
+            identity=self.identity,
+            engine=self.engine,
+            codec=BlockCodec() if self.config.wire_codec else None,
         )
         self.cache: BlockCache | None = None
         if self.config.cache_capacity:
@@ -157,6 +164,11 @@ class DharmaService:
     def total_lookups(self) -> int:
         """Overlay lookups issued by this service instance so far."""
         return self.client.stats.lookups
+
+    @property
+    def total_wire_bytes(self) -> int:
+        """Bytes on the wire so far (0 unless ``wire_codec`` is enabled)."""
+        return self.client.stats.wire_bytes
 
     def cost_summary(self) -> dict[str, dict[str, float]]:
         """Per-primitive measured cost summary (mean/max/total lookups)."""

@@ -1,0 +1,144 @@
+"""Lightweight performance counters and timers.
+
+The repository's north star is "as fast as the hardware allows", which is
+only meaningful if the hot paths are observable.  This module provides a
+process-wide :data:`PERF` registry of named counters and wall-clock timers
+that the core instruments at coarse granularity (one event per freeze, per
+search run, per codec pass -- never per inner-loop step, so the overhead is
+unmeasurable).  The ``dharma profile`` CLI subcommand drives a workload with
+the registry enabled and prints/exports the resulting snapshot.
+
+Usage::
+
+    from repro.perf import PERF
+
+    PERF.count("search.runs")
+    with PERF.timer("core.freeze"):
+        ...heavy work...
+
+Counters and timers spring into existence on first use.  ``PERF.enabled``
+can be flipped off to turn every call into a cheap no-op (timers still run
+the body, they just skip the bookkeeping).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["TimerStats", "PerfRegistry", "PERF"]
+
+
+@dataclass(slots=True)
+class TimerStats:
+    """Accumulated wall-clock statistics of one named timer."""
+
+    calls: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.calls += 1
+        self.total_s += elapsed
+        if elapsed > self.max_s:
+            self.max_s = elapsed
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+@dataclass
+class PerfRegistry:
+    """Named counters and timers with snapshot/report export."""
+
+    enabled: bool = True
+    counters: dict[str, int] = field(default_factory=dict)
+    timers: dict[str, TimerStats] = field(default_factory=dict)
+
+    # -- recording --------------------------------------------------------- #
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to the counter *name* (created at 0 on first use)."""
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    @contextmanager
+    def timer(self, name: str):
+        """Time the ``with`` body under *name* (no-op when disabled)."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            stats = self.timers.get(name)
+            if stats is None:
+                stats = self.timers[name] = TimerStats()
+            stats.add(elapsed)
+
+    def record_time(self, name: str, elapsed: float) -> None:
+        """Fold an externally measured duration into timer *name*."""
+        if not self.enabled:
+            return
+        stats = self.timers.get(name)
+        if stats is None:
+            stats = self.timers[name] = TimerStats()
+        stats.add(elapsed)
+
+    # -- reading ------------------------------------------------------------ #
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def timer_stats(self, name: str) -> TimerStats:
+        return self.timers.get(name, TimerStats())
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-serialisable dump of every counter and timer."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timers": {
+                name: {
+                    "calls": stats.calls,
+                    "total_s": stats.total_s,
+                    "mean_s": stats.mean_s,
+                    "max_s": stats.max_s,
+                }
+                for name, stats in sorted(self.timers.items())
+            },
+        }
+
+    def report(self) -> str:
+        """Human-readable two-section table of the snapshot."""
+        lines: list[str] = []
+        if self.counters:
+            lines.append("counters:")
+            width = max(len(name) for name in self.counters)
+            for name in sorted(self.counters):
+                lines.append(f"  {name:<{width}}  {self.counters[name]:>14,}")
+        if self.timers:
+            if lines:
+                lines.append("")
+            lines.append("timers:")
+            width = max(len(name) for name in self.timers)
+            lines.append(f"  {'name':<{width}}  {'calls':>8}  {'total s':>10}  {'mean ms':>10}  {'max ms':>10}")
+            for name in sorted(self.timers):
+                stats = self.timers[name]
+                lines.append(
+                    f"  {name:<{width}}  {stats.calls:>8}  {stats.total_s:>10.3f}"
+                    f"  {stats.mean_s * 1e3:>10.3f}  {stats.max_s * 1e3:>10.3f}"
+                )
+        return "\n".join(lines) if lines else "(no perf data recorded)"
+
+
+#: Process-wide default registry used by the instrumented core paths.
+PERF = PerfRegistry()

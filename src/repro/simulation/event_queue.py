@@ -28,20 +28,44 @@ class Event:
     action: Callable[[], Any] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: Owning queue while the event sits in its heap; detached (None) once
+    #: the event has been executed or dropped, so late cancels are no-ops
+    #: for the queue's cancellation accounting.
+    queue: "EventQueue | None" = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when its time comes."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.queue is not None:
+                self.queue._note_cancellation()
 
 
 class EventQueue:
-    """Priority queue of events driven against a :class:`SimulationClock`."""
+    """Priority queue of events driven against a :class:`SimulationClock`.
 
-    def __init__(self, clock: SimulationClock | None = None) -> None:
+    Cancelled events are skipped lazily, but not *only* lazily: once the
+    number of cancelled-but-still-heaped events crosses
+    ``compaction_threshold`` **and** they outnumber the live events, the heap
+    is rebuilt without them (one O(n) pass).  Churn-heavy cluster runs cancel
+    maintenance timers en masse; without compaction the heap grows without
+    bound for the whole simulation.
+    """
+
+    def __init__(
+        self,
+        clock: SimulationClock | None = None,
+        compaction_threshold: int = 64,
+    ) -> None:
+        if compaction_threshold < 1:
+            raise ValueError("compaction_threshold must be >= 1")
         self.clock = clock or SimulationClock()
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._processed = 0
+        self._cancelled_in_heap = 0
+        self._compaction_threshold = compaction_threshold
+        self._compactions = 0
 
     # -- scheduling ------------------------------------------------------- #
 
@@ -51,7 +75,9 @@ class EventQueue:
             raise ValueError(
                 f"cannot schedule an event in the past ({time} < {self.clock.now})"
             )
-        event = Event(time=time, sequence=next(self._counter), action=action, label=label)
+        event = Event(
+            time=time, sequence=next(self._counter), action=action, label=label, queue=self
+        )
         heapq.heappush(self._heap, event)
         return event
 
@@ -61,27 +87,69 @@ class EventQueue:
             raise ValueError("delay must be >= 0")
         return self.schedule_at(self.clock.now + delay, action, label)
 
+    # -- cancellation bookkeeping ------------------------------------------ #
+
+    def _note_cancellation(self) -> None:
+        """Called by :meth:`Event.cancel` while the event is still heaped."""
+        self._cancelled_in_heap += 1
+        live = len(self._heap) - self._cancelled_in_heap
+        if self._cancelled_in_heap >= self._compaction_threshold and (
+            self._cancelled_in_heap > live
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled event from the heap in one pass."""
+        for event in self._heap:
+            if event.cancelled:
+                event.queue = None
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots (awaiting lazy drop)."""
+        return self._cancelled_in_heap
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compaction passes performed so far."""
+        return self._compactions
+
+    def heap_size(self) -> int:
+        """Raw heap slots in use, including not-yet-dropped cancelled events."""
+        return len(self._heap)
+
     # -- execution --------------------------------------------------------- #
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._cancelled_in_heap
 
     @property
     def processed(self) -> int:
         """Number of events executed so far."""
         return self._processed
 
+    def _pop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            dropped = heapq.heappop(self._heap)
+            dropped.queue = None
+            self._cancelled_in_heap -= 1
+
     def peek_time(self) -> float | None:
         """Virtual time of the next pending event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        self._pop_cancelled_head()
         return self._heap[0].time if self._heap else None
 
     def step(self) -> Event | None:
         """Execute the next pending event (advancing the clock to its time)."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event.queue = None
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self.clock.advance_to(event.time)
             event.action()

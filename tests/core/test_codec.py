@@ -1,0 +1,199 @@
+"""Round-trip and golden-bytes tests for the binary block codec."""
+
+import pytest
+
+from repro.core.blocks import (
+    BlockType,
+    ResourceTagsBlock,
+    ResourceURIBlock,
+    TagNeighboursBlock,
+    TagResourcesBlock,
+)
+from repro.core.codec import (
+    BlockCodec,
+    CodecError,
+    decode_append,
+    decode_block,
+    decode_uvarint,
+    encode_append,
+    encode_block,
+    encode_uvarint,
+)
+
+
+class TestUvarint:
+    @pytest.mark.parametrize(
+        "value, encoded",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (300, b"\xac\x02"),
+            (2**32, b"\x80\x80\x80\x80\x10"),
+        ],
+    )
+    def test_known_encodings(self, value, encoded):
+        assert encode_uvarint(value) == encoded
+        assert decode_uvarint(encoded) == (value, len(encoded))
+
+    def test_round_trip_sweep(self):
+        for value in list(range(1000)) + [2**k for k in range(60)]:
+            decoded, offset = decode_uvarint(encode_uvarint(value))
+            assert decoded == value
+            assert offset == len(encode_uvarint(value))
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            encode_uvarint(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(CodecError):
+            decode_uvarint(b"\x80")
+
+
+class TestRoundTrip:
+    """encode → decode is the identity for all four block types."""
+
+    @pytest.mark.parametrize(
+        "block",
+        [
+            ResourceTagsBlock("nevermind", {"rock": 3, "grunge": 1, "90s": 2}),
+            TagResourcesBlock("rock", {"nevermind": 3, "in-utero": 1}),
+            TagNeighboursBlock("rock", {"grunge": 2, "alternative": 7}),
+            ResourceTagsBlock("empty-res", {}),
+            TagResourcesBlock("empty-tag", {}),
+            TagNeighboursBlock("lonely", {}),
+            TagResourcesBlock("müsic", {"тег": 130, "日本語": 1, "café": 2**40}),
+        ],
+    )
+    def test_counter_blocks(self, block):
+        payload = block.to_payload()
+        assert decode_block(encode_block(payload)) == payload
+
+    @pytest.mark.parametrize(
+        "block",
+        [
+            ResourceURIBlock(owner="nevermind", uri="urn:dharma:nevermind"),
+            ResourceURIBlock(owner="emptyuri", uri=""),
+            ResourceURIBlock(owner="ünïcode", uri="https://example.org/ü?q=日本"),
+        ],
+    )
+    def test_uri_blocks(self, block):
+        payload = block.to_payload()
+        assert decode_block(encode_block(payload)) == payload
+
+    def test_append_messages(self):
+        for increments, if_new in [
+            ({"grunge": 1}, None),
+            ({"grunge": 1}, {"grunge": 1}),
+            ({"a": 1, "b": 2, "тег": 3}, {"a": 1, "b": 1, "тег": 1}),
+            ({}, None),
+        ]:
+            data = encode_append("rock", BlockType.TAG_NEIGHBOURS, increments, if_new)
+            assert decode_append(data) == ("rock", BlockType.TAG_NEIGHBOURS, increments, if_new)
+
+    def test_encoding_is_deterministic_under_dict_order(self):
+        a = {"owner": "r", "type": "1", "entries": {"x": 1, "y": 2}}
+        b = {"owner": "r", "type": "1", "entries": {"y": 2, "x": 1}}
+        assert encode_block(a) == encode_block(b)
+
+
+class TestGoldenBytes:
+    """Pin the exact wire format so it cannot drift silently."""
+
+    GOLDEN = {
+        "r_bar": (
+            {"owner": "nevermind", "type": "1", "entries": {"rock": 3, "grunge": 1}},
+            "da0101096e657665726d696e6402066772756e67650104726f636b03",
+        ),
+        "t_bar": (
+            {"owner": "rock", "type": "2", "entries": {"nevermind": 3}},
+            "da010204726f636b01096e657665726d696e6403",
+        ),
+        "t_hat": (
+            {"owner": "rock", "type": "3", "entries": {"grunge": 2, "90s": 1}},
+            "da010304726f636b020339307301066772756e676502",
+        ),
+        "r_tilde": (
+            {"owner": "nevermind", "type": "4", "uri": "urn:dharma:nevermind"},
+            "da0104096e657665726d696e641475726e3a646861726d613a6e657665726d696e64",
+        ),
+        "empty_t_hat": (
+            {"owner": "lonely", "type": "3", "entries": {}},
+            "da0103066c6f6e656c7900",
+        ),
+        "unicode_t_bar": (
+            {"owner": "müsic", "type": "2", "entries": {"тег": 130}},
+            "da010206" + "6dc3bc736963" + "0106" + "d182d0b5d0b3" + "8201",
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_block_golden_bytes(self, name):
+        payload, expected_hex = self.GOLDEN[name]
+        assert encode_block(payload).hex() == expected_hex
+        assert decode_block(bytes.fromhex(expected_hex)) == payload
+
+    def test_append_golden_bytes(self):
+        data = encode_append("rock", BlockType.TAG_NEIGHBOURS, {"grunge": 1}, {"grunge": 1})
+        assert data.hex() == "da018304726f636b01066772756e6765010101066772756e676501"
+        plain = encode_append("rock", BlockType.TAG_NEIGHBOURS, {"grunge": 200})
+        assert plain.hex() == "da018304726f636b01066772756e6765c80100"
+
+
+class TestMalformedData:
+    def test_bad_magic(self):
+        good = encode_block({"owner": "r", "type": "1", "entries": {}})
+        with pytest.raises(CodecError):
+            decode_block(b"\x00" + good[1:])
+
+    def test_bad_version(self):
+        good = encode_block({"owner": "r", "type": "1", "entries": {}})
+        with pytest.raises(CodecError):
+            decode_block(good[:1] + b"\x63" + good[2:])
+
+    def test_unknown_type_byte(self):
+        good = encode_block({"owner": "r", "type": "1", "entries": {}})
+        with pytest.raises(CodecError):
+            decode_block(good[:2] + b"\x09" + good[3:])
+
+    def test_truncated_and_trailing(self):
+        good = encode_block({"owner": "res", "type": "1", "entries": {"a": 1}})
+        with pytest.raises(CodecError):
+            decode_block(good[:-1])
+        with pytest.raises(CodecError):
+            decode_block(good + b"\x00")
+
+    def test_block_vs_append_mixups(self):
+        block = encode_block({"owner": "r", "type": "1", "entries": {}})
+        append = encode_append("t", BlockType.TAG_RESOURCES, {"r": 1})
+        with pytest.raises(CodecError):
+            decode_append(block)
+        with pytest.raises(CodecError):
+            decode_block(append)
+
+    def test_append_rejected_for_uri_blocks(self):
+        with pytest.raises(CodecError):
+            encode_append("r", BlockType.RESOURCE_URI, {"x": 1})
+
+    def test_non_block_payload_rejected(self):
+        with pytest.raises(CodecError):
+            encode_block({"random": "dict"})
+
+
+class TestBlockCodecFacade:
+    def test_payload_size_matches_encoding(self):
+        codec = BlockCodec()
+        payload = {"owner": "rock", "type": "2", "entries": {"nevermind": 3}}
+        assert codec.payload_size(payload) == len(encode_block(payload))
+
+    def test_payload_size_total_for_arbitrary_values(self):
+        codec = BlockCodec()
+        assert codec.payload_size({"weird": 1}) == len(repr({"weird": 1}).encode())
+        assert codec.payload_size("just a string") > 0
+
+    def test_append_size(self):
+        codec = BlockCodec()
+        expected = len(encode_append("t", BlockType.TAG_NEIGHBOURS, {"x": 1}, None))
+        assert codec.append_size("t", BlockType.TAG_NEIGHBOURS, {"x": 1}) == expected

@@ -1,0 +1,198 @@
+"""Unit tests for the frozen, array-backed folksonomy index."""
+
+import numpy as np
+import pytest
+
+from repro.core.compact import (
+    CompactFolksonomy,
+    freeze_folksonomy,
+    intersect_sorted,
+    intersect_sorted_with_values,
+)
+from repro.core.faceted_search import FacetedSearch, ModelView
+from repro.core.tagging_model import TaggingModel, derive_folksonomy_graph
+from repro.datasets.lastfm_synthetic import LastfmSyntheticConfig, generate_lastfm_like
+
+
+@pytest.fixture(scope="module")
+def model():
+    reference = TaggingModel()
+    catalogue = [
+        ("nevermind", ["rock", "grunge", "90s"]),
+        ("in-utero", ["rock", "grunge"]),
+        ("ok-computer", ["rock", "alternative", "90s"]),
+        ("kid-a", ["alternative", "electronic"]),
+        ("discovery", ["electronic", "dance"]),
+    ]
+    for resource, tags in catalogue:
+        reference.insert_resource(resource, tags)
+    reference.add_tag("nevermind", "seattle")
+    return reference
+
+
+@pytest.fixture(scope="module")
+def compact(model):
+    return model.freeze()
+
+
+class TestIntersections:
+    def test_intersect_sorted_basic(self):
+        a = np.array([1, 3, 5, 9], dtype=np.int32)
+        b = np.array([2, 3, 4, 5, 10], dtype=np.int32)
+        assert intersect_sorted(a, b).tolist() == [3, 5]
+        assert intersect_sorted(b, a).tolist() == [3, 5]
+
+    def test_intersect_sorted_empty_and_disjoint(self):
+        empty = np.empty(0, dtype=np.int32)
+        a = np.array([1, 2], dtype=np.int32)
+        assert intersect_sorted(a, empty).tolist() == []
+        assert intersect_sorted(empty, a).tolist() == []
+        assert intersect_sorted(a, np.array([3, 4], dtype=np.int32)).tolist() == []
+
+    def test_intersect_skewed_sizes_gallops_correctly(self):
+        small = np.array([7, 500, 900], dtype=np.int32)
+        large = np.arange(0, 1000, 2, dtype=np.int32)  # evens
+        assert intersect_sorted(small, large).tolist() == [500, 900]
+        assert intersect_sorted(large, small).tolist() == [500, 900]
+
+    def test_intersect_with_values_takes_b_side_values(self):
+        a = np.array([1, 3, 5], dtype=np.int32)
+        b = np.array([3, 4, 5], dtype=np.int32)
+        b_values = np.array([30, 40, 50], dtype=np.int64)
+        ids, values = intersect_sorted_with_values(a, b, b_values)
+        assert ids.tolist() == [3, 5]
+        assert values.tolist() == [30, 50]
+        # Swapped sizes exercise the other probing direction.
+        big = np.arange(100, dtype=np.int32)
+        big_values = np.arange(100, dtype=np.int64) * 10
+        ids, values = intersect_sorted_with_values(big, b, b_values)
+        assert ids.tolist() == [3, 4, 5]
+        assert values.tolist() == [30, 40, 50]
+
+    def test_intersect_matches_set_semantics_randomised(self):
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            a = np.unique(rng.integers(0, 200, size=rng.integers(0, 80)).astype(np.int32))
+            b = np.unique(rng.integers(0, 200, size=rng.integers(0, 80)).astype(np.int32))
+            expected = sorted(set(a.tolist()) & set(b.tolist()))
+            assert intersect_sorted(a, b).tolist() == expected
+
+
+class TestCompactFolksonomy:
+    def test_ids_follow_sorted_name_order(self, compact):
+        names = compact.tags
+        assert names == sorted(names)
+        for index, name in enumerate(names):
+            assert compact.tag_id_of(name) == index
+            assert compact.tag_name(index) == name
+
+    def test_matches_source_graphs(self, model, compact):
+        assert compact.num_tags == len(model.fg.tags | model.trg.tags)
+        assert compact.num_arcs == model.fg.num_arcs
+        assert compact.total_weight == model.fg.total_weight
+        for tag in model.fg.tags:
+            assert compact.neighbour_similarities(tag) == dict(model.fg.out_arcs(tag))
+            assert compact.out_degree(tag) == model.fg.out_degree(tag)
+            assert compact.similarity_total(tag) == sum(model.fg.out_arcs(tag).values())
+        for tag in model.trg.tags:
+            assert compact.resources_of(tag) == model.trg.resource_set(tag)
+            assert compact.resource_weights_of(tag) == dict(model.trg.resources_of(tag))
+            assert compact.tag_degree(tag) == model.trg.tag_degree(tag)
+
+    def test_similarity_lookup(self, model, compact):
+        for source in model.fg.tags:
+            for target in model.fg.tags:
+                assert compact.similarity(source, target) == model.fg.similarity(source, target)
+        assert compact.similarity("ghost", "rock") == 0
+        assert compact.similarity("rock", "ghost") == 0
+
+    def test_ranked_neighbours_match_mutable_graph(self, model, compact):
+        for tag in model.fg.tags:
+            for limit in (None, 1, 2, 100):
+                assert compact.ranked_neighbours(tag, limit=limit) == (
+                    model.fg.ranked_neighbours(tag, limit=limit)
+                )
+        assert compact.top_k_neighbours("rock", 2) == model.fg.ranked_neighbours("rock", limit=2)
+        assert compact.ranked_neighbours("ghost") == []
+
+    def test_out_degrees_served_from_frozen_counts(self, model, compact):
+        degrees = compact.out_degrees()
+        assert degrees == model.fg.out_degrees()
+        assert compact.out_degrees() is degrees  # memoised view
+        assert compact.out_degree_array().sum() == model.fg.num_arcs
+
+    def test_unknown_names_are_empty(self, compact):
+        assert compact.neighbour_similarities("ghost") == {}
+        assert compact.resources_of("ghost") == set()
+        assert compact.out_degree("ghost") == 0
+        assert compact.tag_id_of("ghost") is None
+
+
+class TestFrozenSearchEquivalence:
+    """The fast path must produce byte-identical search outcomes."""
+
+    @pytest.fixture(scope="class")
+    def folksonomy(self):
+        dataset = generate_lastfm_like(
+            LastfmSyntheticConfig(
+                num_resources=250, num_tags=120, num_users=150,
+                max_tags_per_resource=30, synonym_families=3, seed=11,
+            )
+        )
+        trg = dataset.to_tag_resource_graph()
+        fg = derive_folksonomy_graph(trg)
+        return trg, fg, freeze_folksonomy(trg, fg)
+
+    def test_all_strategies_and_seeds_match(self, folksonomy):
+        trg, fg, compact = folksonomy
+        start_tags = [t for t in trg.most_popular_tags(12) if fg.out_degree(t)]
+        assert start_tags, "fixture produced no searchable tags"
+        for tag in start_tags:
+            for strategy in ("first", "last", "random"):
+                for seed in (0, 1, 99):
+                    legacy = FacetedSearch(ModelView(trg, fg), seed=seed).run(tag, strategy)
+                    fast = FacetedSearch(compact, seed=seed).run(tag, strategy)
+                    assert fast.path == legacy.path
+                    assert fast.final_tags == legacy.final_tags
+                    assert fast.final_resources == legacy.final_resources
+                    assert fast.stop_reason == legacy.stop_reason
+
+    def test_display_limit_and_threshold_variants_match(self, folksonomy):
+        trg, fg, compact = folksonomy
+        tag = next(t for t in trg.most_popular_tags(5) if fg.out_degree(t))
+        for display_limit, threshold in ((3, 0), (10, 5), (100, 25)):
+            legacy = FacetedSearch(
+                ModelView(trg, fg), display_limit=display_limit,
+                resource_threshold=threshold, seed=5,
+            ).run(tag, "random")
+            fast = FacetedSearch(
+                compact, display_limit=display_limit,
+                resource_threshold=threshold, seed=5,
+            ).run(tag, "random")
+            assert fast == legacy
+
+    def test_unknown_start_tag_matches_legacy(self, folksonomy):
+        trg, fg, compact = folksonomy
+        legacy = FacetedSearch(ModelView(trg, fg)).run("no-such-tag", "first")
+        fast = FacetedSearch(compact).run("no-such-tag", "first")
+        assert fast == legacy
+        assert fast.stop_reason == "resources_threshold"
+
+    def test_max_steps_cutoff_matches(self, folksonomy):
+        trg, fg, compact = folksonomy
+        tag = next(t for t in trg.most_popular_tags(5) if fg.out_degree(t))
+        legacy = FacetedSearch(ModelView(trg, fg), max_steps=2, resource_threshold=0).run(tag, "first")
+        fast = FacetedSearch(compact, max_steps=2, resource_threshold=0).run(tag, "first")
+        assert fast == legacy
+
+
+class TestModelFreeze:
+    def test_model_freeze_roundtrip(self, model):
+        compact = model.freeze()
+        assert isinstance(compact, CompactFolksonomy)
+        assert compact.compact is compact
+        # The snapshot does not track later mutations.
+        degree_before = compact.out_degree("rock")
+        model_clone = TaggingModel()
+        model_clone.insert_resource("r", ["rock", "new-tag"])
+        assert compact.out_degree("rock") == degree_before

@@ -1,0 +1,125 @@
+"""Unit tests for the string interner and its threading through the graphs."""
+
+import pytest
+
+from repro.core.folksonomy_graph import FolksonomyGraph
+from repro.core.interning import StringInterner
+from repro.core.tag_resource_graph import TagResourceGraph
+
+
+class TestStringInterner:
+    def test_ids_are_dense_and_stable(self):
+        interner = StringInterner()
+        assert interner.intern("rock") == 0
+        assert interner.intern("jazz") == 1
+        assert interner.intern("rock") == 0  # idempotent
+        assert len(interner) == 2
+        assert interner.name_of(0) == "rock"
+        assert interner.name_of(1) == "jazz"
+
+    def test_id_of_unknown_is_none(self):
+        interner = StringInterner()
+        assert interner.id_of("ghost") is None
+        assert "ghost" not in interner
+
+    def test_intern_many_and_iteration(self):
+        interner = StringInterner(["a", "b"])
+        assert interner.intern_many(["b", "c"]) == [1, 2]
+        assert list(interner) == ["a", "b", "c"]
+        assert interner.names == ["a", "b", "c"]
+
+    def test_name_of_invalid_id_raises(self):
+        interner = StringInterner(["a"])
+        with pytest.raises(IndexError):
+            interner.name_of(-1)
+        with pytest.raises(IndexError):
+            interner.name_of(5)
+
+    def test_copy_is_independent(self):
+        interner = StringInterner(["a"])
+        clone = interner.copy()
+        clone.intern("b")
+        assert len(interner) == 1
+        assert len(clone) == 2
+
+
+class TestGraphInterning:
+    def test_trg_interns_vertices_as_they_appear(self):
+        trg = TagResourceGraph()
+        trg.add_annotation("rock", "nevermind")
+        trg.add_annotation("grunge", "nevermind")
+        assert trg.tag_id("rock") == 0
+        assert trg.tag_id("grunge") == 1
+        assert trg.resource_id("nevermind") == 0
+        assert trg.tag_id("ghost") is None
+        assert trg.tag_interner.name_of(1) == "grunge"
+
+    def test_trg_removal_keeps_interned_ids(self):
+        trg = TagResourceGraph()
+        trg.add_annotation("rock", "nevermind")
+        trg.remove_edge("rock", "nevermind")
+        assert trg.tag_id("rock") == 0
+        assert trg.resource_id("nevermind") == 0
+
+    def test_trg_copy_carries_interners(self):
+        trg = TagResourceGraph()
+        trg.add_annotation("rock", "nevermind")
+        clone = trg.copy()
+        clone.add_annotation("jazz", "kind-of-blue")
+        assert clone.tag_id("jazz") == 1
+        assert trg.tag_id("jazz") is None
+
+    def test_fg_interns_tags(self):
+        fg = FolksonomyGraph()
+        fg.increment("rock", "grunge")
+        assert fg.tag_id("rock") == 0
+        assert fg.tag_id("grunge") == 1
+        assert fg.copy().tag_id("grunge") == 1
+
+
+class TestDegreeCaches:
+    def test_fg_out_degrees_memoised_and_invalidated(self):
+        fg = FolksonomyGraph()
+        fg.increment("a", "b")
+        first = fg.out_degrees()
+        assert first == {"a": 1, "b": 0}
+        assert fg.out_degrees() is first  # memoised
+        fg.increment("b", "a")
+        assert fg.out_degrees() == {"a": 1, "b": 1}
+
+    def test_trg_degree_caches_invalidated_on_mutation(self):
+        trg = TagResourceGraph()
+        trg.add_annotation("rock", "r1")
+        assert trg.tag_degrees() == {"rock": 1}
+        assert trg.resource_degrees() == {"r1": 1}
+        trg.add_annotation("rock", "r2")
+        assert trg.tag_degrees() == {"rock": 2}
+        trg.remove_edge("rock", "r1")
+        assert trg.tag_degrees() == {"rock": 1}
+        assert trg.resource_degrees() == {"r1": 0, "r2": 1}
+
+    def test_fg_rank_cache_serves_and_invalidates(self):
+        fg = FolksonomyGraph()
+        for index in range(300):
+            fg.increment("hub", f"t{index:03d}", amount=index + 1)
+        top = fg.ranked_neighbours("hub", limit=5)
+        assert [name for name, _ in top] == ["t299", "t298", "t297", "t296", "t295"]
+        # Served from the cache on the second call, same answer.
+        assert fg.ranked_neighbours("hub", limit=5) == top
+        # A deeper cut than the cache depth falls back and still ranks right.
+        deep = fg.ranked_neighbours("hub", limit=250)
+        assert len(deep) == 250
+        assert deep[0] == ("t299", 300)
+        # Mutating the adjacency invalidates the cached ranking.
+        fg.increment("hub", "t000", amount=10_000)
+        assert fg.ranked_neighbours("hub", limit=1) == [("t000", 10_001)]
+
+    def test_ranked_neighbours_matches_full_sort(self):
+        fg = FolksonomyGraph()
+        # Weights with ties so the lexicographic tie-break is exercised.
+        for index in range(50):
+            fg.increment("hub", f"n{index:02d}", amount=(index % 5) + 1)
+        full = sorted(fg.out_arcs("hub").items(), key=lambda item: (-item[1], item[0]))
+        for limit in (1, 3, 10, 49, 50, None):
+            expected = full if limit is None else full[:limit]
+            assert fg.ranked_neighbours("hub", limit=limit) == expected

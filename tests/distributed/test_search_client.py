@@ -71,6 +71,53 @@ class TestDistributedFacetedSearch:
         assert search.lookups_per_step() == pytest.approx(2.0)
         assert len(search.ledger.records) == result.length
 
+    def test_pending_buffer_is_one_shot_under_out_of_order_calls(self, populated):
+        """Regression pin for the coalesced ``t̄`` buffer.
+
+        ``neighbour_similarities(t)`` fetches ``t̂`` and ``t̄`` together and
+        buffers the ``t̄`` half for the immediately following
+        ``resources_of(t)`` -- the coalesced 2-lookups-per-step invariant.
+        The buffer must be strictly one-shot: an out-of-order
+        ``resources_of`` for a *different* tag discards it (and pays its own
+        lookup), and a repeated ``resources_of`` for the same tag must fetch
+        fresh rather than serve the stale buffered block.
+        """
+        _overlay, store, reference = populated
+        view = DistributedView(store)
+
+        # In-order: ns + ro for the same tag = 2 lookups, buffer consumed.
+        before = store.lookups
+        view.neighbour_similarities("rock")
+        assert view.resources_of("rock") == reference.trg.resource_set("rock")
+        assert store.lookups - before == 2
+
+        # Out-of-order: ro for a different tag pays its own lookup...
+        before = store.lookups
+        view.neighbour_similarities("rock")
+        assert view.resources_of("grunge") == reference.trg.resource_set("grunge")
+        assert store.lookups - before == 3
+        # ...and has discarded the buffer: the late ro("rock") fetches fresh.
+        before = store.lookups
+        assert view.resources_of("rock") == reference.trg.resource_set("rock")
+        assert store.lookups - before == 1
+
+        # Consuming the buffer twice is also a fresh fetch the second time.
+        view.neighbour_similarities("rock")
+        view.resources_of("rock")
+        before = store.lookups
+        assert view.resources_of("rock") == reference.trg.resource_set("rock")
+        assert store.lookups - before == 1
+
+    def test_back_to_back_neighbour_calls_keep_latest_buffer(self, populated):
+        """Two ns calls in a row: the buffer belongs to the latest tag."""
+        _overlay, store, reference = populated
+        view = DistributedView(store)
+        view.neighbour_similarities("rock")
+        view.neighbour_similarities("grunge")
+        before = store.lookups
+        assert view.resources_of("grunge") == reference.trg.resource_set("grunge")
+        assert store.lookups - before == 0  # served from the coalesced buffer
+
     def test_search_from_isolated_tag(self, populated):
         overlay, store, _reference = populated
         # A tag with no FG neighbours: publish a single-tag resource.

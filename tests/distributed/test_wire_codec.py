@@ -1,0 +1,111 @@
+"""Byte accounting through the binary codec must leave Table I untouched.
+
+The codec adds a *bytes-on-the-wire* axis to the cost model; the paper's
+lookup arithmetic (Table I) is charged exactly as before, whether or not a
+codec is configured on the client.
+"""
+
+import pytest
+
+from repro.core.approximation import default_approximation
+from repro.core.codec import BlockCodec
+from repro.dht.bootstrap import build_overlay
+from repro.dht.node import NodeConfig
+from repro.distributed.approximated_protocol import ApproximatedProtocol
+from repro.distributed.block_store import BlockStore
+from repro.distributed.cost_model import (
+    approximated_tag_cost,
+    insert_cost,
+    naive_tag_cost,
+    search_step_cost,
+)
+from repro.distributed.naive_protocol import NaiveProtocol
+from repro.distributed.search_client import DistributedFacetedSearch
+from repro.distributed.tagging_service import DharmaService, ServiceConfig
+from repro.simulation.network import NetworkConfig
+
+
+@pytest.fixture()
+def overlay():
+    return build_overlay(
+        8,
+        node_config=NodeConfig(k=8, alpha=2, replicate=2),
+        network_config=NetworkConfig(min_latency_ms=1, max_latency_ms=2, seed=0),
+        seed=0,
+    )
+
+
+def _codec_store(overlay, user):
+    return BlockStore(
+        overlay.client(identity=overlay.register_user(user), codec=BlockCodec())
+    )
+
+
+class TestTableIWithCodecOn:
+    def test_insert_and_tag_lookup_costs_unchanged(self, overlay):
+        for m in (2, 5, 10):
+            tags = [f"t{m}-{i}" for i in range(m)]
+            naive = NaiveProtocol(_codec_store(overlay, f"naive-{m}"))
+            insert = naive.insert_resource(f"res-{m}", tags)
+            assert insert.lookups == insert_cost(m)
+            assert insert.wire_bytes > 0
+            tag = naive.add_tag(f"res-{m}", f"extra-{m}")
+            assert tag.lookups == naive_tag_cost(m)
+            assert tag.wire_bytes > 0
+
+    def test_approximated_tag_cost_unchanged(self, overlay):
+        k = 2
+        protocol = ApproximatedProtocol(
+            _codec_store(overlay, "approx"), default_approximation(k), seed=0
+        )
+        protocol.insert_resource("res-a", [f"a{i}" for i in range(8)])
+        cost = protocol.add_tag("res-a", "fresh")
+        assert cost.lookups <= approximated_tag_cost(k)
+        assert cost.wire_bytes > 0
+
+    def test_search_step_cost_unchanged(self, overlay):
+        store = _codec_store(overlay, "searcher")
+        protocol = NaiveProtocol(store)
+        protocol.insert_resource("nevermind", ["rock", "grunge", "90s"])
+        protocol.insert_resource("in-utero", ["rock", "grunge"])
+        protocol.insert_resource("ok-computer", ["rock", "alternative", "90s"])
+        search = DistributedFacetedSearch(store, resource_threshold=1, seed=0)
+        bytes_before_search = store.wire_bytes
+        result = search.run("rock", "first")
+        assert result.length >= 2
+        assert search.lookups_per_step() == pytest.approx(search_step_cost())
+        # Every step also carries a byte cost now, and the per-step records
+        # account exactly the bytes the search put on the wire.
+        assert all(record.wire_bytes > 0 for record in search.ledger.records)
+        assert (
+            search.ledger.total_wire_bytes("search_step")
+            == store.wire_bytes - bytes_before_search
+        )
+
+    def test_stored_state_identical_with_and_without_codec(self, overlay):
+        plain = BlockStore(overlay.client(identity=overlay.register_user("plain")))
+        coded = _codec_store(overlay, "coded")
+        NaiveProtocol(plain).insert_resource("res-plain", ["x", "y"])
+        NaiveProtocol(coded).insert_resource("res-coded", ["x", "y"])
+        assert plain.get_resource_tags("res-plain") == coded.get_resource_tags("res-coded")
+        assert plain.wire_bytes == 0
+        assert coded.wire_bytes > 0
+
+
+class TestServiceWireCodec:
+    def test_service_reports_wire_bytes(self, overlay):
+        service = DharmaService(
+            overlay, user="bytes", config=ServiceConfig(wire_codec=True, seed=0)
+        )
+        service.insert_resource("res", ["rock", "jazz"])
+        service.add_tag("res", "blues")
+        assert service.total_wire_bytes > 0
+        summary = service.cost_summary()
+        assert summary["insert"]["wire_bytes"] > 0
+        assert summary["tag"]["wire_bytes"] > 0
+
+    def test_service_default_has_no_byte_accounting(self, overlay):
+        service = DharmaService(overlay, user="nobytes", config=ServiceConfig(seed=0))
+        service.insert_resource("res2", ["rock"])
+        assert service.total_wire_bytes == 0
+        assert service.cost_summary()["insert"]["wire_bytes"] == 0

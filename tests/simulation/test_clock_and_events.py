@@ -107,3 +107,82 @@ class TestEventQueue:
         for t in range(10):
             queue.schedule_at(t + 1, lambda: None)
         assert queue.run_until(100, max_events=3) == 3
+
+
+class TestCancellationCompaction:
+    """Cancelled events must not keep the heap growing without bound."""
+
+    def test_mass_cancellation_compacts_heap(self):
+        queue = EventQueue(compaction_threshold=16)
+        events = [queue.schedule_at(t + 1, lambda: None) for t in range(100)]
+        live = queue.schedule_at(500, lambda: None)
+        for event in events:
+            event.cancel()
+        # Compaction kicked in: the heap holds (nearly) only live events.
+        assert queue.compactions >= 1
+        assert queue.heap_size() < 100
+        assert len(queue) == 1
+        assert queue.cancelled_pending < 16
+        # The surviving event still runs at the right time.
+        assert queue.peek_time() == 500
+        queue.run_all()
+        assert queue.processed == 1
+        assert live.cancelled is False
+
+    def test_no_compaction_below_threshold(self):
+        queue = EventQueue(compaction_threshold=64)
+        events = [queue.schedule_at(t + 1, lambda: None) for t in range(10)]
+        for event in events[:5]:
+            event.cancel()
+        assert queue.compactions == 0
+        assert queue.cancelled_pending == 5
+        assert len(queue) == 5
+        assert queue.run_all() == 5
+
+    def test_compaction_waits_until_cancelled_outnumber_live(self):
+        queue = EventQueue(compaction_threshold=8)
+        cancelled = [queue.schedule_at(t + 1, lambda: None) for t in range(10)]
+        keep = [queue.schedule_at(t + 100, lambda: None) for t in range(50)]
+        for event in cancelled:
+            event.cancel()
+        # 10 cancelled >= threshold but 50 live remain: no compaction yet.
+        assert queue.compactions == 0
+        for event in keep[:45]:
+            event.cancel()
+        assert queue.compactions >= 1
+        assert len(queue) == 5
+
+    def test_cancel_after_execution_is_harmless(self):
+        queue = EventQueue(compaction_threshold=4)
+        fired = []
+        event = queue.schedule_at(1, lambda: fired.append("x"))
+        queue.run_all()
+        assert fired == ["x"]
+        event.cancel()  # late cancel: no effect on queue accounting
+        assert queue.cancelled_pending == 0
+        assert len(queue) == 0
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue(compaction_threshold=64)
+        event = queue.schedule_at(1, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert queue.cancelled_pending == 1
+        assert len(queue) == 0
+
+    def test_interleaved_step_and_cancel_keep_counts_consistent(self):
+        queue = EventQueue(compaction_threshold=8)
+        events = [queue.schedule_at(t + 1, lambda: None) for t in range(30)]
+        for index, event in enumerate(events):
+            if index % 2:
+                event.cancel()
+        executed = 0
+        while queue.step() is not None:
+            executed += 1
+        assert executed == 15
+        assert len(queue) == 0
+        assert queue.cancelled_pending == 0
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue(compaction_threshold=0)

@@ -34,6 +34,7 @@ class TestParser:
             ("converge", ["in.tsv"]),
             ("overlay", ["in.tsv"]),
             ("cluster-bench", []),
+            ("profile", []),
         ]:
             args = parser.parse_args([command, *extra])
             assert args.command == command
@@ -81,6 +82,35 @@ class TestCommands:
         assert "overlay replay" in out
         assert "measured primitive costs" in out
         assert "hotspot" in out
+
+    def test_profile_reports_perf_snapshot(self, tmp_path, capsys):
+        json_path = tmp_path / "perf.json"
+        assert main(
+            [
+                "profile",
+                "--preset", "tiny",
+                "--searches", "20",
+                "--strategy", "first",
+                "--json", str(json_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "profile -- interned core" in out
+        assert "frozen speedup" in out
+        assert "core.freeze" in out
+        assert "codec bytes" in out
+        import json as json_module
+
+        snapshot = json_module.loads(json_path.read_text())
+        assert snapshot["summary"]["searches"] == 20
+        assert snapshot["counters"]["search.compact_runs"] == 20
+        assert snapshot["timers"]["core.freeze"]["calls"] == 1
+        assert snapshot["summary"]["codec_bytes"] > 0
+
+    def test_profile_with_dataset_file(self, dataset_path, capsys):
+        assert main(["profile", "--dataset", str(dataset_path), "--searches", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "frozen speedup" in out
 
     def test_cluster_bench_compares_engine_on_off(self, dataset_path, capsys):
         assert main(

@@ -1,0 +1,108 @@
+"""Unit tests for the perf counter/timer subsystem."""
+
+import json
+
+from repro.perf import PERF, PerfRegistry, TimerStats
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        registry = PerfRegistry()
+        registry.count("x")
+        registry.count("x", 4)
+        assert registry.counter("x") == 5
+        assert registry.counter("missing") == 0
+
+    def test_disabled_registry_is_noop(self):
+        registry = PerfRegistry(enabled=False)
+        registry.count("x")
+        with registry.timer("t"):
+            pass
+        registry.record_time("t2", 1.0)
+        assert registry.counter("x") == 0
+        assert registry.timer_stats("t").calls == 0
+        assert registry.snapshot() == {"counters": {}, "timers": {}}
+
+
+class TestTimers:
+    def test_timer_records_calls_and_totals(self):
+        registry = PerfRegistry()
+        for _ in range(3):
+            with registry.timer("work"):
+                sum(range(100))
+        stats = registry.timer_stats("work")
+        assert stats.calls == 3
+        assert stats.total_s > 0
+        assert stats.max_s >= stats.mean_s > 0
+
+    def test_timer_records_even_when_body_raises(self):
+        registry = PerfRegistry()
+        try:
+            with registry.timer("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert registry.timer_stats("boom").calls == 1
+
+    def test_record_time_folds_external_measurement(self):
+        registry = PerfRegistry()
+        registry.record_time("ext", 0.5)
+        registry.record_time("ext", 1.5)
+        stats = registry.timer_stats("ext")
+        assert stats.calls == 2
+        assert stats.total_s == 2.0
+        assert stats.max_s == 1.5
+        assert stats.mean_s == 1.0
+
+    def test_timer_stats_defaults(self):
+        assert TimerStats().mean_s == 0.0
+
+
+class TestExport:
+    def test_snapshot_is_json_serialisable(self):
+        registry = PerfRegistry()
+        registry.count("a", 2)
+        registry.record_time("t", 0.25)
+        snapshot = registry.snapshot()
+        payload = json.loads(json.dumps(snapshot))
+        assert payload["counters"]["a"] == 2
+        assert payload["timers"]["t"]["calls"] == 1
+
+    def test_report_lists_counters_and_timers(self):
+        registry = PerfRegistry()
+        registry.count("hits", 42)
+        registry.record_time("freeze", 0.125)
+        report = registry.report()
+        assert "hits" in report
+        assert "42" in report
+        assert "freeze" in report
+
+    def test_report_empty(self):
+        assert "no perf data" in PerfRegistry().report()
+
+    def test_reset_clears_everything(self):
+        registry = PerfRegistry()
+        registry.count("a")
+        registry.record_time("t", 1.0)
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "timers": {}}
+
+
+class TestGlobalRegistryIntegration:
+    def test_freeze_and_search_are_instrumented(self):
+        from repro.core.compact import freeze_folksonomy
+        from repro.core.faceted_search import FacetedSearch
+        from repro.core.tagging_model import TaggingModel, derive_folksonomy_graph
+
+        model = TaggingModel()
+        model.insert_resource("r1", ["a", "b", "c"])
+        model.insert_resource("r2", ["a", "b"])
+        PERF.reset()
+        compact = freeze_folksonomy(model.trg, derive_folksonomy_graph(model.trg))
+        assert PERF.timer_stats("core.freeze").calls == 1
+        assert PERF.counter("freeze.tags") == 3
+        FacetedSearch(compact, resource_threshold=0).run("a", "first")
+        assert PERF.counter("search.runs") == 1
+        assert PERF.counter("search.compact_runs") == 1
+        assert PERF.counter("search.steps") >= 1
+        PERF.reset()

@@ -10,7 +10,9 @@
 * :mod:`~repro.analysis.convergence` -- the faceted-search convergence
   simulation (Figure 7, Table IV);
 * :mod:`~repro.analysis.report` -- plain-text table rendering shared by the
-  benchmarks and the CLI.
+  benchmarks and the CLI;
+* :mod:`~repro.analysis.survival` -- availability timelines / survival CDFs
+  of churn runs (extension E11).
 """
 
 from repro.analysis.metrics import (
@@ -35,6 +37,13 @@ from repro.analysis.convergence import (
     run_convergence_experiment,
 )
 from repro.analysis.report import format_table, format_mapping
+from repro.analysis.survival import (
+    SURVIVAL_METRICS,
+    SurvivalSummary,
+    render_survival_comparison,
+    summarise_survival,
+    survival_deltas,
+)
 
 __all__ = [
     "cosine_similarity",
@@ -57,4 +66,9 @@ __all__ = [
     "run_convergence_experiment",
     "format_table",
     "format_mapping",
+    "SURVIVAL_METRICS",
+    "SurvivalSummary",
+    "render_survival_comparison",
+    "summarise_survival",
+    "survival_deltas",
 ]

@@ -1,0 +1,140 @@
+"""Survival analysis of churn runs (extension of the Section V evaluation).
+
+The churn-survival benchmark (:func:`repro.simulation.cluster.run_survival_benchmark`)
+produces an availability trajectory plus a final audit per configuration.
+This module turns those raw reports into the distributions the ``churn-bench``
+CLI and ``bench_churn_survival.py`` print:
+
+* the **availability timeline** -- fraction of pre-churn blocks readable at
+  each probe instant;
+* the **availability CDF** -- empirical distribution of the probe samples
+  (via :mod:`repro.analysis.cdf`), answering "for what fraction of the run
+  was availability at least x?";
+* the **maintenance-on vs -off deltas** that quantify what replica
+  maintenance buys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.analysis.cdf import cdf_series
+from repro.analysis.report import format_mapping, format_table
+
+if TYPE_CHECKING:  # avoid importing the cluster harness at module load
+    from repro.simulation.cluster import SurvivalReport
+
+__all__ = [
+    "SURVIVAL_METRICS",
+    "SurvivalSummary",
+    "summarise_survival",
+    "survival_deltas",
+    "render_survival_comparison",
+]
+
+#: The :meth:`~repro.simulation.cluster.SurvivalReport.summary` fields the
+#: CLI table and the benchmark report print, in display order (one list so
+#: the two cannot drift apart).
+SURVIVAL_METRICS = [
+    "blocks_written", "counter_blocks", "final_availability", "lost_blocks",
+    "integrity_violations", "entries_checked", "churn_appends",
+    "joins", "graceful_leaves", "crashes", "live_nodes_end",
+    "messages_total", "wall_time_s",
+]
+
+
+@dataclass(slots=True)
+class SurvivalSummary:
+    """Distilled view of one :class:`~repro.simulation.cluster.SurvivalReport`."""
+
+    maintenance_on: bool
+    final_availability: float
+    min_availability: float
+    mean_availability: float
+    lost_blocks: int
+    blocks_written: int
+    integrity_violations: int
+    entries_checked: int
+    #: ``(availability level, fraction of probes at or below it)`` rows.
+    availability_cdf: list[tuple[float, float]]
+    #: ``(seconds since churn start, availability)`` rows.
+    timeline: list[tuple[float, float]]
+
+
+def summarise_survival(report: "SurvivalReport", max_points: int = 24) -> SurvivalSummary:
+    """Summarise *report* into the distributions worth printing.
+
+    The min/mean/CDF cover the periodic probe samples only; the final audit
+    uses a different (merged multi-read) methodology and is reported
+    separately as :attr:`SurvivalSummary.final_availability`.
+    """
+    samples = [availability for _, availability in report.samples]
+    if not samples:
+        samples = [report.final_availability]
+    return SurvivalSummary(
+        maintenance_on=report.maintenance_on,
+        final_availability=report.final_availability,
+        min_availability=min(samples),
+        mean_availability=sum(samples) / len(samples),
+        lost_blocks=report.lost_blocks,
+        blocks_written=report.blocks_written,
+        integrity_violations=report.integrity_violations,
+        entries_checked=report.entries_checked,
+        availability_cdf=cdf_series(samples, max_points=max_points),
+        timeline=[(round(t, 1), availability) for t, availability in report.samples],
+    )
+
+
+def survival_deltas(on: "SurvivalReport", off: "SurvivalReport") -> dict[str, float]:
+    """What maintenance buys: the on-vs-off availability/integrity deltas."""
+    return {
+        "availability_delta": on.final_availability - off.final_availability,
+        "lost_blocks_delta": float(off.lost_blocks - on.lost_blocks),
+        "violations_delta": float(off.integrity_violations - on.integrity_violations),
+    }
+
+
+def render_survival_comparison(
+    reports: Sequence["SurvivalReport"], title: str | None = None
+) -> str:
+    """Render survival reports for humans: metrics table, per-mode summary
+    and availability CDF, and -- when both modes are present -- the
+    on-vs-off deltas.  The one renderer shared by ``dharma churn-bench`` and
+    ``bench_churn_survival.py``, so their outputs cannot drift apart.
+    """
+    labels = [
+        f"maintenance {'on' if report.maintenance_on else 'off'}" for report in reports
+    ]
+    parts = []
+    headers = ["metric", *labels]
+    rows = [
+        [metric, *[report.summary().get(metric, 0.0) for report in reports]]
+        for metric in SURVIVAL_METRICS
+    ]
+    parts.append(format_table(headers, rows, title=title, precision=4))
+    for label, report in zip(labels, reports):
+        summary = summarise_survival(report)
+        parts.append(format_mapping(
+            {
+                "final availability": round(summary.final_availability, 4),
+                "min availability": round(summary.min_availability, 4),
+                "mean availability": round(summary.mean_availability, 4),
+                "integrity violations": summary.integrity_violations,
+            },
+            title=f"survival ({label})",
+        ))
+        cdf_rows = [[f"{x:.4f}", f"{p:.3f}"] for x, p in summary.availability_cdf]
+        parts.append(format_table(
+            ["availability", "P(sample <= x)"], cdf_rows,
+            title=f"availability CDF over probes ({label})",
+        ))
+    on = next((r for r in reports if r.maintenance_on), None)
+    off = next((r for r in reports if not r.maintenance_on), None)
+    if on is not None and off is not None:
+        parts.append(format_mapping(
+            {k: round(v, 4) for k, v in survival_deltas(on, off).items()},
+            title="what maintenance buys (identical fault trace)",
+        ))
+    return "\n".join(parts)

@@ -13,6 +13,9 @@ can be exercised without writing Python:
 * ``dharma cluster-bench`` -- spin up a 1,000+ node cluster via the
   :mod:`repro.simulation.cluster` harness and compare protocols with the
   batched/cached lookup engine on and off;
+* ``dharma churn-bench`` -- run a cluster under churn (crashes and graceful
+  leaves on a pre-scheduled fault trace) with replica maintenance on and/or
+  off, and report block availability, survival CDFs and counter integrity;
 * ``dharma profile`` -- drive the interned core (build, freeze, legacy vs
   frozen faceted search, block codec pass) under the :mod:`repro.perf`
   counters/timers and print or export the snapshot.
@@ -42,7 +45,12 @@ from repro.datasets.stats import compute_folksonomy_stats
 from repro.dht.bootstrap import build_overlay
 from repro.distributed.tagging_service import DharmaService, ServiceConfig
 from repro.perf import PERF
-from repro.simulation.cluster import ClusterConfig, run_cluster_benchmark
+from repro.simulation.cluster import (
+    ClusterConfig,
+    churn_cluster_config,
+    run_cluster_benchmark,
+    run_survival_benchmark,
+)
 from repro.simulation.workload import TaggingWorkload
 
 __all__ = ["main", "build_parser"]
@@ -103,6 +111,36 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--engine", choices=["on", "off", "both"], default="both",
                          help="run with the batched/cached lookup engine on, off, or both")
     cluster.add_argument("--seed", type=int, default=0)
+
+    churn = sub.add_parser(
+        "churn-bench",
+        help="data survival under churn with replica maintenance on/off",
+    )
+    churn.add_argument("--dataset", default=None, help="TSV file of triples (default: synthetic)")
+    churn.add_argument("--preset", choices=sorted(PRESETS), default="tiny",
+                       help="synthetic dataset preset used when no --dataset is given")
+    churn.add_argument("--nodes", type=int, default=500)
+    churn.add_argument("--ops", type=int, default=150,
+                       help="tagging operations written before churn starts")
+    churn.add_argument("--duration", type=float, default=480.0,
+                       help="churn phase length in virtual seconds")
+    churn.add_argument("--mean-session", type=float, default=300.0,
+                       help="mean node session length in virtual seconds")
+    churn.add_argument("--crash-probability", type=float, default=0.5,
+                       help="probability that a departure is an abrupt crash")
+    churn.add_argument("--join-rate", type=float, default=None,
+                       help="node arrivals per virtual second (default: replacement rate)")
+    churn.add_argument("--replicate", type=int, default=3)
+    churn.add_argument("--republish-interval", type=float, default=15.0,
+                       help="republish period per node in virtual seconds")
+    churn.add_argument("--refresh-interval", type=float, default=60.0,
+                       help="bucket-refresh period per node in virtual seconds")
+    churn.add_argument("--sample-every", type=float, default=30.0,
+                       help="availability probe period in virtual seconds")
+    churn.add_argument("--maintenance", choices=["on", "off", "both"], default="both")
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("--json", dest="json_path", default=None,
+                       help="also write the survival report(s) to this JSON file")
 
     profile = sub.add_parser(
         "profile",
@@ -302,6 +340,57 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_churn_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.survival import render_survival_comparison
+
+    if args.dataset is not None:
+        dataset = load_triples_tsv(args.dataset)
+    else:
+        dataset = generate_lastfm_like(args.preset)
+    workload = TaggingWorkload.from_triples(dataset.triples())
+
+    modes = [True, False] if args.maintenance == "both" else [args.maintenance == "on"]
+    reports = {}
+    for maintenance in modes:
+        config = churn_cluster_config(
+            num_nodes=args.nodes,
+            maintenance=maintenance,
+            mean_session_s=args.mean_session,
+            crash_probability=args.crash_probability,
+            join_rate=args.join_rate,
+            replicate=args.replicate,
+            republish_interval_ms=args.republish_interval * 1000.0,
+            refresh_interval_ms=args.refresh_interval * 1000.0,
+            seed=args.seed,
+        )
+        label = "maintenance on" if maintenance else "maintenance off"
+        reports[label] = run_survival_benchmark(
+            config,
+            workload,
+            ops=args.ops,
+            duration_s=args.duration,
+            sample_every_s=args.sample_every,
+        )
+
+    print(render_survival_comparison(
+        list(reports.values()),
+        title=(
+            f"churn-bench -- {args.nodes} nodes, {args.duration:.0f}s churn, "
+            f"mean session {args.mean_session:.0f}s, "
+            f"crash probability {args.crash_probability}"
+        ),
+    ))
+
+    if args.json_path:
+        payload = {label: report.summary() for label, report in reports.items()}
+        for label, report in reports.items():
+            payload[label]["samples"] = report.samples
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"\nsurvival report written to {args.json_path}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     if args.dataset is not None:
         dataset = load_triples_tsv(args.dataset, limit=args.limit)
@@ -398,6 +487,7 @@ _COMMANDS = {
     "converge": _cmd_converge,
     "overlay": _cmd_overlay,
     "cluster-bench": _cmd_cluster_bench,
+    "churn-bench": _cmd_churn_bench,
     "profile": _cmd_profile,
 }
 

@@ -17,7 +17,9 @@ substrate:
   authenticated content, modelled after Likir);
 * :mod:`~repro.dht.api` -- the PUT/GET/APPEND facade with overlay-lookup
   accounting used by the DHARMA protocols;
-* :mod:`~repro.dht.bootstrap` -- overlay construction helpers.
+* :mod:`~repro.dht.bootstrap` -- overlay construction helpers;
+* :mod:`~repro.dht.maintenance` -- replica maintenance under churn (periodic
+  republish + bucket refresh with merge-on-store semantics).
 
 Nodes exchange messages through the simulated network of
 :mod:`repro.simulation.network`, so an entire overlay lives in one Python
@@ -31,6 +33,12 @@ from repro.dht.api import DHTClient, LookupStats
 from repro.dht.batched_lookup import BatchedLookupConfig, BatchedLookupEngine, BatchStats
 from repro.dht.likir import Identity, SignedValue, LikirAuthError
 from repro.dht.bootstrap import Overlay, build_overlay
+from repro.dht.maintenance import (
+    MaintenanceConfig,
+    MaintenanceStats,
+    NodeMaintenance,
+    OverlayMaintenance,
+)
 
 __all__ = [
     "NodeID",
@@ -50,4 +58,8 @@ __all__ = [
     "LikirAuthError",
     "Overlay",
     "build_overlay",
+    "MaintenanceConfig",
+    "MaintenanceStats",
+    "NodeMaintenance",
+    "OverlayMaintenance",
 ]

@@ -304,6 +304,7 @@ class BatchedLookupEngine:
                 self.stats.route_hits += 1
                 outcome = LookupOutcome(target=key)
                 outcome.closest = list(route)
+                outcome.accepted_replicas = stored
                 return outcome
             # A partially (or fully) dead route must not keep degrading the
             # replication factor: drop it so the next write re-resolves live
@@ -316,6 +317,7 @@ class BatchedLookupEngine:
                 self.stats.route_hits += 1
                 outcome = LookupOutcome(target=key)
                 outcome.closest = list(route)
+                outcome.accepted_replicas = stored
                 return outcome
             self.stats.route_fallbacks += 1
         self.stats.full_lookups += 1
@@ -343,6 +345,7 @@ class BatchedLookupEngine:
                 self.stats.route_hits += 1
                 outcome = LookupOutcome(target=key)
                 outcome.closest = list(route)
+                outcome.accepted_replicas = applied
                 return outcome
             self.invalidate_route(key)
             if applied:
@@ -354,6 +357,7 @@ class BatchedLookupEngine:
                 self.stats.route_hits += 1
                 outcome = LookupOutcome(target=key)
                 outcome.closest = list(route)
+                outcome.accepted_replicas = applied
                 return outcome
             self.stats.route_fallbacks += 1
         self.stats.full_lookups += 1

@@ -5,11 +5,21 @@ a Likir :class:`~repro.dht.likir.CertificationService` and ``n`` Kademlia
 nodes, joining them one by one through the first node (the usual bootstrap
 procedure).  The resulting :class:`Overlay` keeps the pieces together and
 offers convenience accessors used by examples, tests and benchmarks.
+
+Membership is managed through :meth:`Overlay.add_node`,
+:meth:`Overlay.remove_node` (graceful leave, data republished through
+rotating surviving helpers) and :meth:`Overlay.crash_node` (abrupt failure,
+no republication).  All three keep an address index current, prune departed
+nodes from :attr:`Overlay.nodes` -- long churn runs would otherwise grow the
+list without bound and degrade every address lookup to an O(n) scan -- and
+notify registered membership listeners, which is how the replica-maintenance
+subsystem (:mod:`repro.dht.maintenance`) attaches its per-node timers.
 """
 
 from __future__ import annotations
 
 import random
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.core.codec import BlockCodec
@@ -21,6 +31,9 @@ from repro.simulation.network import NetworkConfig, SimulatedNetwork
 
 __all__ = ["Overlay", "build_overlay"]
 
+#: A membership listener receives the node that joined or left.
+MembershipListener = Callable[[KademliaNode], None]
+
 
 @dataclass
 class Overlay:
@@ -31,6 +44,17 @@ class Overlay:
     nodes: list[KademliaNode] = field(default_factory=list)
     node_config: NodeConfig = field(default_factory=NodeConfig)
     _rng: random.Random = field(default_factory=random.Random, repr=False)
+    _by_address: dict[str, KademliaNode] = field(default_factory=dict, repr=False)
+    _on_join: list[MembershipListener] = field(default_factory=list, repr=False)
+    _on_leave: list[MembershipListener] = field(default_factory=list, repr=False)
+    #: Round-robin cursor over survivors used to rotate republish helpers.
+    _helper_cursor: int = field(default=0, repr=False)
+    #: Monotone counter behind default ``peer-NNNNNN`` user names.  Deriving
+    #: names from ``len(self.nodes)`` would reissue a live identity once
+    #: departed nodes are pruned from the roster (the certification service
+    #: returns the previously issued identity for a known user, so two live
+    #: nodes would share one node id).
+    _peer_counter: int = field(default=0, repr=False)
 
     # -- accessors --------------------------------------------------------- #
 
@@ -42,14 +66,24 @@ class Overlay:
         return self.network.clock
 
     def node_by_address(self, address: str) -> KademliaNode | None:
+        node = self._by_address.get(address)
+        if node is not None:
+            return node
+        # Nodes appended to ``self.nodes`` directly (bulk wiring, tests)
+        # bypass the index; find and memoise them once.
         for node in self.nodes:
             if node.address == address:
+                self._by_address[address] = node
                 return node
         return None
 
+    def live_nodes(self) -> list[KademliaNode]:
+        """The nodes currently registered on the network."""
+        return [n for n in self.nodes if self.network.is_registered(n.address)]
+
     def random_node(self) -> KademliaNode:
         """A uniformly random live node (used as an access point)."""
-        live = [n for n in self.nodes if self.network.is_registered(n.address)]
+        live = self.live_nodes()
         if not live:
             raise RuntimeError("overlay has no live node")
         return live[self._rng.randrange(len(live))]
@@ -73,9 +107,37 @@ class Overlay:
 
     # -- membership --------------------------------------------------------- #
 
+    def subscribe(
+        self,
+        on_join: MembershipListener | None = None,
+        on_leave: MembershipListener | None = None,
+    ) -> None:
+        """Register membership listeners (used by maintenance/monitoring)."""
+        if on_join is not None:
+            self._on_join.append(on_join)
+        if on_leave is not None:
+            self._on_leave.append(on_leave)
+
+    def adopt_node(self, node: KademliaNode) -> KademliaNode:
+        """Track an externally constructed (already wired) node."""
+        self.nodes.append(node)
+        self._by_address[node.address] = node
+        for listener in self._on_join:
+            listener(node)
+        return node
+
+    def _next_peer_name(self) -> str:
+        while True:
+            candidate = f"peer-{self._peer_counter:06d}"
+            self._peer_counter += 1
+            # Skip names certified outside this counter (bulk wiring
+            # registers peer-000000..N-1 directly).
+            if not self.certification.is_registered(candidate):
+                return candidate
+
     def add_node(self, user: str | None = None) -> KademliaNode:
         """Create one more node, certify it and join it through a live peer."""
-        user = user or f"peer-{len(self.nodes):06d}"
+        user = user or self._next_peer_name()
         identity = self.certification.register(user)
         node = KademliaNode(
             node_id=identity.node_id,
@@ -89,19 +151,46 @@ class Overlay:
                 bootstrap = existing.contact
                 break
         node.join(bootstrap)
-        self.nodes.append(node)
-        return node
+        return self.adopt_node(node)
+
+    def _forget(self, node: KademliaNode) -> None:
+        """Drop *node* from the roster and notify leave listeners."""
+        self._by_address.pop(node.address, None)
+        try:
+            self.nodes.remove(node)
+        except ValueError:
+            pass
+        for listener in self._on_leave:
+            listener(node)
 
     def remove_node(self, node: KademliaNode, republish: bool = True) -> None:
-        """Make *node* leave; optionally republish its stored items through a
-        surviving peer so data is not lost (graceful departure)."""
+        """Make *node* leave gracefully; optionally republish its stored
+        items through surviving peers so data is not lost.
+
+        Helpers rotate round-robin over the survivors: funnelling every
+        republished item through one fixed peer would hotspot it with the
+        full lookup/STORE fan-out of the departing node's inventory.  The
+        STOREs themselves are merge-aware at the receiving replicas (see
+        :meth:`~repro.dht.storage.LocalStorage.put`), so republishing a
+        snapshot of a counter block can never erase concurrent APPENDs.
+        """
         items = node.leave(republish=republish)
-        if republish and items:
-            survivors = [n for n in self.nodes if self.network.is_registered(n.address)]
-            if survivors:
-                helper = survivors[0]
-                for key, value in items.items():
-                    helper.store(key, value)
+        self._forget(node)
+        survivors = self.live_nodes() if republish and items else []
+        if survivors:
+            for key, value in items.items():
+                helper = survivors[self._helper_cursor % len(survivors)]
+                self._helper_cursor += 1
+                helper.store(key, value)
+
+    def crash_node(self, node: KademliaNode) -> None:
+        """Abrupt failure: *node* vanishes without republishing anything.
+
+        Its blocks survive only on the other replicas; periodic maintenance
+        (:mod:`repro.dht.maintenance`) restores full replication from them.
+        """
+        node.leave(republish=False)
+        self._forget(node)
 
     def storage_load(self) -> dict[str, int]:
         """Number of stored keys per node address (hotspot/balance measure)."""

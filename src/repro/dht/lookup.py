@@ -55,6 +55,9 @@ class LookupOutcome:
     messages: int = 0
     #: Number of RPCs that timed out / failed.
     failures: int = 0
+    #: For store/append operations built on this lookup: how many replicas
+    #: actually accepted the write (0 for plain lookups).
+    accepted_replicas: int = 0
 
     @property
     def succeeded(self) -> bool:

@@ -322,14 +322,31 @@ class KademliaNode:
         return stored
 
     def store(self, key: NodeID, value: Any, identity: Identity | None = None) -> LookupOutcome:
-        """PUT *value* under *key* on the ``replicate`` closest nodes."""
+        """PUT *value* under *key* on the ``replicate`` closest *responding*
+        nodes.
+
+        The lookup's closest list can contain contacts that were reported by
+        peers but never answered themselves (they may have crashed since);
+        candidates are therefore walked in distance order until ``replicate``
+        replicas accept, instead of writing blindly to the first
+        ``replicate`` entries -- on a churning overlay the latter silently
+        decays replication until data dies with its last holder.
+        """
+        if identity is not None:
+            value = SignedValue.create(identity, key, value)
         outcome = self.lookup_node(key)
-        targets = outcome.closest[: self.config.replicate] or [self.contact]
-        if not self.store_at(targets, key, value, identity=identity):
-            # Last resort: keep the value locally so it is not lost.
-            if identity is not None:
-                value = SignedValue.create(identity, key, value)
+        stored = 0
+        for contact in outcome.closest:
+            if stored >= self.config.replicate:
+                break
+            stored += self.store_at([contact], key, value)
+        if not stored:
+            # Last resort: keep the value locally so it is not lost.  This
+            # stash is deliberately NOT counted in accepted_replicas -- no
+            # replica accepted anything, and callers (e.g. the maintenance
+            # hand-off) must not mistake it for durable replication.
             self.storage.put(key, value, now=self.network.clock.now)
+        outcome.accepted_replicas = stored
         return outcome
 
     def append_at(
@@ -381,17 +398,26 @@ class KademliaNode:
         increments: dict[str, int],
         increments_if_new: dict[str, int] | None = None,
     ) -> LookupOutcome:
-        """Apply counter *increments* to the block at *key* on its replicas."""
+        """Apply counter *increments* to the block at *key* on its replicas.
+
+        Like :meth:`store`, candidates are walked in distance order until
+        ``replicate`` replicas applied the increments.
+        """
         outcome = self.lookup_node(key)
-        targets = outcome.closest[: self.config.replicate] or [self.contact]
-        if not self.append_at(
-            targets,
-            key,
-            owner,
-            block_type,
-            increments,
-            increments_if_new=increments_if_new,
-        ):
+        applied = 0
+        for contact in outcome.closest:
+            if applied >= self.config.replicate:
+                break
+            applied += self.append_at(
+                [contact],
+                key,
+                owner,
+                block_type,
+                increments,
+                increments_if_new=increments_if_new,
+            )
+        if not applied:
+            # Local stash, not a replica accept (see store()).
             self.storage.append(
                 key,
                 owner,
@@ -400,6 +426,7 @@ class KademliaNode:
                 now=self.network.clock.now,
                 increments_if_new=increments_if_new,
             )
+        outcome.accepted_replicas = applied
         return outcome
 
     def unwrap_value(self, value: Any) -> Any:

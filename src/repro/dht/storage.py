@@ -11,6 +11,19 @@ region.  Two classes of values are handled:
   itself (Approximation B removes the remaining read-modify-write from the
   *protocol* level).
 
+A STORE whose payload *is* a counter block does **not** replace wholesale
+either: it merges entry-wise, keeping the per-entry maximum.  Counter entries
+are monotone (APPEND only ever increments), so a republished snapshot is
+always a *lower bound* on the live block and ``max`` is the correct join --
+a stale snapshot arriving after concurrent APPENDs can never erase them.
+This is what makes replica maintenance under churn safe: crashed replicas
+are restored from surviving copies with plain STOREs.
+
+Counter payloads are copied at every boundary (STORE in, GET out,
+:meth:`LocalStorage.items_snapshot`), so a simulated "wire" transfer or a
+republication never aliases the same mutable ``entries`` dict across
+replicas and caches.
+
 The storage also implements the *index-side filtering* of Section V-A: a GET
 may ask for only the top-``n`` heaviest entries of a counter block, modelling
 the UDP payload bound of overlay messages for very popular tags.
@@ -25,7 +38,7 @@ from typing import Any
 from repro.core.blocks import BlockType, CounterBlock, block_for_type
 from repro.dht.node_id import NodeID
 
-__all__ = ["StoredValue", "LocalStorage"]
+__all__ = ["StoredValue", "LocalStorage", "is_counter_payload", "merge_counter_entries"]
 
 
 @dataclass(slots=True)
@@ -58,14 +71,34 @@ class LocalStorage:
         return iter(self._items)
 
     def put(self, key: NodeID, value: Any, now: float = 0.0) -> None:
-        """Store (replace) *value* under *key*."""
+        """Store *value* under *key*.
+
+        Opaque values replace whatever was stored.  Counter-block payloads
+        merge entry-wise with the resident block of the same owner/type,
+        keeping the per-entry maximum: counters are monotone, so the higher
+        value is always the more recent one and a stale republished snapshot
+        can never undo concurrent APPENDs.
+        """
+        # Counter payloads are copied when retained (never when merely
+        # merged from), so the store can't alias the sender's mutable dicts.
+        is_counter = _is_counter_payload(value)
         record = self._items.get(key)
         if record is None:
+            if is_counter:
+                value = _copy_counter_payload(value)
             self._items[key] = StoredValue(value=value, stored_at=now, writes=1)
+            return
+        if (
+            is_counter
+            and _is_counter_payload(record.value)
+            and record.value.get("type") == value.get("type")
+            and record.value.get("owner") == value.get("owner")
+        ):
+            merge_counter_entries(record.value["entries"], value["entries"])
         else:
-            record.value = value
-            record.stored_at = now
-            record.writes += 1
+            record.value = _copy_counter_payload(value) if is_counter else value
+        record.stored_at = now
+        record.writes += 1
 
     def get(self, key: NodeID, top_n: int | None = None) -> Any | None:
         """Return the value stored under *key*, or ``None``.
@@ -73,18 +106,24 @@ class LocalStorage:
         When the value is a counter-block payload and *top_n* is given, only
         the *top_n* heaviest entries are returned (index-side filtering).  The
         stored block itself is never truncated.
+
+        Counter payloads are returned as copies: what crosses the RPC
+        boundary must not alias the replica's mutable ``entries`` dict, or
+        one replica's APPEND would silently mutate caches and other replicas.
         """
         record = self._items.get(key)
         if record is None:
             return None
         record.reads += 1
         value = record.value
-        if top_n is not None and _is_counter_payload(value):
+        if not _is_counter_payload(value):
+            return value
+        if top_n is not None:
             entries = value["entries"]
             if len(entries) > top_n:
                 top = sorted(entries.items(), key=lambda kv: (-kv[1], kv[0]))[:top_n]
                 return {**value, "entries": dict(top), "truncated": True}
-        return value
+        return _copy_counter_payload(value)
 
     def delete(self, key: NodeID) -> bool:
         """Remove *key*; returns True if it was present."""
@@ -171,14 +210,50 @@ class LocalStorage:
         return total
 
     def items_snapshot(self) -> dict[NodeID, Any]:
-        """A shallow copy of every stored value (for republication on leave)."""
-        return {key: record.value for key, record in self._items.items()}
+        """Every stored value, keyed by block key (for republication).
+
+        Counter payloads are copied so the snapshot stays immutable while the
+        node keeps applying APPENDs -- a republished snapshot must be a frozen
+        lower bound, not a live alias of the replica's entries dict.
+        """
+        return {
+            key: _copy_counter_payload(record.value)
+            if _is_counter_payload(record.value)
+            else record.value
+            for key, record in self._items.items()
+        }
 
 
-def _is_counter_payload(value: Any) -> bool:
+_COUNTER_TYPE_VALUES = frozenset(bt.value for bt in BlockType if bt.is_counter)
+
+
+def is_counter_payload(value: Any) -> bool:
+    """True when *value* is the wire payload of a counter block (types 1-3).
+
+    The single definition shared by the storage layer and everything that
+    must agree with its merge semantics (republication, survival audits).
+    """
     return (
         isinstance(value, dict)
         and "entries" in value
-        and "type" in value
-        and value.get("type") in {bt.value for bt in BlockType if bt.is_counter}
+        and value.get("type") in _COUNTER_TYPE_VALUES
     )
+
+
+def merge_counter_entries(resident: dict[str, int], incoming: dict[str, int]) -> None:
+    """Fold *incoming* into *resident* entry-wise, keeping the maximum.
+
+    Counter entries are monotone, so ``max`` is the join replicas converge
+    under; this is the exact operation a merge-aware STORE applies.
+    """
+    for entry, count in incoming.items():
+        if count > resident.get(entry, 0):
+            resident[entry] = count
+
+
+_is_counter_payload = is_counter_payload
+
+
+def _copy_counter_payload(value: dict[str, Any]) -> dict[str, Any]:
+    """A copy of a counter payload that shares no mutable state."""
+    return {**value, "entries": dict(value["entries"])}

@@ -35,7 +35,10 @@ _CLUSTER_EXPORTS = frozenset(
         "ClusterReport",
         "SearchSample",
         "SimulatedCluster",
+        "SurvivalReport",
+        "churn_cluster_config",
         "run_cluster_benchmark",
+        "run_survival_benchmark",
     }
 )
 
@@ -53,7 +56,10 @@ __all__ = [
     "ClusterReport",
     "SearchSample",
     "SimulatedCluster",
+    "SurvivalReport",
+    "churn_cluster_config",
     "run_cluster_benchmark",
+    "run_survival_benchmark",
     "SimulationClock",
     "Event",
     "EventQueue",

@@ -63,12 +63,71 @@ class ChurnProcess:
 
     def start(self) -> None:
         """Schedule the initial events: one departure per live node and, if
-        joins are enabled, the first arrival."""
+        joins are enabled, the first arrival.
+
+        Follow-up events are drawn on the fly relative to the *current*
+        clock, so the realised churn intensity depends on how much virtual
+        time the rest of the simulation consumes.  Experiments that compare
+        configurations under identical faults should use
+        :meth:`schedule_trace` instead.
+        """
         for node in list(self.overlay.nodes):
             if self.overlay.network.is_registered(node.address):
                 self._schedule_departure(node.address)
         if self.config.join_rate > 0:
             self._schedule_join()
+
+    def schedule_trace(self, horizon_ms: float) -> int:
+        """Pre-schedule the whole churn trace over the next *horizon_ms*.
+
+        Every join arrival and every departure is drawn up front and pinned
+        to an absolute virtual time, so the membership schedule is a pure
+        function of the config seed -- two runs over the same overlay see
+        the *identical* fault injection trace no matter how much virtual
+        time their own work (maintenance, probes) consumes in between.
+        Returns the number of scheduled events.
+        """
+        start = self.queue.clock.now
+        scheduled = 0
+        for node in list(self.overlay.nodes):
+            if not self.overlay.network.is_registered(node.address):
+                continue
+            at = start + self._ms(self._rng.expovariate(1.0 / self.config.mean_session_s))
+            if at <= start + horizon_ms:
+                address = node.address
+                self.queue.schedule_at(
+                    at, lambda a=address: self._do_departure(a, reschedule=False),
+                    label="churn-leave",
+                )
+                scheduled += 1
+        if self.config.join_rate > 0:
+            at = start
+            while True:
+                at += self._ms(self._rng.expovariate(self.config.join_rate))
+                if at > start + horizon_ms:
+                    break
+                # The joiner's own departure is drawn relative to its join
+                # time, staying on the pre-computed timeline.
+                session = self._ms(self._rng.expovariate(1.0 / self.config.mean_session_s))
+                self.queue.schedule_at(
+                    at,
+                    lambda t=at, s=session, h=start + horizon_ms: self._do_traced_join(t, s, h),
+                    label="churn-join",
+                )
+                scheduled += 1
+        return scheduled
+
+    def _do_traced_join(self, join_time: float, session_ms: float, horizon: float) -> None:
+        node = self.overlay.add_node()
+        self.joins += 1
+        at = join_time + session_ms
+        if at <= horizon:
+            address = node.address
+            self.queue.schedule_at(
+                max(at, self.queue.clock.now),
+                lambda: self._do_departure(address, reschedule=False),
+                label="churn-leave",
+            )
 
     def _ms(self, seconds: float) -> float:
         return seconds * 1000.0
@@ -98,16 +157,21 @@ class ChurnProcess:
         self._schedule_departure(node.address)
         self._schedule_join()
 
-    def _do_departure(self, address: str) -> None:
+    def _do_departure(self, address: str, reschedule: bool = True) -> None:
         if self._live_count() <= self.config.min_nodes:
-            # Keep the overlay usable; retry later.
-            self._schedule_departure(address)
+            # Keep the overlay usable; retry later (dynamic mode) or skip the
+            # departure entirely (pre-scheduled traces stay on their timeline).
+            if reschedule:
+                self._schedule_departure(address)
             return
         node = self.overlay.node_by_address(address)
         if node is None or not self.overlay.network.is_registered(address):
             return
+        # Both paths go through the overlay so the departed node is pruned
+        # from the roster (and membership listeners fire): long churn runs
+        # must not accumulate dead entries.
         if self._rng.random() < self.config.crash_probability:
-            node.leave(republish=False)
+            self.overlay.crash_node(node)
             self.crashes += 1
         else:
             self.overlay.remove_node(node, republish=True)

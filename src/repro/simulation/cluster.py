@@ -25,6 +25,16 @@ The harness is also where the batched lookup engine and the block cache pay
 off: flipping :attr:`ClusterConfig.batch_lookups` / ``cache_capacity`` turns
 both on for every client, which is how the naive-vs-engine comparisons are
 produced.
+
+Churn experiments flip :attr:`ClusterConfig.churn` (a
+:class:`~repro.simulation.churn.ChurnProcess` on the shared event queue) and
+:attr:`ClusterConfig.maintenance` (per-node periodic republish + bucket
+refresh from :mod:`repro.dht.maintenance`).  :func:`run_survival_benchmark`
+builds on both: it writes a tagging workload, snapshots every stored block,
+runs the overlay under churn while probing availability and appending to a
+sample of counter blocks, then audits what survived -- block availability and
+counter integrity (no surviving entry may ever be *lower* than its pre-churn
+value) -- into a :class:`SurvivalReport`.
 """
 
 from __future__ import annotations
@@ -33,13 +43,19 @@ import random
 import statistics
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.approximation import default_approximation
+from repro.core.blocks import BlockType
 from repro.dht.bootstrap import Overlay, build_overlay
 from repro.dht.likir import CertificationService
+from repro.dht.maintenance import MaintenanceConfig, OverlayMaintenance
 from repro.dht.node import KademliaNode, NodeConfig
+from repro.dht.node_id import NodeID
 from repro.dht.routing_table import Contact
+from repro.dht.storage import is_counter_payload, merge_counter_entries
 from repro.distributed.tagging_service import DharmaService, ServiceConfig
+from repro.simulation.churn import ChurnConfig, ChurnProcess
 from repro.simulation.event_queue import EventQueue
 from repro.simulation.network import NetworkConfig, SimulatedNetwork
 from repro.simulation.workload import TaggingWorkload, WorkloadStats
@@ -49,7 +65,10 @@ __all__ = [
     "SearchSample",
     "ClusterReport",
     "SimulatedCluster",
+    "SurvivalReport",
+    "churn_cluster_config",
     "run_cluster_benchmark",
+    "run_survival_benchmark",
 ]
 
 
@@ -82,6 +101,11 @@ class ClusterConfig:
     #: One-way latency bounds of the simulated transport (virtual ms).
     min_latency_ms: float = 1.0
     max_latency_ms: float = 5.0
+    #: RPC timeout charged when a contact is dead (virtual ms).  Leave at the
+    #: transport default for static runs; churn runs want a value scaled to
+    #: the latency bounds (a few RTTs), or every stale routing entry charges
+    #: a full second and inflates virtual time past the configured duration.
+    timeout_ms: float = 1_000.0
     #: "fast" (direct table seeding), "iterative" (faithful joins) or "auto"
     #: (iterative up to 128 nodes, fast beyond).
     bootstrap: str = "auto"
@@ -90,6 +114,18 @@ class ClusterConfig:
     random_contacts: int = 24
     #: Virtual ms between successive workload arrivals.
     op_interval_ms: float = 20.0
+    #: Drive node churn on the shared event queue (started explicitly via
+    #: :meth:`SimulatedCluster.start_churn`).
+    churn: bool = False
+    churn_join_rate: float = 0.0
+    mean_session_s: float = 300.0
+    crash_probability: float = 0.5
+    churn_min_nodes: int = 8
+    #: Run periodic replica maintenance (republish + bucket refresh) on every
+    #: live node; joiners picked up by churn start their own loops.
+    maintenance: bool = False
+    republish_interval_ms: float = 30_000.0
+    refresh_interval_ms: float = 120_000.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -101,6 +137,22 @@ class ClusterConfig:
             raise ValueError(f"unknown bootstrap mode {self.bootstrap!r}")
         if self.protocol not in ("approximated", "naive"):
             raise ValueError(f"unknown protocol {self.protocol!r}")
+
+    def churn_config(self) -> ChurnConfig:
+        return ChurnConfig(
+            join_rate=self.churn_join_rate,
+            mean_session_s=self.mean_session_s,
+            crash_probability=self.crash_probability,
+            min_nodes=self.churn_min_nodes,
+            seed=self.seed,
+        )
+
+    def maintenance_config(self) -> MaintenanceConfig:
+        return MaintenanceConfig(
+            republish_interval_ms=self.republish_interval_ms,
+            refresh_interval_ms=self.refresh_interval_ms,
+            seed=self.seed,
+        )
 
     def service_config(self, seed: int) -> ServiceConfig:
         return ServiceConfig(
@@ -217,6 +269,15 @@ class SimulatedCluster:
         self._rng = random.Random(self.config.seed)
         self.overlay = self._build_overlay()
         self.queue = EventQueue(clock=self.overlay.clock)
+        self.maintenance: OverlayMaintenance | None = None
+        if self.config.maintenance:
+            self.maintenance = OverlayMaintenance(
+                self.overlay, self.queue, self.config.maintenance_config()
+            )
+            self.maintenance.start()
+        self.churn: ChurnProcess | None = None
+        if self.config.churn:
+            self.churn = ChurnProcess(self.overlay, self.queue, self.config.churn_config())
         self.services = self._build_services()
         self._search_rng = random.Random(self.config.seed)
 
@@ -230,6 +291,7 @@ class SimulatedCluster:
         network_config = NetworkConfig(
             min_latency_ms=cfg.min_latency_ms,
             max_latency_ms=cfg.max_latency_ms,
+            timeout_ms=cfg.timeout_ms,
             seed=cfg.seed,
         )
         mode = cfg.bootstrap
@@ -272,7 +334,7 @@ class SimulatedCluster:
                 certification=certification,
             )
             node.joined = True
-            overlay.nodes.append(node)
+            overlay.adopt_node(node)
 
         ordered = sorted(overlay.nodes, key=lambda n: n.node_id.value)
         count = len(ordered)
@@ -348,7 +410,14 @@ class SimulatedCluster:
                 (lambda i=index: dispatch(i)),
                 label=f"op-{index}",
             )
-        self.queue.run_all(max_events=len(events) + 1)
+        if self.maintenance is None and self.churn is None:
+            self.queue.run_all(max_events=len(events) + 1)
+        else:
+            # Maintenance/churn timers reschedule themselves forever, so the
+            # queue never drains; run up to the last workload arrival instead
+            # (periodic events due in that window interleave with the ops).
+            last = start + max(len(events) - 1, 0) * self.config.op_interval_ms
+            self.queue.run_until(last)
         return stats
 
     def run_searches(
@@ -374,6 +443,29 @@ class SimulatedCluster:
                 )
             )
         return samples
+
+    # ------------------------------------------------------------------ #
+    # churn driving
+    # ------------------------------------------------------------------ #
+
+    def start_churn(self, trace_horizon_ms: float | None = None) -> ChurnProcess:
+        """Schedule churn events (requires ``churn``).
+
+        With *trace_horizon_ms*, the whole membership trace is pre-scheduled
+        at absolute virtual times (identical faults across configurations);
+        without it, events are drawn on the fly.
+        """
+        if self.churn is None:
+            raise RuntimeError("cluster was built without churn (ClusterConfig.churn)")
+        if trace_horizon_ms is not None:
+            self.churn.schedule_trace(trace_horizon_ms)
+        else:
+            self.churn.start()
+        return self.churn
+
+    def run_for(self, duration_ms: float, max_events: int | None = None) -> int:
+        """Advance the simulation by *duration_ms* of virtual time."""
+        return self.queue.run_until(self.queue.clock.now + duration_ms, max_events=max_events)
 
     # ------------------------------------------------------------------ #
     # reporting
@@ -455,3 +547,290 @@ def run_cluster_benchmark(
     search_samples = cluster.run_searches(start_tags, strategy=strategy)
     wall = time.perf_counter() - started
     return cluster.report(workload_stats, search_samples, wall_time_s=wall)
+
+
+# --------------------------------------------------------------------- #
+# churn survival
+# --------------------------------------------------------------------- #
+
+
+def churn_cluster_config(
+    num_nodes: int,
+    maintenance: bool,
+    mean_session_s: float,
+    republish_interval_ms: float,
+    refresh_interval_ms: float,
+    crash_probability: float = 0.5,
+    join_rate: float | None = None,
+    min_nodes: int | None = None,
+    replicate: int = 3,
+    clients: int = 4,
+    seed: int = 0,
+) -> ClusterConfig:
+    """A :class:`ClusterConfig` shaped for churn-survival experiments.
+
+    Shared by ``dharma churn-bench`` and ``bench_churn_survival.py`` so the
+    two always measure the same system.  *join_rate* defaults to the
+    replacement rate ``num_nodes / mean_session_s`` (stable population);
+    *min_nodes* defaults to a third of the starting size.  The transport uses
+    near-zero latencies: survival is governed by the ratio of session length
+    to republish interval, and charging milliseconds of shared virtual clock
+    per RPC would skew the pre-scheduled churn/maintenance timelines against
+    each other (the survival benchmark measures message counts, not latency).
+    """
+    return ClusterConfig(
+        num_nodes=num_nodes,
+        clients=clients,
+        bootstrap="fast",
+        replicate=replicate,
+        min_latency_ms=0.01,
+        max_latency_ms=0.05,
+        timeout_ms=0.25,
+        churn=True,
+        churn_join_rate=join_rate if join_rate is not None else num_nodes / mean_session_s,
+        mean_session_s=mean_session_s,
+        crash_probability=crash_probability,
+        churn_min_nodes=min_nodes if min_nodes is not None else max(2, num_nodes // 3),
+        maintenance=maintenance,
+        republish_interval_ms=republish_interval_ms,
+        refresh_interval_ms=refresh_interval_ms,
+        op_interval_ms=10.0,
+        seed=seed,
+    )
+
+
+@dataclass
+class SurvivalReport:
+    """Outcome of one churn-survival run (see :func:`run_survival_benchmark`)."""
+
+    config: ClusterConfig
+    maintenance_on: bool
+    #: Distinct block keys stored before churn started.
+    blocks_written: int = 0
+    #: How many of those are counter blocks (integrity-checked).
+    counter_blocks: int = 0
+    duration_s: float = 0.0
+    #: ``(seconds since churn start, availability of the probe sample)``.
+    samples: list[tuple[float, float]] = field(default_factory=list)
+    #: Fraction of pre-churn blocks still readable at end of run.
+    final_availability: float = 0.0
+    lost_blocks: int = 0
+    #: Surviving counter entries found *below* their expected floor (must be
+    #: zero: counters are monotone and merges keep the per-entry max).
+    integrity_violations: int = 0
+    entries_checked: int = 0
+    #: Mid-churn APPENDs applied (their deltas are part of the floor).
+    churn_appends: int = 0
+    joins: int = 0
+    graceful_leaves: int = 0
+    crashes: int = 0
+    live_nodes_end: int = 0
+    maintenance_stats: dict[str, int] = field(default_factory=dict)
+    messages_total: int = 0
+    virtual_time_s: float = 0.0
+    wall_time_s: float = 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Flat mapping for tables and JSON reports."""
+        return {
+            "nodes": self.config.num_nodes,
+            "maintenance": int(self.maintenance_on),
+            "blocks_written": self.blocks_written,
+            "counter_blocks": self.counter_blocks,
+            "duration_s": self.duration_s,
+            "final_availability": self.final_availability,
+            "lost_blocks": self.lost_blocks,
+            "integrity_violations": self.integrity_violations,
+            "entries_checked": self.entries_checked,
+            "churn_appends": self.churn_appends,
+            "joins": self.joins,
+            "graceful_leaves": self.graceful_leaves,
+            "crashes": self.crashes,
+            "live_nodes_end": self.live_nodes_end,
+            "messages_total": self.messages_total,
+            "virtual_time_s": self.virtual_time_s,
+            "wall_time_s": self.wall_time_s,
+            **{f"maint_{k}": v for k, v in self.maintenance_stats.items()},
+        }
+
+
+def _expected_blocks(overlay: Overlay) -> dict[NodeID, dict[str, Any] | None]:
+    """Snapshot every stored block across live replicas.
+
+    Counter blocks map to their *floor* payload -- the entry-wise **minimum**
+    over the replicas holding the block, i.e. what every replica already
+    agreed on.  Replicas can legitimately diverge by the last not-yet-
+    republished APPEND (a write's third target sometimes misses the true
+    closest set), and no ``replicate``-way scheme can promise to survive the
+    crash of the single copy carrying such an increment; the durable promise
+    under test is that nothing ever drops *below* the replicated state.
+    Opaque blocks map to ``None`` (presence-checked only).
+    """
+    replicas: dict[NodeID, list[dict[str, Any]]] = {}
+    expected: dict[NodeID, dict[str, Any] | None] = {}
+    for node in overlay.live_nodes():
+        for key, value in node.storage.items_snapshot().items():
+            if is_counter_payload(value):
+                replicas.setdefault(key, []).append(value)
+            else:
+                expected.setdefault(key, None)
+    for key, payloads in replicas.items():
+        floor = dict(payloads[0]["entries"])
+        for payload in payloads[1:]:
+            entries = payload["entries"]
+            for entry in list(floor):
+                count = entries.get(entry, 0)
+                if count < floor[entry]:
+                    floor[entry] = count
+        expected[key] = {
+            **payloads[0],
+            "entries": {entry: count for entry, count in floor.items() if count},
+        }
+    return expected
+
+
+def _retrieve(overlay: Overlay, key: NodeID, attempts: int = 2) -> Any | None:
+    """Read *key* through random live access nodes (a client would retry)."""
+    for _ in range(attempts):
+        value, _ = overlay.random_node().retrieve(key)
+        if value is not None:
+            return value
+    return None
+
+
+def _retrieve_merged(overlay: Overlay, key: NodeID, reads: int = 3) -> Any | None:
+    """Read *key* through several access nodes, merging counter replicas.
+
+    A FIND_VALUE returns the first replica encountered on the lookup path,
+    which under churn may be a stale old holder or a thin block freshly
+    created by a concurrent APPEND at a new responsible node.  A client that
+    cares about counter integrity therefore reads through more than one
+    access point and takes the entry-wise maximum (the same monotone join the
+    replicas themselves use).
+    """
+    merged: Any | None = None
+    for _ in range(reads):
+        value, _ = overlay.random_node().retrieve(key)
+        if value is None:
+            continue
+        if not is_counter_payload(value):
+            return value
+        if merged is None:
+            merged = value
+        else:
+            # The same monotone join the replicas apply on STORE.
+            merge_counter_entries(merged["entries"], value["entries"])
+    return merged
+
+
+def run_survival_benchmark(
+    config: ClusterConfig,
+    workload: TaggingWorkload,
+    ops: int | None = None,
+    duration_s: float = 480.0,
+    sample_every_s: float = 30.0,
+    probe_keys: int = 100,
+    append_keys: int = 10,
+) -> SurvivalReport:
+    """Measure block survival and counter integrity under churn.
+
+    The run has three phases: (1) replay *ops* tagging events on a quiet
+    overlay and snapshot every stored block -- the pre-churn floor; (2) start
+    the churn process and run *duration_s* virtual seconds, probing the
+    availability of a key sample every *sample_every_s* and APPENDing to a
+    few counter blocks (so republished snapshots have concurrent writes to
+    not lose); (3) audit every pre-churn key through the surviving overlay:
+    a block is *lost* when no access node can retrieve it, and a surviving
+    counter entry *violates integrity* when it reads below its floor
+    (pre-churn value plus the mid-churn deltas applied to it).
+    """
+    started = time.perf_counter()
+    cluster = SimulatedCluster(config)
+    overlay = cluster.overlay
+    cluster.run_workload(workload, limit=ops)
+
+    expected = _expected_blocks(overlay)
+    counter_keys = [key for key, payload in expected.items() if payload is not None]
+    report = SurvivalReport(
+        config=config,
+        maintenance_on=config.maintenance,
+        blocks_written=len(expected),
+        counter_blocks=len(counter_keys),
+        duration_s=duration_s,
+    )
+    rng = random.Random(config.seed)
+    probe = rng.sample(sorted(expected, key=lambda k: k.value), min(probe_keys, len(expected)))
+    appended = rng.sample(
+        sorted(counter_keys, key=lambda k: k.value), min(append_keys, len(counter_keys))
+    )
+
+    churn_start = overlay.clock.now
+
+    def probe_tick() -> None:
+        readable = sum(1 for key in probe if _retrieve(overlay, key) is not None)
+        availability = readable / len(probe) if probe else 1.0
+        report.samples.append(((overlay.clock.now - churn_start) / 1000.0, availability))
+
+    def append_tick() -> None:
+        # Concurrent APPENDs while republish snapshots fly around: the
+        # merge-on-store rule is what keeps these from being erased.
+        for key in appended:
+            payload = expected[key]
+            assert payload is not None
+            entry = f"churn-probe-{payload['owner']}"
+            outcome = overlay.random_node().append(
+                key, payload["owner"], BlockType(payload["type"]), {entry: 1}
+            )
+            if outcome.accepted_replicas < config.replicate:
+                # The write is under-replicated (some store candidates were
+                # dead); like the pre-churn floor, the audit only promises
+                # durability for fully replicated state, so the floor must
+                # not rise on a write a single crash could legitimately kill.
+                continue
+            payload["entries"][entry] = payload["entries"].get(entry, 0) + 1
+            report.churn_appends += 1
+
+    ticks = int(duration_s // sample_every_s) if sample_every_s > 0 else 0
+    # The last APPENDs land at least two republish intervals before the end
+    # of the run, so the final maintenance pass has merged them into the
+    # currently responsible replicas by audit time.
+    append_cutoff = duration_s * 1000.0 - 2.0 * config.republish_interval_ms
+    for tick in range(1, ticks + 1):
+        at = churn_start + tick * sample_every_s * 1000.0
+        cluster.queue.schedule_at(at, probe_tick, label=f"survival-probe-{tick}")
+        if at - churn_start <= append_cutoff:
+            cluster.queue.schedule_at(at, append_tick, label=f"survival-append-{tick}")
+
+    # Pre-scheduled trace: the maintenance-on and -off runs face the exact
+    # same membership schedule, so availability deltas measure maintenance,
+    # not clock-inflation artefacts.
+    cluster.start_churn(trace_horizon_ms=duration_s * 1000.0)
+    cluster.run_for(duration_s * 1000.0)
+
+    # -- final audit -------------------------------------------------------- #
+    for key, payload in expected.items():
+        value = _retrieve_merged(overlay, key)
+        if value is None:
+            report.lost_blocks += 1
+            continue
+        if payload is None or not is_counter_payload(value):
+            continue
+        entries = value["entries"]
+        for entry, floor in payload["entries"].items():
+            report.entries_checked += 1
+            if entries.get(entry, 0) < floor:
+                report.integrity_violations += 1
+    report.final_availability = (
+        1.0 - report.lost_blocks / report.blocks_written if report.blocks_written else 1.0
+    )
+    if cluster.churn is not None:
+        report.joins = cluster.churn.joins
+        report.graceful_leaves = cluster.churn.graceful_leaves
+        report.crashes = cluster.churn.crashes
+    if cluster.maintenance is not None:
+        report.maintenance_stats = cluster.maintenance.stats.snapshot()
+    report.live_nodes_end = len(overlay.live_nodes())
+    report.messages_total = overlay.network.stats.messages_sent
+    report.virtual_time_s = overlay.clock.now / 1000.0
+    report.wall_time_s = time.perf_counter() - started
+    return report

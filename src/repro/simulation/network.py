@@ -177,7 +177,11 @@ class SimulatedNetwork:
             self.clock.advance(self.config.timeout_ms)
             raise MessageDropped(f"request {sender} -> {destination}")
         self.clock.advance(self._one_way_latency())
+        # The request reached its destination and the handler runs: that leg
+        # counts as delivered even if the response is lost below (the
+        # destination did receive and serve the request).
         self.stats.received_by_node[destination] += 1
+        self.stats.messages_delivered += 1
 
         response = handler(sender, payload)
 
@@ -189,5 +193,5 @@ class SimulatedNetwork:
             self.clock.advance(self.config.timeout_ms)
             raise MessageDropped(f"response {destination} -> {sender}")
         self.clock.advance(self._one_way_latency())
-        self.stats.messages_delivered += 2
+        self.stats.messages_delivered += 1
         return response

@@ -1,0 +1,202 @@
+"""Unit tests for the replica-maintenance subsystem."""
+
+import pytest
+
+from repro.dht.bootstrap import build_overlay
+from repro.dht.maintenance import MaintenanceConfig, NodeMaintenance, OverlayMaintenance
+from repro.dht.node import NodeConfig
+from repro.dht.node_id import NodeID
+from repro.simulation.event_queue import EventQueue
+from repro.simulation.network import NetworkConfig
+
+
+def small_overlay(n=8, replicate=2):
+    return build_overlay(
+        n,
+        node_config=NodeConfig(k=8, alpha=2, replicate=replicate),
+        network_config=NetworkConfig(
+            min_latency_ms=0.01, max_latency_ms=0.05, timeout_ms=0.25, seed=0
+        ),
+        seed=0,
+    )
+
+
+def holders(overlay, key):
+    return [
+        node
+        for node in overlay.nodes
+        if overlay.network.is_registered(node.address) and key in node.storage
+    ]
+
+
+class TestConfigValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            MaintenanceConfig(republish_interval_ms=-1)
+        with pytest.raises(ValueError):
+            MaintenanceConfig(refresh_interval_ms=-1)
+        with pytest.raises(ValueError):
+            MaintenanceConfig(jitter=1.5)
+
+
+class TestNodeMaintenance:
+    def test_start_schedules_and_stop_cancels_timers(self):
+        overlay = small_overlay(4)
+        queue = EventQueue(overlay.clock)
+        maintenance = NodeMaintenance(
+            overlay.nodes[0], queue, MaintenanceConfig(jitter=0.0)
+        )
+        maintenance.start()
+        assert len(queue) == 2  # one republish + one refresh timer
+        maintenance.stop()
+        assert len(queue) == 0
+        assert maintenance.stats.timers_cancelled == 2
+
+    def test_cancelled_timers_feed_lazy_compaction(self):
+        """Mass departures cancel timers en masse; the queue compacts them."""
+        overlay = small_overlay(6)
+        queue = EventQueue(overlay.clock, compaction_threshold=4)
+        loops = [
+            NodeMaintenance(node, queue, MaintenanceConfig(jitter=0.0))
+            for node in overlay.nodes
+        ]
+        for loop in loops:
+            loop.start()
+        assert queue.heap_size() == 12
+        for loop in loops:
+            loop.stop()
+        assert len(queue) == 0
+        assert queue.compactions >= 1
+        assert queue.heap_size() < 12
+
+    def test_republish_restores_crashed_replicas(self):
+        """The core churn-safety property: after the responsible replicas
+        crash, a surviving holder's periodic republish restores the data."""
+        overlay = small_overlay(10, replicate=3)
+        queue = EventQueue(overlay.clock)
+        key = NodeID.hash_of("precious-block")
+        overlay.nodes[0].store(key, "payload")
+        before = holders(overlay, key)
+        assert len(before) >= 2
+
+        survivor = before[0]
+        for node in before[1:]:
+            overlay.crash_node(node)
+        assert holders(overlay, key) == [survivor]
+
+        maintenance = NodeMaintenance(
+            survivor, queue, MaintenanceConfig(republish_interval_ms=1_000.0, jitter=0.0)
+        )
+        maintenance.start()
+        queue.run_until(overlay.clock.now + 5_000.0)
+
+        restored = holders(overlay, key)
+        assert len(restored) >= survivor.config.replicate
+        value, _ = overlay.random_node().retrieve(key)
+        assert value == "payload"
+        assert maintenance.stats.republish_runs >= 1
+        assert maintenance.stats.blocks_republished >= 1
+
+    def test_republish_hands_off_keys_the_node_is_not_responsible_for(self):
+        """A holder that drifted out of the key's k-closest neighbourhood
+        drops its copy once the data sits on a full replica set, so the
+        per-key holder set (and the republish bill) stays bounded under
+        churn."""
+        overlay = build_overlay(
+            20,
+            node_config=NodeConfig(k=4, alpha=2, replicate=2),
+            network_config=NetworkConfig(
+                min_latency_ms=0.01, max_latency_ms=0.05, timeout_ms=0.25, seed=0
+            ),
+            seed=0,
+        )
+        queue = EventQueue(overlay.clock)
+        key = NodeID.hash_of("wandering-block")
+        overlay.nodes[0].store(key, "payload")
+
+        # Plant a copy on the node farthest from the key: certainly outside
+        # the k-closest neighbourhood.
+        outsider = max(overlay.nodes, key=lambda n: n.node_id.value ^ key.value)
+        assert key not in outsider.storage
+        outsider.storage.put(key, "payload")
+
+        maintenance = NodeMaintenance(
+            outsider, queue, MaintenanceConfig(republish_interval_ms=1_000.0, jitter=0.0)
+        )
+        maintenance.start()
+        queue.run_until(overlay.clock.now + 2_500.0)
+
+        assert key not in outsider.storage
+        assert maintenance.stats.blocks_handed_off == 1
+        value, _ = overlay.random_node().retrieve(key)
+        assert value == "payload"
+
+    def test_tick_on_a_dead_node_stops_its_loops(self):
+        overlay = small_overlay(4)
+        queue = EventQueue(overlay.clock)
+        node = overlay.nodes[1]
+        maintenance = NodeMaintenance(
+            node, queue, MaintenanceConfig(republish_interval_ms=500.0, jitter=0.0)
+        )
+        maintenance.start()
+        node.leave()  # dies without going through the overlay
+        queue.run_until(overlay.clock.now + 5_000.0)
+        assert not maintenance.running
+        assert len(queue) == 0  # nothing rescheduled from beyond the grave
+
+    def test_refresh_tick_refreshes_buckets(self):
+        overlay = small_overlay(6)
+        queue = EventQueue(overlay.clock)
+        maintenance = NodeMaintenance(
+            overlay.nodes[0],
+            queue,
+            MaintenanceConfig(
+                republish_interval_ms=0.0, refresh_interval_ms=1_000.0, jitter=0.0
+            ),
+        )
+        maintenance.start()
+        queue.run_until(overlay.clock.now + 2_500.0)
+        assert maintenance.stats.refresh_runs >= 2
+        assert maintenance.stats.buckets_refreshed >= 1
+
+
+class TestOverlayMaintenance:
+    def test_start_attaches_every_live_node(self):
+        overlay = small_overlay(5)
+        queue = EventQueue(overlay.clock)
+        manager = OverlayMaintenance(overlay, queue, MaintenanceConfig(jitter=0.0))
+        manager.start()
+        assert len(manager) == 5
+        assert len(queue) == 10
+
+    def test_joiners_attach_and_leavers_detach(self):
+        overlay = small_overlay(4)
+        queue = EventQueue(overlay.clock)
+        manager = OverlayMaintenance(overlay, queue, MaintenanceConfig(jitter=0.0))
+        manager.start()
+
+        joiner = overlay.add_node("late-joiner")
+        assert len(manager) == 5
+
+        overlay.crash_node(joiner)
+        assert len(manager) == 4
+        overlay.remove_node(overlay.nodes[0], republish=False)
+        assert len(manager) == 3
+        assert manager.stats.timers_cancelled == 4
+
+    def test_stop_cancels_everything(self):
+        overlay = small_overlay(4)
+        queue = EventQueue(overlay.clock)
+        manager = OverlayMaintenance(overlay, queue, MaintenanceConfig(jitter=0.0))
+        manager.start()
+        manager.stop()
+        assert len(manager) == 0
+        assert len(queue) == 0
+
+    def test_membership_before_start_is_ignored(self):
+        overlay = small_overlay(3)
+        queue = EventQueue(overlay.clock)
+        manager = OverlayMaintenance(overlay, queue, MaintenanceConfig(jitter=0.0))
+        overlay.add_node("early-joiner")
+        assert len(manager) == 0
+        assert len(queue) == 0

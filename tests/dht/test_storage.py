@@ -124,6 +124,87 @@ class TestCounterAppend:
         assert run(ops) == run(list(reversed(ops)))
 
 
+class TestMergeOnStore:
+    """A STORE of a counter payload merges entry-wise (max), never replaces."""
+
+    def test_store_merges_counter_payload_entrywise_max(self):
+        storage = LocalStorage()
+        key = key_of("rock", BlockType.TAG_NEIGHBOURS)
+        storage.put(key, {"owner": "rock", "type": "3", "entries": {"pop": 5, "jazz": 2}})
+        storage.put(key, {"owner": "rock", "type": "3", "entries": {"pop": 3, "metal": 4}})
+        assert storage.counter_block(key).entries == {"pop": 5, "jazz": 2, "metal": 4}
+
+    def test_stale_snapshot_cannot_erase_concurrent_appends(self):
+        """The republish data-loss bug: a snapshot taken before APPENDs landed
+        arrives at the replica afterwards -- the appends must survive."""
+        storage = LocalStorage()
+        key = key_of("rock", BlockType.TAG_NEIGHBOURS)
+        storage.append(key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 2})
+        snapshot = storage.get(key)  # republisher reads the block here...
+        storage.append(key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 3, "jazz": 1})
+        storage.put(key, snapshot)  # ...and the stale STORE lands after them
+        block = storage.counter_block(key)
+        assert block.get("pop") == 5
+        assert block.get("jazz") == 1
+
+    def test_store_replaces_on_owner_or_type_mismatch(self):
+        storage = LocalStorage()
+        key = NodeID.hash_of("collision")
+        storage.put(key, {"owner": "rock", "type": "3", "entries": {"pop": 5}})
+        storage.put(key, {"owner": "other", "type": "3", "entries": {"pop": 1}})
+        assert storage.get(key)["entries"] == {"pop": 1}
+        storage.put(key, {"owner": "other", "type": "2", "entries": {"pop": 2}})
+        assert storage.get(key)["type"] == "2"
+
+    def test_merge_still_counts_as_a_write(self):
+        storage = LocalStorage()
+        key = key_of("rock", BlockType.TAG_NEIGHBOURS)
+        storage.put(key, {"owner": "rock", "type": "3", "entries": {"pop": 1}}, now=1.0)
+        storage.put(key, {"owner": "rock", "type": "3", "entries": {"pop": 2}}, now=2.0)
+        record = storage._items[key]
+        assert record.writes == 2
+        assert record.stored_at == 2.0
+
+
+class TestCopyAtBoundary:
+    """Counter payloads never alias mutable state across the RPC boundary."""
+
+    def test_put_copies_the_incoming_payload(self):
+        storage = LocalStorage()
+        key = key_of("rock", BlockType.TAG_NEIGHBOURS)
+        payload = {"owner": "rock", "type": "3", "entries": {"pop": 1}}
+        storage.put(key, payload)
+        payload["entries"]["pop"] = 99  # sender keeps mutating its dict
+        assert storage.counter_block(key).get("pop") == 1
+
+    def test_get_returns_a_copy(self):
+        storage = LocalStorage()
+        key = key_of("rock", BlockType.TAG_NEIGHBOURS)
+        storage.append(key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 1})
+        retrieved = storage.get(key)
+        retrieved["entries"]["pop"] = 99
+        assert storage.counter_block(key).get("pop") == 1
+
+    def test_snapshot_is_frozen_against_later_appends(self):
+        storage = LocalStorage()
+        key = key_of("rock", BlockType.TAG_NEIGHBOURS)
+        storage.append(key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 1})
+        snapshot = storage.items_snapshot()
+        storage.append(key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 4})
+        assert snapshot[key]["entries"] == {"pop": 1}
+
+    def test_replicas_do_not_share_entries_after_wire_transfer(self):
+        """One replica's APPEND must not mutate another replica's block."""
+        a, b = LocalStorage(), LocalStorage()
+        key = key_of("rock", BlockType.TAG_NEIGHBOURS)
+        a.append(key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 1})
+        for k, value in a.items_snapshot().items():
+            b.put(k, value)  # simulated republication
+        b.append(key, "rock", BlockType.TAG_NEIGHBOURS, {"pop": 7})
+        assert a.counter_block(key).get("pop") == 1
+        assert b.counter_block(key).get("pop") == 8
+
+
 class TestIndexSideFiltering:
     def test_get_top_n_truncates_counter_blocks(self):
         storage = LocalStorage()

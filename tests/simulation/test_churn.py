@@ -60,6 +60,47 @@ class TestChurnProcess:
         queue.run_until(overlay.clock.now + 120_000, max_events=500)
         assert process.graceful_leaves + process.crashes >= 1
 
+    def test_crashed_nodes_are_pruned_from_the_roster(self):
+        """Long churn runs must not accumulate dead entries in
+        ``Overlay.nodes`` (O(n) scans per event, unbounded growth)."""
+        overlay = small_overlay(8)
+        queue = EventQueue(overlay.clock)
+        config = ChurnConfig(
+            join_rate=0.5, mean_session_s=2.0, crash_probability=1.0, min_nodes=2, seed=4
+        )
+        process = ChurnProcess(overlay, queue, config)
+        process.start()
+        queue.run_until(overlay.clock.now + 60_000, max_events=300)
+        assert process.crashes >= 1
+        live = [n for n in overlay.nodes if overlay.network.is_registered(n.address)]
+        assert len(overlay.nodes) == len(live)
+
+    def test_traced_schedule_is_immune_to_simulation_work(self):
+        """schedule_trace pins every membership event to an absolute time, so
+        the realised trace does not depend on how much virtual time other
+        events consume."""
+        def run(busy_work: bool):
+            overlay = small_overlay(8)
+            queue = EventQueue(overlay.clock)
+            config = ChurnConfig(
+                join_rate=0.5, mean_session_s=20.0, crash_probability=0.5,
+                min_nodes=2, seed=7,
+            )
+            process = ChurnProcess(overlay, queue, config)
+            process.schedule_trace(60_000.0)
+            if busy_work:
+                # A heavy consumer of virtual time next to the trace.
+                for tick in range(1, 30):
+                    queue.schedule_at(
+                        overlay.clock.now + tick * 2_000.0,
+                        lambda: overlay.clock.advance(500.0),
+                        label="busy",
+                    )
+            queue.run_until(overlay.clock.now + 60_000.0)
+            return process.joins, process.graceful_leaves, process.crashes
+
+        assert run(busy_work=False) == run(busy_work=True)
+
     def test_overlay_survives_churn_for_lookups(self):
         """Data stored before churn is still retrievable afterwards as long as
         departures are graceful."""

@@ -95,6 +95,49 @@ class TestWorkloadDriving:
         assert "cache_hit_rate" in summary
 
 
+class TestChurnWiring:
+    def test_cluster_without_churn_rejects_start_churn(self, cluster):
+        with pytest.raises(RuntimeError):
+            cluster.start_churn()
+
+    def test_churn_and_maintenance_are_wired_from_the_config(self):
+        config = ClusterConfig(
+            num_nodes=20,
+            clients=1,
+            bootstrap="fast",
+            min_latency_ms=0.01,
+            max_latency_ms=0.05,
+            timeout_ms=0.25,
+            churn=True,
+            churn_join_rate=0.5,
+            mean_session_s=30.0,
+            churn_min_nodes=8,
+            maintenance=True,
+            republish_interval_ms=2_000.0,
+            refresh_interval_ms=8_000.0,
+            seed=5,
+        )
+        cluster = SimulatedCluster(config)
+        assert cluster.churn is not None
+        assert cluster.maintenance is not None
+        assert len(cluster.maintenance) == 20
+
+        # The workload replays with perpetual maintenance timers pending.
+        stats = cluster.run_workload(small_workload(), ignore_errors=False)
+        assert stats.errors == 0
+        assert stats.total_ops == 12
+
+        cluster.start_churn(trace_horizon_ms=40_000.0)
+        cluster.run_for(40_000.0)
+        departures = cluster.churn.graceful_leaves + cluster.churn.crashes
+        assert departures > 0
+        live = cluster.overlay.live_nodes()
+        assert len(live) >= config.churn_min_nodes
+        # Maintenance followed the membership changes.
+        assert len(cluster.maintenance) == len(live)
+        assert cluster.maintenance.stats.republish_runs > 0
+
+
 class TestBenchmarkEntryPoint:
     def test_run_cluster_benchmark_end_to_end(self):
         config = ClusterConfig(

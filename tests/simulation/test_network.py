@@ -101,6 +101,49 @@ class TestDelivery:
         assert network.stats.messages_dropped == 0
 
 
+class _ScriptedRng:
+    """random.Random stand-in: ``random()`` pops scripted values."""
+
+    def __init__(self, draws):
+        self._draws = list(draws)
+
+    def random(self):
+        return self._draws.pop(0)
+
+    def uniform(self, low, high):
+        return low
+
+
+class TestDeliveredAccounting:
+    def test_response_leg_drop_still_counts_the_delivered_request(self):
+        """The handler ran, so the request leg was delivered (the response
+        receipt is what is missing, and responses are not tracked per node)."""
+        network = SimulatedNetwork(
+            NetworkConfig(loss_rate=0.5, timeout_ms=10, min_latency_ms=1, max_latency_ms=1)
+        )
+        network.register("a", echo_handler)
+        network.register("b", echo_handler)
+        # Request leg survives (0.9 >= loss_rate), response leg drops (0.1).
+        network._rng = _ScriptedRng([0.9, 0.1])
+        with pytest.raises(MessageDropped):
+            network.send("a", "b", "x")
+        assert network.stats.messages_delivered == 1
+        assert network.stats.messages_dropped == 1
+        assert network.stats.received_by_node["b"] == 1
+
+    def test_request_leg_drop_delivers_nothing(self):
+        network = SimulatedNetwork(
+            NetworkConfig(loss_rate=0.5, timeout_ms=10, min_latency_ms=1, max_latency_ms=1)
+        )
+        network.register("a", echo_handler)
+        network.register("b", echo_handler)
+        network._rng = _ScriptedRng([0.1])
+        with pytest.raises(MessageDropped):
+            network.send("a", "b", "x")
+        assert network.stats.messages_delivered == 0
+        assert network.stats.received_by_node["b"] == 0
+
+
 class TestStats:
     def test_hotspots_and_reset(self):
         network = SimulatedNetwork(NetworkConfig(seed=0))

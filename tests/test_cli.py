@@ -34,6 +34,7 @@ class TestParser:
             ("converge", ["in.tsv"]),
             ("overlay", ["in.tsv"]),
             ("cluster-bench", []),
+            ("churn-bench", []),
             ("profile", []),
         ]:
             args = parser.parse_args([command, *extra])
@@ -130,3 +131,52 @@ class TestCommands:
         assert "approximated/plain" in out and "approximated/engine" in out
         assert "engine saves" in out
         assert "lookup engine counters" in out
+
+    def test_churn_bench_reports_survival(self, tmp_path, capsys):
+        json_path = tmp_path / "churn.json"
+        assert main(
+            [
+                "churn-bench",
+                "--preset", "tiny",
+                "--nodes", "24",
+                "--ops", "20",
+                "--duration", "30",
+                "--mean-session", "40",
+                "--republish-interval", "3",
+                "--refresh-interval", "12",
+                "--sample-every", "10",
+                "--maintenance", "both",
+                "--json", str(json_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "churn-bench -- 24 nodes" in out
+        assert "final_availability" in out
+        assert "availability CDF over probes (maintenance on)" in out
+        assert "what maintenance buys" in out
+        import json as json_module
+
+        payload = json_module.loads(json_path.read_text())
+        assert set(payload) == {"maintenance on", "maintenance off"}
+        for report in payload.values():
+            assert 0.0 <= report["final_availability"] <= 1.0
+            assert report["samples"]
+
+    def test_churn_bench_single_mode_skips_deltas(self, capsys):
+        assert main(
+            [
+                "churn-bench",
+                "--preset", "tiny",
+                "--nodes", "16",
+                "--ops", "12",
+                "--duration", "20",
+                "--mean-session", "30",
+                "--republish-interval", "3",
+                "--refresh-interval", "12",
+                "--sample-every", "10",
+                "--maintenance", "on",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "survival (maintenance on)" in out
+        assert "what maintenance buys" not in out

@@ -22,9 +22,12 @@ Gates (full mode):
 * with maintenance off, the same fault trace demonstrates measurable loss.
 
 Each run writes a trajectory point to ``BENCH_churn.json`` (CI uploads it
-with the other ``BENCH_*.json`` artifacts).  ``BENCH_SMOKE=1`` shrinks the
-cluster and the churn phase so the script stays in CI-smoke time; the
-availability gate is relaxed there (tiny inventories quantise coarsely).
+with the other ``BENCH_*.json`` artifacts), and the maintenance-on run
+streams live metrics to ``BENCH_churn_metrics.jsonl`` /
+``BENCH_churn_metrics.prom`` -- the sample source for ``dharma dashboard
+--metrics`` and ``dharma audit``.  ``BENCH_SMOKE=1`` shrinks the cluster and
+the churn phase so the script stays in CI-smoke time; the availability gate
+is relaxed there (tiny inventories quantise coarsely).
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ from pathlib import Path
 
 from benchmarks.conftest import BENCH_PRESET, BENCH_SMOKE, print_banner, smoke_scaled
 from repro.analysis.survival import render_survival_comparison, survival_deltas
+from repro.metrics import MetricsStream
 from repro.simulation.cluster import churn_cluster_config, run_survival_benchmark
 from repro.simulation.workload import TaggingWorkload
 
@@ -51,6 +55,8 @@ CRASH_PROBABILITY = 0.5
 MIN_AVAILABILITY = 0.95 if BENCH_SMOKE else 0.99
 
 OUTPUT_PATH = Path("BENCH_churn.json")
+METRICS_PATH = Path("BENCH_churn_metrics.jsonl")
+PROM_PATH = Path("BENCH_churn_metrics.prom")
 
 
 def _run(workload: TaggingWorkload, maintenance: bool, seed: int = 0):
@@ -63,9 +69,18 @@ def _run(workload: TaggingWorkload, maintenance: bool, seed: int = 0):
         refresh_interval_ms=REFRESH_S * 1000.0,
         seed=seed,
     )
-    return run_survival_benchmark(
-        config, workload, ops=OPS, duration_s=DURATION_S, sample_every_s=SAMPLE_EVERY_S
-    )
+    stream = None
+    if maintenance:
+        METRICS_PATH.unlink(missing_ok=True)
+        stream = MetricsStream(path=str(METRICS_PATH), prom_path=str(PROM_PATH))
+    try:
+        return run_survival_benchmark(
+            config, workload, ops=OPS, duration_s=DURATION_S,
+            sample_every_s=SAMPLE_EVERY_S, metrics_stream=stream,
+        )
+    finally:
+        if stream is not None:
+            stream.close()
 
 
 class TestChurnSurvival:
@@ -109,6 +124,10 @@ class TestChurnSurvival:
         }
         OUTPUT_PATH.write_text(json.dumps(point, indent=2, sort_keys=True) + "\n")
         print(f"\ntrajectory point written to {OUTPUT_PATH.resolve()}")
+        if METRICS_PATH.exists():
+            print(f"maintenance-on metrics streamed to {METRICS_PATH.resolve()}")
+            assert METRICS_PATH.stat().st_size > 0
+            assert PROM_PATH.exists()
 
         # Both runs faced the identical pre-scheduled fault trace.
         assert (on.joins, on.graceful_leaves, on.crashes) == (

@@ -1,0 +1,337 @@
+"""Invariant audits over cluster snapshots and metrics logs.
+
+``dharma audit`` is the offline counterpart of the live metrics stream: given
+a cluster snapshot (written by :mod:`repro.simulation.snapshot`) and/or a
+JSON-lines metrics log (written by :class:`repro.metrics.MetricsStream`), it
+checks the invariants the system promises and reports every violation.
+
+Snapshot checks
+---------------
+
+* **replica-count decay** -- every block key should be held by
+  ``min(replicate, live nodes)`` replicas.  Fewer holders is a *warning*
+  (under-replication between two republish passes is exactly what
+  maintenance repairs); zero holders is an *error* (the block is gone).
+* **counter-merge regression** -- when the snapshot carries a survival
+  benchmark context, the entry-wise maximum over every replica of a counter
+  block must be at or above the recorded pre-churn floor for each entry.
+  Any entry below its floor means a republish snapshot erased a concurrent
+  APPEND, which the merge-on-store rule forbids.
+* **orphaned holders** -- the holder set of a key should stay within the
+  key's ``k`` closest live nodes (holders outside it hand the block off on
+  their next republish pass).  A holder beyond that ring is a *warning*:
+  legitimate transiently, a leak if it persists across snapshots.
+
+Metrics-log checks
+------------------
+
+* samples must be contiguously sequenced (``seq``) with non-decreasing
+  virtual time;
+* every counter is cumulative and must never decrease;
+* each sample's recorded ``deltas`` must equal the counter difference
+  against the previous sample;
+* gauges with a known range (availability, cache hit rate) must stay in
+  ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.codec import decode_membership
+from repro.dht.likir import SignedValue
+from repro.dht.node_id import NodeID
+
+__all__ = [
+    "AuditFinding",
+    "AuditReport",
+    "audit_snapshot",
+    "audit_metrics",
+    "run_audit",
+]
+
+#: Gauges whose value must stay within ``[0, 1]``.
+_UNIT_GAUGES = ("cache.hit_rate", "survival.availability")
+
+
+@dataclass(frozen=True, slots=True)
+class AuditFinding:
+    """One invariant violation (or suspicious observation)."""
+
+    severity: str  # "error" | "warning"
+    code: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in ("error", "warning"):
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+
+@dataclass(slots=True)
+class AuditReport:
+    """All findings of one audit run."""
+
+    findings: list[AuditFinding] = field(default_factory=list)
+    #: What was actually inspected (for the report header).
+    checked: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> list[AuditFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[AuditFinding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "checked": dict(self.checked),
+            "errors": [
+                {"code": f.code, "message": f.message} for f in self.errors
+            ],
+            "warnings": [
+                {"code": f.code, "message": f.message} for f in self.warnings
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            "audit: "
+            + ", ".join(f"{count} {name}" for name, count in self.checked.items())
+        ]
+        for finding in self.findings:
+            lines.append(f"  [{finding.severity}] {finding.code}: {finding.message}")
+        lines.append(
+            f"result: {'OK' if self.ok else 'FAILED'} "
+            f"({len(self.errors)} errors, {len(self.warnings)} warnings)"
+        )
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# snapshot audit
+# --------------------------------------------------------------------------- #
+
+
+def _payload_of(value: Any) -> dict | None:
+    """The counter payload inside a stored value, unwrapping signatures."""
+    if isinstance(value, SignedValue):
+        value = value.value
+    if isinstance(value, dict) and isinstance(value.get("entries"), dict):
+        return value
+    return None
+
+
+def _decode_stored(record: dict) -> Any:
+    # Local import: repro.analysis must stay importable without pulling the
+    # whole simulation stack in (the decode helper lives beside the writer).
+    from repro.simulation.snapshot import _decode_value
+
+    return _decode_value(record)
+
+
+def audit_snapshot(snapshot: dict[str, Any]) -> tuple[list[AuditFinding], dict[str, int]]:
+    """Check the replication and counter invariants of one snapshot."""
+    findings: list[AuditFinding] = []
+    replicate = int(snapshot["config"]["replicate"])
+    node_k = int(snapshot["config"]["node_k"])
+
+    node_ids: dict[str, NodeID] = {}
+    holders: dict[str, list[str]] = {}
+    payloads: dict[str, dict[str, dict]] = {}  # key_hex -> address -> counter payload
+    for record in snapshot["nodes"]:
+        _user, node_id_bytes, address, _joined = decode_membership(
+            bytes.fromhex(record["membership"])
+        )
+        node_ids[address] = NodeID.from_bytes(node_id_bytes)
+        for item in record["storage"]:
+            key_hex = item["key"]
+            holders.setdefault(key_hex, []).append(address)
+            payload = _payload_of(_decode_stored(item["value"]))
+            if payload is not None:
+                payloads.setdefault(key_hex, {})[address] = payload
+
+    live = len(node_ids)
+    expected_replicas = min(replicate, live) if live else 0
+    decayed = 0
+    orphaned = 0
+    for key_hex, addresses in holders.items():
+        if len(addresses) < expected_replicas:
+            decayed += 1
+            findings.append(
+                AuditFinding(
+                    "warning",
+                    "replica-decay",
+                    f"key {key_hex[:12]}… has {len(addresses)}/{expected_replicas} "
+                    "replicas (repairable by the next republish pass)",
+                )
+            )
+        key = NodeID.from_hex(key_hex)
+        ring = sorted(node_ids.values(), key=lambda nid: nid.distance_to(key))[:node_k]
+        closest = set(ring)
+        for address in addresses:
+            if node_ids[address] not in closest:
+                orphaned += 1
+                findings.append(
+                    AuditFinding(
+                        "warning",
+                        "orphaned-holder",
+                        f"{address} holds key {key_hex[:12]}… but is outside its "
+                        f"{node_k} closest live nodes (hand-off pending)",
+                    )
+                )
+
+    benchmark = snapshot.get("benchmark")
+    floors_checked = 0
+    if benchmark is not None:
+        for item in benchmark["expected"]:
+            if item["payload"] is None:
+                continue
+            floor_payload = _payload_of(_decode_stored(item["payload"]))
+            if floor_payload is None:
+                continue
+            key_hex = item["key"]
+            replicas = payloads.get(key_hex, {})
+            merged: dict[str, int] = {}
+            for payload in replicas.values():
+                for entry, count in payload["entries"].items():
+                    if count > merged.get(entry, 0):
+                        merged[entry] = count
+            if not replicas:
+                findings.append(
+                    AuditFinding(
+                        "error",
+                        "counter-lost",
+                        f"counter block {key_hex[:12]}… has no surviving replica",
+                    )
+                )
+                continue
+            for entry, floor in floor_payload["entries"].items():
+                floors_checked += 1
+                if merged.get(entry, 0) < floor:
+                    findings.append(
+                        AuditFinding(
+                            "error",
+                            "counter-regression",
+                            f"entry {entry!r} of block {key_hex[:12]}… reads "
+                            f"{merged.get(entry, 0)} < floor {floor} "
+                            "(a republish erased a concurrent APPEND)",
+                        )
+                    )
+
+    checked = {
+        "nodes": live,
+        "block keys": len(holders),
+        "counter floors": floors_checked,
+        "decayed keys": decayed,
+        "orphaned holders": orphaned,
+    }
+    return findings, checked
+
+
+# --------------------------------------------------------------------------- #
+# metrics-log audit
+# --------------------------------------------------------------------------- #
+
+
+def audit_metrics(samples: list[dict[str, Any]]) -> tuple[list[AuditFinding], dict[str, int]]:
+    """Check sequencing, monotonicity and delta consistency of a metrics log."""
+    findings: list[AuditFinding] = []
+    prev: dict[str, float] = {}
+    prev_seq: int | None = None
+    prev_t = float("-inf")
+    counters_checked = 0
+    for index, sample in enumerate(samples):
+        seq = sample.get("seq")
+        if prev_seq is not None and seq != prev_seq + 1:
+            findings.append(
+                AuditFinding(
+                    "error",
+                    "broken-sequence",
+                    f"sample {index} has seq {seq}, expected {prev_seq + 1} "
+                    "(lost or reordered samples)",
+                )
+            )
+        prev_seq = seq if isinstance(seq, int) else prev_seq
+        t_ms = float(sample.get("t_ms", 0.0))
+        if t_ms < prev_t:
+            findings.append(
+                AuditFinding(
+                    "error",
+                    "time-regression",
+                    f"sample {index} at t={t_ms} precedes the previous sample (t={prev_t})",
+                )
+            )
+        prev_t = t_ms
+        counters = sample.get("counters", {})
+        deltas = sample.get("deltas", {})
+        for name, value in counters.items():
+            counters_checked += 1
+            before = prev.get(name, 0.0)
+            if value < before:
+                findings.append(
+                    AuditFinding(
+                        "error",
+                        "counter-rollback",
+                        f"counter {name} fell from {before} to {value} at sample {index}",
+                    )
+                )
+            recorded = deltas.get(name)
+            if recorded is not None and abs(recorded - (value - before)) > 1e-9:
+                findings.append(
+                    AuditFinding(
+                        "warning",
+                        "delta-mismatch",
+                        f"sample {index} records delta {recorded} for {name}, "
+                        f"but the counters imply {value - before}",
+                    )
+                )
+        prev = {name: float(value) for name, value in counters.items()}
+        for name in _UNIT_GAUGES:
+            value = sample.get("gauges", {}).get(name)
+            if value is not None and not (0.0 <= value <= 1.0):
+                findings.append(
+                    AuditFinding(
+                        "error",
+                        "gauge-out-of-range",
+                        f"gauge {name} is {value} at sample {index}, outside [0, 1]",
+                    )
+                )
+    checked = {"samples": len(samples), "counter readings": counters_checked}
+    return findings, checked
+
+
+# --------------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------------- #
+
+
+def run_audit(
+    snapshot_path: str | Path | None = None,
+    metrics_path: str | Path | None = None,
+) -> AuditReport:
+    """Audit a snapshot file and/or a metrics log; either may be omitted."""
+    report = AuditReport()
+    if snapshot_path is not None:
+        from repro.simulation.snapshot import load_snapshot
+
+        snapshot = load_snapshot(snapshot_path)
+        findings, checked = audit_snapshot(snapshot)
+        report.findings.extend(findings)
+        report.checked.update(checked)
+    if metrics_path is not None:
+        from repro.metrics import read_metrics_log
+
+        findings, checked = audit_metrics(read_metrics_log(metrics_path))
+        report.findings.extend(findings)
+        report.checked.update(checked)
+    if snapshot_path is None and metrics_path is None:
+        raise ValueError("nothing to audit: pass a snapshot and/or a metrics log")
+    return report

@@ -18,9 +18,17 @@ can be exercised without writing Python:
   off, and report block availability, survival CDFs and counter integrity;
 * ``dharma profile`` -- drive the interned core (build, freeze, legacy vs
   frozen faceted search, block codec pass) under the :mod:`repro.perf`
-  counters/timers and print or export the snapshot.
+  counters/timers and print or export the snapshot;
+* ``dharma dashboard`` -- one-screen health view over the ``BENCH_*.json``
+  trajectories and (optionally) a live metrics log: availability timelines,
+  per-interval message/byte cost percentiles, node health;
+* ``dharma audit`` -- scan a cluster snapshot and/or a metrics log for
+  invariant violations (replica-count decay, counter-merge regressions,
+  orphaned holders, counter rollbacks in the stream).
 
-Every command accepts ``--seed`` for reproducibility.
+Every command accepts ``--seed`` for reproducibility.  ``dharma docs`` live
+in ``docs/CLI.md``; a CI drift check keeps that file in sync with this
+parser.
 """
 
 from __future__ import annotations
@@ -141,6 +149,20 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--seed", type=int, default=0)
     churn.add_argument("--json", dest="json_path", default=None,
                        help="also write the survival report(s) to this JSON file")
+    churn.add_argument("--metrics-out", default=None,
+                       help="stream per-interval metrics to this JSON-lines file "
+                            "(with --maintenance both, '.on'/'.off' is inserted "
+                            "before the suffix)")
+    churn.add_argument("--prom-out", default=None,
+                       help="rewrite this file with the latest Prometheus text exposition")
+    churn.add_argument("--checkpoint-out", default=None,
+                       help="write a cluster snapshot at --checkpoint-at virtual seconds")
+    churn.add_argument("--checkpoint-at", type=float, default=None,
+                       help="checkpoint time in virtual seconds into the churn phase")
+    churn.add_argument("--halt-at-checkpoint", action="store_true",
+                       help="stop at the checkpoint instead of finishing (resume later)")
+    churn.add_argument("--resume-from", default=None,
+                       help="resume a halted run from this snapshot instead of starting fresh")
 
     profile = sub.add_parser(
         "profile",
@@ -156,6 +178,30 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--seed", type=int, default=0)
     profile.add_argument("--json", dest="json_path", default=None,
                          help="also write the perf snapshot to this JSON file")
+
+    dash = sub.add_parser(
+        "dashboard",
+        help="one-screen health view over BENCH_*.json trajectories and metrics logs",
+    )
+    dash.add_argument("--core", default="BENCH_core.json",
+                      help="core-speed trajectory file (skipped when missing)")
+    dash.add_argument("--churn", default="BENCH_churn.json",
+                      help="churn-survival trajectory file (skipped when missing)")
+    dash.add_argument("--metrics", default=None,
+                      help="JSON-lines metrics log from a live run")
+    dash.add_argument("--json", dest="json_output", action="store_true",
+                      help="print the dashboard data as JSON instead of rendering")
+
+    audit = sub.add_parser(
+        "audit",
+        help="scan a cluster snapshot and/or metrics log for invariant violations",
+    )
+    audit.add_argument("--snapshot", default=None,
+                       help="cluster snapshot written by churn-bench --checkpoint-out")
+    audit.add_argument("--metrics", default=None,
+                       help="JSON-lines metrics log to check for rollbacks/gaps")
+    audit.add_argument("--json", dest="json_output", action="store_true",
+                       help="print the findings as JSON instead of rendering")
 
     return parser
 
@@ -340,8 +386,40 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _labelled_path(path: str | None, label: str, use_label: bool) -> str | None:
+    """Insert ``.<label>`` before the suffix when several runs share a path."""
+    if path is None or not use_label:
+        return path
+    from pathlib import Path
+
+    p = Path(path)
+    return str(p.with_name(f"{p.stem}.{label}{p.suffix}"))
+
+
 def _cmd_churn_bench(args: argparse.Namespace) -> int:
     from repro.analysis.survival import render_survival_comparison
+    from repro.metrics import MetricsStream
+
+    if args.resume_from is not None:
+        from repro.simulation.snapshot import resume_survival_benchmark
+
+        stream = None
+        if args.metrics_out is not None:
+            stream = MetricsStream(path=args.metrics_out, prom_path=args.prom_out)
+        report = resume_survival_benchmark(args.resume_from, metrics_stream=stream)
+        if stream is not None:
+            stream.close()
+        reports = {"resumed": report}
+        print(render_survival_comparison(
+            [report],
+            title=f"churn-bench -- resumed from {args.resume_from}",
+        ))
+        if args.json_path:
+            payload = {"resumed": {**report.summary(), "samples": report.samples}}
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            print(f"\nsurvival report written to {args.json_path}")
+        return 0
 
     if args.dataset is not None:
         dataset = load_triples_tsv(args.dataset)
@@ -364,13 +442,38 @@ def _cmd_churn_bench(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         label = "maintenance on" if maintenance else "maintenance off"
-        reports[label] = run_survival_benchmark(
+        suffix = "on" if maintenance else "off"
+        stream = None
+        if args.metrics_out is not None:
+            stream = MetricsStream(
+                path=_labelled_path(args.metrics_out, suffix, len(modes) > 1),
+                prom_path=_labelled_path(args.prom_out, suffix, len(modes) > 1),
+            )
+        checkpoint_path = _labelled_path(args.checkpoint_out, suffix, len(modes) > 1)
+        report = run_survival_benchmark(
             config,
             workload,
             ops=args.ops,
             duration_s=args.duration,
             sample_every_s=args.sample_every,
+            metrics_stream=stream,
+            checkpoint_path=checkpoint_path,
+            checkpoint_at_s=args.checkpoint_at,
+            halt_at_checkpoint=args.halt_at_checkpoint,
         )
+        if stream is not None:
+            stream.close()
+        if report is None:
+            print(
+                f"halted at checkpoint ({args.checkpoint_at:.0f}s of virtual churn); "
+                f"snapshot written to {checkpoint_path} -- resume with "
+                f"'dharma churn-bench --resume-from {checkpoint_path}'"
+            )
+            continue
+        reports[label] = report
+
+    if not reports:
+        return 0
 
     print(render_survival_comparison(
         list(reports.values()),
@@ -480,6 +583,39 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.analysis.dashboard import dashboard_data, load_benchmark, render_dashboard
+    from repro.metrics import read_metrics_log
+
+    metrics_samples = None
+    if args.metrics is not None:
+        metrics_samples = read_metrics_log(args.metrics)
+    data = dashboard_data(
+        core=load_benchmark(args.core),
+        churn=load_benchmark(args.churn),
+        metrics_samples=metrics_samples,
+    )
+    if args.json_output:
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(render_dashboard(data))
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.analysis.audit import run_audit
+
+    if args.snapshot is None and args.metrics is None:
+        print("nothing to audit: pass --snapshot and/or --metrics", file=sys.stderr)
+        return 2
+    report = run_audit(snapshot_path=args.snapshot, metrics_path=args.metrics)
+    if args.json_output:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -489,6 +625,8 @@ _COMMANDS = {
     "cluster-bench": _cmd_cluster_bench,
     "churn-bench": _cmd_churn_bench,
     "profile": _cmd_profile,
+    "dashboard": _cmd_dashboard,
+    "audit": _cmd_audit,
 }
 
 

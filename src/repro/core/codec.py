@@ -28,6 +28,16 @@ storage-side rule).
 
 All integers use unsigned LEB128 ("uvarint"): 7 value bits per byte, high
 bit says "more bytes follow" -- the standard varint of protobuf and WebAssembly.
+
+Beyond block payloads, the same header/varint vocabulary encodes two
+*cluster-state* record types used by the snapshot/restore layer
+(:mod:`repro.simulation.snapshot`): overlay-membership records (type byte
+``0x10``: certified user, 20-byte node id, transport address, joined flag)
+and routing-table records (type byte ``0x11``: owner id, bucket parameter
+``k``, then each non-empty k-bucket with its contacts and replacement-cache
+entries in least- to most-recently-seen order).  Contact order is part of
+the encoding because restoring a table must reproduce the exact LRU state,
+not just the membership.
 """
 
 from __future__ import annotations
@@ -44,12 +54,20 @@ __all__ = [
     "decode_block",
     "encode_append",
     "decode_append",
+    "encode_membership",
+    "decode_membership",
+    "encode_routing_table",
+    "decode_routing_table",
     "BlockCodec",
 ]
 
 _MAGIC = 0xDA
 _VERSION = 1
 _APPEND_FLAG = 0x80
+#: Cluster-state record types (snapshot/restore), disjoint from the block
+#: type bytes ``1``-``4`` and the append range ``0x81``-``0x83``.
+_MEMBERSHIP_TYPE = 0x10
+_ROUTING_TYPE = 0x11
 _HEADER = struct.Struct("<BBB")
 
 #: Overlay key size charged as request overhead per primitive (the 160-bit
@@ -235,6 +253,112 @@ def _block_type_for(type_byte: int) -> BlockType:
 def _check_consumed(data: bytes, offset: int) -> None:
     if offset != len(data):
         raise CodecError(f"{len(data) - offset} trailing bytes")
+
+
+# --------------------------------------------------------------------- #
+# cluster-state records (snapshot/restore)
+# --------------------------------------------------------------------- #
+
+
+def _write_node_id(out: bytearray, node_id: bytes) -> None:
+    if len(node_id) != KEY_BYTES:
+        raise CodecError(f"node id must be {KEY_BYTES} bytes, got {len(node_id)}")
+    out += node_id
+
+
+def _read_node_id(data: bytes, offset: int) -> tuple[bytes, int]:
+    end = offset + KEY_BYTES
+    if end > len(data):
+        raise CodecError("truncated node id")
+    return data[offset:end], end
+
+
+def encode_membership(user: str, node_id: bytes, address: str, joined: bool) -> bytes:
+    """Serialize one overlay-membership record (type byte ``0x10``)."""
+    out = bytearray(_HEADER.pack(_MAGIC, _VERSION, _MEMBERSHIP_TYPE))
+    _write_string(out, user)
+    _write_node_id(out, node_id)
+    _write_string(out, address)
+    out.append(0x01 if joined else 0x00)
+    return bytes(out)
+
+
+def decode_membership(data: bytes) -> tuple[str, bytes, str, bool]:
+    """Inverse of :func:`encode_membership`: ``(user, node_id, address, joined)``."""
+    type_byte, offset = _check_header(data)
+    if type_byte != _MEMBERSHIP_TYPE:
+        raise CodecError(f"not a membership record (type byte {type_byte:#x})")
+    user, offset = _read_string(data, offset)
+    node_id, offset = _read_node_id(data, offset)
+    address, offset = _read_string(data, offset)
+    if offset >= len(data):
+        raise CodecError("truncated joined flag")
+    flag = data[offset]
+    offset += 1
+    if flag not in (0x00, 0x01):
+        raise CodecError(f"bad joined flag {flag:#x}")
+    _check_consumed(data, offset)
+    return user, node_id, address, flag == 0x01
+
+
+#: One contact on the wire: ``(20-byte node id, transport address)``.
+ContactRecord = tuple[bytes, str]
+
+#: One k-bucket on the wire: ``(bucket index, contacts, replacement cache)``,
+#: both contact lists in least- to most-recently-seen order.
+BucketRecord = tuple[int, list[ContactRecord], list[ContactRecord]]
+
+
+def _write_contacts(out: bytearray, contacts: list[ContactRecord]) -> None:
+    out += encode_uvarint(len(contacts))
+    for node_id, address in contacts:
+        _write_node_id(out, node_id)
+        _write_string(out, address)
+
+
+def _read_contacts(data: bytes, offset: int) -> tuple[list[ContactRecord], int]:
+    count, offset = decode_uvarint(data, offset)
+    contacts: list[ContactRecord] = []
+    for _ in range(count):
+        node_id, offset = _read_node_id(data, offset)
+        address, offset = _read_string(data, offset)
+        contacts.append((node_id, address))
+    return contacts, offset
+
+
+def encode_routing_table(owner_id: bytes, k: int, buckets: list[BucketRecord]) -> bytes:
+    """Serialize one routing-table record (type byte ``0x11``).
+
+    *buckets* lists only the non-empty k-buckets; contact order within a
+    bucket is significant (it **is** the LRU order).
+    """
+    out = bytearray(_HEADER.pack(_MAGIC, _VERSION, _ROUTING_TYPE))
+    _write_node_id(out, owner_id)
+    out += encode_uvarint(k)
+    out += encode_uvarint(len(buckets))
+    for index, contacts, replacements in buckets:
+        out += encode_uvarint(index)
+        _write_contacts(out, contacts)
+        _write_contacts(out, replacements)
+    return bytes(out)
+
+
+def decode_routing_table(data: bytes) -> tuple[bytes, int, list[BucketRecord]]:
+    """Inverse of :func:`encode_routing_table`: ``(owner_id, k, buckets)``."""
+    type_byte, offset = _check_header(data)
+    if type_byte != _ROUTING_TYPE:
+        raise CodecError(f"not a routing-table record (type byte {type_byte:#x})")
+    owner_id, offset = _read_node_id(data, offset)
+    k, offset = decode_uvarint(data, offset)
+    bucket_count, offset = decode_uvarint(data, offset)
+    buckets: list[BucketRecord] = []
+    for _ in range(bucket_count):
+        index, offset = decode_uvarint(data, offset)
+        contacts, offset = _read_contacts(data, offset)
+        replacements, offset = _read_contacts(data, offset)
+        buckets.append((index, contacts, replacements))
+    _check_consumed(data, offset)
+    return owner_id, k, buckets
 
 
 # --------------------------------------------------------------------- #

@@ -33,6 +33,20 @@ passed directly to :class:`~repro.core.faceted_search.FacetedSearch` --
 which recognises it (via the :attr:`CompactFolksonomy.compact` marker) and
 switches to the array-backed fast path while producing byte-identical
 search results.
+
+Invariants
+----------
+
+* **order isomorphism** -- ids are assigned in sorted-name order, so for any
+  two names ``a < b  ⇔  id(a) < id(b)``; every id-level comparison the fast
+  path makes (including rank-key ties) reproduces the string-level decision
+  of the mutable engine exactly.
+* **immutability** -- a frozen view is a snapshot: no method mutates its
+  arrays, so searches may share one instance freely and a given
+  ``freeze()`` result always returns the same answers.
+* **sortedness** -- every adjacency array is strictly ascending by id,
+  established once at freeze time; the intersection kernels and
+  ``searchsorted`` probes rely on it and never re-sort on the query path.
 """
 
 from __future__ import annotations

@@ -27,6 +27,21 @@ and removes that redundancy with three cooperating mechanisms:
 The engine mirrors the node's ``retrieve`` / ``store`` / ``append`` API, so
 the client can delegate blindly; all counters are collected in
 :class:`BatchStats` and surfaced by the cluster harness and benchmarks.
+
+Invariants
+----------
+
+* **cache-independent correctness** -- a cached route is an optimisation
+  hint, never an authority: any route that fails to produce a full result
+  falls back to the complete iterative lookup, so the engine's answers equal
+  the seed client's answers for every operation (only the message count
+  differs).
+* **bounded staleness** -- routes expire on the virtual clock (TTL) and are
+  invalidated on first failure, so a replica set can be stale for at most
+  one failed operation or one TTL window, whichever ends first.
+* **deterministic batching** -- batches are processed in key order and all
+  tie-breaks are data-driven (no wall clock, no unseeded randomness), so a
+  batched run is reproducible event-for-event under the simulator.
 """
 
 from __future__ import annotations

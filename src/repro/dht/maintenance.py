@@ -38,6 +38,29 @@ automatically.
 
 Tick times are jittered per node (deterministically, from the configured
 seed) so a thousand nodes do not republish in one synchronised burst.
+
+Invariants
+----------
+
+* **merge-on-store** -- a republished counter-block snapshot is always a
+  *lower bound* of the live block; the receiving replica folds it in with an
+  entry-wise ``max``, so republication can never roll back an APPEND that
+  landed after the snapshot was taken.
+* **holder hand-off** -- a node drops its copy of a key only after a
+  republish pass confirmed a *full-size* replica set that it is no longer
+  part of; the holder set per key therefore stays bounded at ``k`` without
+  ever deleting the last copy.
+* **own-timeline timers** -- each loop's next tick is drawn relative to the
+  *scheduled* time of the previous one (``_next_at``), not the possibly
+  inflated execution clock, so maintenance cadence is independent of how much
+  latency the surrounding simulation charges.
+* **no posthumous ticks** -- a tick on a node that silently left the network
+  stops both loops instead of republishing from beyond the grave, and every
+  pending timer is cancelled when the overlay reports the node gone.
+
+Ticks also feed the process-wide :data:`repro.perf.PERF` registry
+(``maint.republish_ticks`` / ``maint.refresh_ticks`` / ``maint.handoffs``)
+so live metrics streams can export maintenance progress per interval.
 """
 
 from __future__ import annotations
@@ -47,6 +70,7 @@ from dataclasses import dataclass
 
 from repro.dht.bootstrap import Overlay
 from repro.dht.node import KademliaNode
+from repro.perf import PERF
 from repro.simulation.event_queue import Event, EventQueue
 
 __all__ = ["MaintenanceConfig", "MaintenanceStats", "NodeMaintenance", "OverlayMaintenance"]
@@ -207,9 +231,11 @@ class NodeMaintenance:
                 and node.storage.delete(key)
             ):
                 self.stats.blocks_handed_off += 1
+                PERF.count("maint.handoffs")
         self.stats.republish_runs += 1
         self.stats.blocks_republished += len(snapshot)
         self.stats.replicas_written += replicas
+        PERF.count("maint.republish_ticks")
         self._schedule("republish", self.config.republish_interval_ms)
 
     def _refresh_tick(self) -> None:
@@ -218,6 +244,7 @@ class NodeMaintenance:
             return
         self.stats.refresh_runs += 1
         self.stats.buckets_refreshed += self.node.refresh_buckets(self._rng)
+        PERF.count("maint.refresh_ticks")
         self._schedule("refresh", self.config.refresh_interval_ms)
 
 

@@ -15,7 +15,6 @@ closest nodes).
 
 from __future__ import annotations
 
-import itertools
 import random
 from dataclasses import dataclass
 from typing import Any
@@ -42,9 +41,39 @@ from repro.dht.routing_table import Contact, RoutingTable
 from repro.dht.storage import LocalStorage
 from repro.simulation.network import MessageDropped, NodeUnreachable, SimulatedNetwork
 
-__all__ = ["NodeConfig", "KademliaNode"]
+__all__ = ["NodeConfig", "KademliaNode", "reserve_addresses"]
 
-_address_counter = itertools.count()
+
+class _AddressAllocator:
+    """Process-wide source of default ``node-NNNNNN`` transport addresses.
+
+    A plain counter, except it can be fast-forwarded: restoring a cluster
+    snapshot in a fresh process re-registers addresses the counter has never
+    issued, and a later join must not collide with them.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def take(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def reserve(self, minimum: int) -> None:
+        """Ensure future addresses are numbered ``>= minimum``."""
+        if minimum > self._next:
+            self._next = minimum
+
+
+_ADDRESSES = _AddressAllocator()
+
+
+def reserve_addresses(minimum: int) -> None:
+    """Fast-forward default address numbering past *minimum* (snapshot restore)."""
+    _ADDRESSES.reserve(minimum)
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,7 +113,7 @@ class KademliaNode:
         self.node_id = node_id
         self.config = config or NodeConfig()
         self.network = network
-        self.address = address or f"node-{next(_address_counter):06d}"
+        self.address = address or f"node-{_ADDRESSES.take():06d}"
         self.routing_table = RoutingTable(node_id, k=self.config.k)
         self.storage = LocalStorage()
         self.certification = certification

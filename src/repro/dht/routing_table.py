@@ -111,6 +111,30 @@ class KBucket:
             _rid, replacement = self._replacement_cache.popitem(last=True)
             self._contacts[replacement.node_id] = replacement
 
+    # -- snapshot/restore --------------------------------------------------- #
+
+    def export_state(self) -> tuple[list[Contact], list[Contact]]:
+        """``(contacts, replacement cache)``, each least-recently-seen first."""
+        return list(self._contacts.values()), list(self._replacement_cache.values())
+
+    def restore_state(
+        self, contacts: list[Contact], replacements: list[Contact]
+    ) -> None:
+        """Replace the bucket content with a previously exported state.
+
+        Insertion order of both lists is preserved verbatim -- it *is* the
+        LRU order, and a restored node must make the same eviction and
+        promotion decisions the original would have made.
+        """
+        if len(contacts) > self.k or len(replacements) > self.k:
+            raise ValueError(f"bucket state exceeds capacity k={self.k}")
+        self._contacts.clear()
+        self._replacement_cache.clear()
+        for contact in contacts:
+            self._contacts[contact.node_id] = contact
+        for contact in replacements:
+            self._replacement_cache[contact.node_id] = contact
+
 
 class RoutingTable:
     """The full routing table of one node: ``ID_BITS`` k-buckets.
@@ -188,3 +212,39 @@ class RoutingTable:
     def bucket_utilisation(self) -> dict[int, int]:
         """Non-empty bucket sizes, keyed by bucket index (for diagnostics)."""
         return {i: len(b) for i, b in enumerate(self._buckets) if len(b)}
+
+    # -- snapshot/restore --------------------------------------------------- #
+
+    def export_buckets(self) -> list[tuple[int, list[Contact], list[Contact]]]:
+        """Every non-empty bucket as ``(index, contacts, replacements)``.
+
+        Contact lists come out least-recently-seen first; feeding them back
+        through :meth:`restore_buckets` reproduces the table exactly,
+        including the replacement caches (which :meth:`record_contact` alone
+        could not rebuild).
+        """
+        out = []
+        for index, bucket in enumerate(self._buckets):
+            contacts, replacements = bucket.export_state()
+            if contacts or replacements:
+                out.append((index, contacts, replacements))
+        return out
+
+    def restore_buckets(
+        self, buckets: list[tuple[int, list[Contact], list[Contact]]]
+    ) -> None:
+        """Replace the whole table content with an exported bucket list."""
+        for bucket in self._buckets:
+            bucket.restore_state([], [])
+        for index, contacts, replacements in buckets:
+            if not (0 <= index < len(self._buckets)):
+                raise ValueError(f"bucket index {index} out of range")
+            for contact in contacts + replacements:
+                if (
+                    contact.node_id != self.owner_id
+                    and self.bucket_index(contact.node_id) != index
+                ):
+                    raise ValueError(
+                        f"contact {contact.address} does not belong in bucket {index}"
+                    )
+            self._buckets[index].restore_state(contacts, replacements)

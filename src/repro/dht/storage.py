@@ -223,6 +223,48 @@ class LocalStorage:
             for key, record in self._items.items()
         }
 
+    # -- snapshot/restore --------------------------------------------------- #
+
+    def records_snapshot(self) -> dict[NodeID, StoredValue]:
+        """Every stored record *including its metadata*, in insertion order.
+
+        Counter payloads are copied (same aliasing rule as
+        :meth:`items_snapshot`); the :class:`StoredValue` wrappers are fresh
+        objects, so mutating the snapshot cannot touch the live store.
+        """
+        return {
+            key: StoredValue(
+                value=_copy_counter_payload(record.value)
+                if _is_counter_payload(record.value)
+                else record.value,
+                stored_at=record.stored_at,
+                writes=record.writes,
+                reads=record.reads,
+            )
+            for key, record in self._items.items()
+        }
+
+    def restore_record(
+        self,
+        key: NodeID,
+        value: Any,
+        stored_at: float = 0.0,
+        writes: int = 0,
+        reads: int = 0,
+    ) -> None:
+        """Re-insert one exported record verbatim (no merge semantics).
+
+        Used by snapshot restore, where the incoming value *is* the
+        authoritative replica state; dict insertion order of successive
+        calls reproduces the original store's iteration order, which
+        republication and audits depend on for determinism.
+        """
+        if _is_counter_payload(value):
+            value = _copy_counter_payload(value)
+        self._items[key] = StoredValue(
+            value=value, stored_at=stored_at, writes=writes, reads=reads
+        )
+
 
 _COUNTER_TYPE_VALUES = frozenset(bt.value for bt in BlockType if bt.is_counter)
 

@@ -1,0 +1,33 @@
+"""Live observability: streaming metrics for long cluster runs.
+
+The analysis layer reconstructs the paper's tables *after* a run; this
+package makes the same counters observable *during* one.  A
+:class:`~repro.metrics.stream.MetricsStream` turns point-in-time counter /
+gauge readings into an append-only series of samples (JSON-lines on disk,
+Prometheus text exposition for scrapers), and a
+:class:`~repro.metrics.stream.ClusterMetricsRecorder` drives it from the
+shared event queue on a virtual-time cadence, so a churn benchmark emits
+per-interval availability, cache hit rates, wire bytes and message counts
+while it runs instead of one blob at the end.
+"""
+
+from repro.metrics.exporters import (
+    json_line,
+    parse_json_lines,
+    parse_prometheus,
+    prometheus_name,
+    read_metrics_log,
+    render_prometheus,
+)
+from repro.metrics.stream import ClusterMetricsRecorder, MetricsStream
+
+__all__ = [
+    "json_line",
+    "parse_json_lines",
+    "parse_prometheus",
+    "prometheus_name",
+    "read_metrics_log",
+    "render_prometheus",
+    "MetricsStream",
+    "ClusterMetricsRecorder",
+]

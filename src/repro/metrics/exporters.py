@@ -1,0 +1,185 @@
+"""Wire formats for metrics samples: JSON-lines and Prometheus text exposition.
+
+A *sample* is a plain dict with the shape produced by
+:meth:`~repro.metrics.stream.MetricsStream.emit`::
+
+    {
+        "seq": 3,                  # 0-based sample index within the stream
+        "t_ms": 90000.0,           # virtual time of the reading
+        "counters": {...},         # cumulative, monotone non-decreasing
+        "gauges": {...},           # point-in-time values
+        "deltas": {...},           # counters minus the previous sample's
+    }
+
+Both renderings are deterministic (keys sorted, no wall-clock timestamps),
+so equal samples always serialize to equal bytes -- the property the golden
+tests pin.  The Prometheus rendering follows the text exposition format
+(``# HELP`` / ``# TYPE`` headers, one ``name value`` line per metric):
+counters are exported with the conventional ``_total`` suffix, gauges as-is,
+and metric names are sanitised to the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset
+with a ``dharma_`` prefix.  :func:`parse_prometheus` is the inverse used by
+the round-trip test and by ``dharma dashboard`` when pointed at a scrape
+file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "json_line",
+    "parse_json_lines",
+    "read_metrics_log",
+    "prometheus_name",
+    "render_prometheus",
+    "parse_prometheus",
+]
+
+#: Prefix of every exported Prometheus metric name.
+PROM_PREFIX = "dharma"
+
+_PROM_FIRST = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_PROM_REST = _PROM_FIRST | set("0123456789")
+
+
+# --------------------------------------------------------------------- #
+# JSON lines
+# --------------------------------------------------------------------- #
+
+
+def json_line(sample: dict[str, Any]) -> str:
+    """One compact, key-sorted JSON line for *sample* (no trailing newline)."""
+    return json.dumps(sample, sort_keys=True, separators=(",", ":"))
+
+
+def parse_json_lines(text: str) -> list[dict[str, Any]]:
+    """Parse a JSON-lines document into its list of samples.
+
+    Blank lines are ignored; anything else must be a JSON object.
+    """
+    samples: list[dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            sample = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"metrics log line {lineno}: invalid JSON ({exc})") from exc
+        if not isinstance(sample, dict):
+            raise ValueError(f"metrics log line {lineno}: expected an object")
+        samples.append(sample)
+    return samples
+
+
+def read_metrics_log(path: str) -> list[dict[str, Any]]:
+    """Read a JSON-lines metrics log from *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_json_lines(handle.read())
+
+
+# --------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------- #
+
+
+def prometheus_name(name: str, prefix: str = PROM_PREFIX) -> str:
+    """Sanitise a dotted counter name into a legal Prometheus metric name."""
+    out = []
+    for ch in name:
+        out.append(ch if ch in _PROM_REST else "_")
+    body = "".join(out)
+    full = f"{prefix}_{body}" if prefix else body
+    if not full or full[0] not in _PROM_FIRST:
+        full = f"_{full}"
+    return full
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # bools are ints in Python; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(sample: dict[str, Any], prefix: str = PROM_PREFIX) -> str:
+    """Render one sample in Prometheus text exposition format.
+
+    The virtual timestamp is exported as its own gauge
+    (``<prefix>_virtual_time_ms``) rather than as per-line timestamps: the
+    simulation clock is virtual and scrapers must not mistake it for wall
+    time.
+    """
+    lines: list[str] = []
+
+    def block(name: str, kind: str, source: str, value: float) -> None:
+        lines.append(f"# HELP {name} {source}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name} {_format_value(value)}")
+
+    block(
+        prometheus_name("virtual_time_ms", prefix),
+        "gauge",
+        "virtual time of this sample (ms)",
+        float(sample.get("t_ms", 0.0)),
+    )
+    block(
+        prometheus_name("sample_seq", prefix),
+        "gauge",
+        "sample sequence number",
+        int(sample.get("seq", 0)),
+    )
+    for name in sorted(sample.get("counters", {})):
+        prom = prometheus_name(name, prefix)
+        if not prom.endswith("_total"):
+            prom += "_total"
+        block(prom, "counter", f"cumulative counter {name}", sample["counters"][name])
+    for name in sorted(sample.get("gauges", {})):
+        block(prometheus_name(name, prefix), "gauge", f"gauge {name}", sample["gauges"][name])
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, tuple[str, float]]:
+    """Parse text exposition into ``{metric_name: (type, value)}``.
+
+    Only the subset emitted by :func:`render_prometheus` is understood
+    (``# HELP`` / ``# TYPE`` comments, unlabelled sample lines), which is all
+    the round-trip test and the dashboard need.  Raises :class:`ValueError`
+    on malformed input.
+    """
+    types: dict[str, str] = {}
+    values: dict[str, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                if parts[2] in types:
+                    raise ValueError(f"line {lineno}: duplicate TYPE for {parts[2]}")
+                if len(parts) < 4 or parts[3] not in ("counter", "gauge"):
+                    raise ValueError(f"line {lineno}: bad TYPE line {line!r}")
+                types[parts[2]] = parts[3]
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(f"line {lineno}: expected 'name value', got {line!r}")
+        name, value_text = parts
+        if name in values:
+            raise ValueError(f"line {lineno}: duplicate sample for {name}")
+        if name[0] not in _PROM_FIRST or any(ch not in _PROM_REST for ch in name):
+            raise ValueError(f"line {lineno}: illegal metric name {name!r}")
+        try:
+            values[name] = float(value_text)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: bad value {value_text!r}") from exc
+    out: dict[str, tuple[str, float]] = {}
+    for name, value in values.items():
+        kind = types.get(name)
+        if kind is None:
+            raise ValueError(f"metric {name} has a sample but no TYPE header")
+        out[name] = (kind, value)
+    return out

@@ -117,6 +117,23 @@ class PerfRegistry:
             },
         }
 
+    def restore(self, snapshot: dict[str, dict]) -> None:
+        """Load a :meth:`snapshot` dump back into the registry.
+
+        Used when resuming a checkpointed run, so cumulative counters (and
+        the metrics stream derived from them) continue from where the
+        interrupted run stopped instead of restarting at zero.
+        """
+        self.counters = {name: int(value) for name, value in snapshot.get("counters", {}).items()}
+        self.timers = {
+            name: TimerStats(
+                calls=int(stats["calls"]),
+                total_s=float(stats["total_s"]),
+                max_s=float(stats["max_s"]),
+            )
+            for name, stats in snapshot.get("timers", {}).items()
+        }
+
     def report(self) -> str:
         """Human-readable two-section table of the snapshot."""
         lines: list[str] = []

@@ -58,6 +58,13 @@ class ChurnProcess:
         self.joins = 0
         self.graceful_leaves = 0
         self.crashes = 0
+        #: True once :meth:`schedule_trace` ran.  Pending traced events carry
+        #: their parameters in the event label (``churn-leave:<address>``,
+        #: ``churn-join:<at>:<session>:<horizon>``), which is what lets the
+        #: snapshot layer re-create them verbatim on restore; dynamic-mode
+        #: events draw follow-ups at execution time and cannot be
+        #: checkpointed.
+        self.traced = False
 
     # -- scheduling ------------------------------------------------------- #
 
@@ -88,6 +95,7 @@ class ChurnProcess:
         Returns the number of scheduled events.
         """
         start = self.queue.clock.now
+        self.traced = True
         scheduled = 0
         for node in list(self.overlay.nodes):
             if not self.overlay.network.is_registered(node.address):
@@ -97,7 +105,7 @@ class ChurnProcess:
                 address = node.address
                 self.queue.schedule_at(
                     at, lambda a=address: self._do_departure(a, reschedule=False),
-                    label="churn-leave",
+                    label=f"churn-leave:{address}",
                 )
                 scheduled += 1
         if self.config.join_rate > 0:
@@ -109,10 +117,11 @@ class ChurnProcess:
                 # The joiner's own departure is drawn relative to its join
                 # time, staying on the pre-computed timeline.
                 session = self._ms(self._rng.expovariate(1.0 / self.config.mean_session_s))
+                horizon = start + horizon_ms
                 self.queue.schedule_at(
                     at,
-                    lambda t=at, s=session, h=start + horizon_ms: self._do_traced_join(t, s, h),
-                    label="churn-join",
+                    lambda t=at, s=session, h=horizon: self._do_traced_join(t, s, h),
+                    label=f"churn-join:{at!r}:{session!r}:{horizon!r}",
                 )
                 scheduled += 1
         return scheduled
@@ -126,7 +135,7 @@ class ChurnProcess:
             self.queue.schedule_at(
                 max(at, self.queue.clock.now),
                 lambda: self._do_departure(address, reschedule=False),
-                label="churn-leave",
+                label=f"churn-leave:{address}",
             )
 
     def _ms(self, seconds: float) -> float:
@@ -139,7 +148,9 @@ class ChurnProcess:
     def _schedule_departure(self, address: str) -> None:
         delay_s = self._rng.expovariate(1.0 / self.config.mean_session_s)
         self.queue.schedule_in(
-            self._ms(delay_s), lambda: self._do_departure(address), label="churn-leave"
+            self._ms(delay_s),
+            lambda: self._do_departure(address),
+            label=f"churn-leave:{address}",
         )
 
     # -- event actions ------------------------------------------------------ #

@@ -723,6 +723,133 @@ def _retrieve_merged(overlay: Overlay, key: NodeID, reads: int = 3) -> Any | Non
     return merged
 
 
+class SurvivalRunState:
+    """Mid-flight state of one survival benchmark.
+
+    Everything the probe/append ticks and the final audit touch lives here,
+    which makes the run *checkpointable*: the snapshot layer
+    (:mod:`repro.simulation.snapshot`) serialises this state alongside the
+    cluster, and a resumed run re-creates the pending ``survival-probe-N`` /
+    ``survival-append-N`` events against a restored instance.
+    """
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        report: SurvivalReport,
+        expected: dict[NodeID, dict[str, Any] | None],
+        probe: list[NodeID],
+        appended: list[NodeID],
+        churn_start_ms: float,
+        sample_every_s: float,
+        prior_wall_s: float = 0.0,
+    ) -> None:
+        self.cluster = cluster
+        self.report = report
+        self.expected = expected
+        self.probe = probe
+        self.appended = appended
+        self.churn_start_ms = churn_start_ms
+        self.sample_every_s = sample_every_s
+        #: Wall seconds consumed before the last checkpoint (resumed runs
+        #: report the sum, so wall_time_s stays a total across restarts).
+        self.prior_wall_s = prior_wall_s
+
+    # -- periodic ticks ----------------------------------------------------- #
+
+    def probe_tick(self) -> None:
+        overlay = self.cluster.overlay
+        readable = sum(1 for key in self.probe if _retrieve(overlay, key) is not None)
+        availability = readable / len(self.probe) if self.probe else 1.0
+        self.report.samples.append(
+            ((overlay.clock.now - self.churn_start_ms) / 1000.0, availability)
+        )
+
+    def append_tick(self) -> None:
+        # Concurrent APPENDs while republish snapshots fly around: the
+        # merge-on-store rule is what keeps these from being erased.
+        overlay = self.cluster.overlay
+        for key in self.appended:
+            payload = self.expected[key]
+            assert payload is not None
+            entry = f"churn-probe-{payload['owner']}"
+            outcome = overlay.random_node().append(
+                key, payload["owner"], BlockType(payload["type"]), {entry: 1}
+            )
+            if outcome.accepted_replicas < self.cluster.config.replicate:
+                # The write is under-replicated (some store candidates were
+                # dead); like the pre-churn floor, the audit only promises
+                # durability for fully replicated state, so the floor must
+                # not rise on a write a single crash could legitimately kill.
+                continue
+            payload["entries"][entry] = payload["entries"].get(entry, 0) + 1
+            self.report.churn_appends += 1
+
+    def schedule_ticks(self) -> None:
+        """Pre-schedule every probe/append tick of the run (fresh runs only;
+        a resumed run gets its remaining ticks back from the snapshot)."""
+        duration_s = self.report.duration_s
+        sample_every_s = self.sample_every_s
+        ticks = int(duration_s // sample_every_s) if sample_every_s > 0 else 0
+        # The last APPENDs land at least two republish intervals before the
+        # end of the run, so the final maintenance pass has merged them into
+        # the currently responsible replicas by audit time.
+        append_cutoff = (
+            duration_s * 1000.0 - 2.0 * self.cluster.config.republish_interval_ms
+        )
+        for tick in range(1, ticks + 1):
+            at = self.churn_start_ms + tick * sample_every_s * 1000.0
+            self.cluster.queue.schedule_at(at, self.probe_tick, label=f"survival-probe-{tick}")
+            if at - self.churn_start_ms <= append_cutoff:
+                self.cluster.queue.schedule_at(
+                    at, self.append_tick, label=f"survival-append-{tick}"
+                )
+
+    # -- live metrics -------------------------------------------------------- #
+
+    def metrics_gauges(self) -> dict[str, float]:
+        """Per-interval survival gauges exported on the metrics stream."""
+        samples = self.report.samples
+        return {
+            "survival.availability": samples[-1][1] if samples else 1.0,
+            "survival.blocks_written": float(self.report.blocks_written),
+            "survival.churn_appends": float(self.report.churn_appends),
+        }
+
+    # -- final audit --------------------------------------------------------- #
+
+    def finish(self, wall_started: float) -> SurvivalReport:
+        """Audit every pre-churn key and fill in the report's end-state."""
+        cluster, report = self.cluster, self.report
+        overlay = cluster.overlay
+        for key, payload in self.expected.items():
+            value = _retrieve_merged(overlay, key)
+            if value is None:
+                report.lost_blocks += 1
+                continue
+            if payload is None or not is_counter_payload(value):
+                continue
+            entries = value["entries"]
+            for entry, floor in payload["entries"].items():
+                report.entries_checked += 1
+                if entries.get(entry, 0) < floor:
+                    report.integrity_violations += 1
+        report.final_availability = (
+            1.0 - report.lost_blocks / report.blocks_written if report.blocks_written else 1.0
+        )
+        if cluster.churn is not None:
+            report.joins = cluster.churn.joins
+            report.graceful_leaves = cluster.churn.graceful_leaves
+            report.crashes = cluster.churn.crashes
+        if cluster.maintenance is not None:
+            report.maintenance_stats = cluster.maintenance.stats.snapshot()
+        report.live_nodes_end = len(overlay.live_nodes())
+        report.messages_total = overlay.network.stats.messages_sent
+        report.virtual_time_s = overlay.clock.now / 1000.0
+        report.wall_time_s = self.prior_wall_s + (time.perf_counter() - wall_started)
+        return report
+
+
 def run_survival_benchmark(
     config: ClusterConfig,
     workload: TaggingWorkload,
@@ -731,7 +858,12 @@ def run_survival_benchmark(
     sample_every_s: float = 30.0,
     probe_keys: int = 100,
     append_keys: int = 10,
-) -> SurvivalReport:
+    metrics_stream: "MetricsStream | None" = None,
+    metrics_interval_s: float | None = None,
+    checkpoint_path: str | None = None,
+    checkpoint_at_s: float | None = None,
+    halt_at_checkpoint: bool = False,
+) -> SurvivalReport | None:
     """Measure block survival and counter integrity under churn.
 
     The run has three phases: (1) replay *ops* tagging events on a quiet
@@ -743,6 +875,15 @@ def run_survival_benchmark(
     a block is *lost* when no access node can retrieve it, and a surviving
     counter entry *violates integrity* when it reads below its floor
     (pre-churn value plus the mid-churn deltas applied to it).
+
+    With *metrics_stream*, a :class:`~repro.metrics.stream.ClusterMetricsRecorder`
+    samples the run every *metrics_interval_s* virtual seconds (default: the
+    probe cadence); sampling is read-only and draws no randomness, so metrics
+    do not perturb the run.  With *checkpoint_path* and *checkpoint_at_s*,
+    the cluster state is snapshotted that many virtual seconds into the churn
+    phase; *halt_at_checkpoint* then returns ``None`` instead of finishing
+    (simulating a killed run -- resume it with
+    :func:`repro.simulation.snapshot.resume_survival_benchmark`).
     """
     started = time.perf_counter()
     cluster = SimulatedCluster(config)
@@ -764,73 +905,52 @@ def run_survival_benchmark(
         sorted(counter_keys, key=lambda k: k.value), min(append_keys, len(counter_keys))
     )
 
-    churn_start = overlay.clock.now
+    run = SurvivalRunState(
+        cluster,
+        report,
+        expected,
+        probe,
+        appended,
+        churn_start_ms=overlay.clock.now,
+        sample_every_s=sample_every_s,
+    )
+    run.schedule_ticks()
 
-    def probe_tick() -> None:
-        readable = sum(1 for key in probe if _retrieve(overlay, key) is not None)
-        availability = readable / len(probe) if probe else 1.0
-        report.samples.append(((overlay.clock.now - churn_start) / 1000.0, availability))
+    recorder = None
+    if metrics_stream is not None:
+        from repro.metrics.stream import ClusterMetricsRecorder
 
-    def append_tick() -> None:
-        # Concurrent APPENDs while republish snapshots fly around: the
-        # merge-on-store rule is what keeps these from being erased.
-        for key in appended:
-            payload = expected[key]
-            assert payload is not None
-            entry = f"churn-probe-{payload['owner']}"
-            outcome = overlay.random_node().append(
-                key, payload["owner"], BlockType(payload["type"]), {entry: 1}
-            )
-            if outcome.accepted_replicas < config.replicate:
-                # The write is under-replicated (some store candidates were
-                # dead); like the pre-churn floor, the audit only promises
-                # durability for fully replicated state, so the floor must
-                # not rise on a write a single crash could legitimately kill.
-                continue
-            payload["entries"][entry] = payload["entries"].get(entry, 0) + 1
-            report.churn_appends += 1
-
-    ticks = int(duration_s // sample_every_s) if sample_every_s > 0 else 0
-    # The last APPENDs land at least two republish intervals before the end
-    # of the run, so the final maintenance pass has merged them into the
-    # currently responsible replicas by audit time.
-    append_cutoff = duration_s * 1000.0 - 2.0 * config.republish_interval_ms
-    for tick in range(1, ticks + 1):
-        at = churn_start + tick * sample_every_s * 1000.0
-        cluster.queue.schedule_at(at, probe_tick, label=f"survival-probe-{tick}")
-        if at - churn_start <= append_cutoff:
-            cluster.queue.schedule_at(at, append_tick, label=f"survival-append-{tick}")
+        recorder = ClusterMetricsRecorder(
+            cluster,
+            metrics_stream,
+            interval_ms=(metrics_interval_s or sample_every_s) * 1000.0,
+            extra_gauges=run.metrics_gauges,
+        )
+        recorder.start()
 
     # Pre-scheduled trace: the maintenance-on and -off runs face the exact
     # same membership schedule, so availability deltas measure maintenance,
     # not clock-inflation artefacts.
     cluster.start_churn(trace_horizon_ms=duration_s * 1000.0)
-    cluster.run_for(duration_s * 1000.0)
 
-    # -- final audit -------------------------------------------------------- #
-    for key, payload in expected.items():
-        value = _retrieve_merged(overlay, key)
-        if value is None:
-            report.lost_blocks += 1
-            continue
-        if payload is None or not is_counter_payload(value):
-            continue
-        entries = value["entries"]
-        for entry, floor in payload["entries"].items():
-            report.entries_checked += 1
-            if entries.get(entry, 0) < floor:
-                report.integrity_violations += 1
-    report.final_availability = (
-        1.0 - report.lost_blocks / report.blocks_written if report.blocks_written else 1.0
-    )
-    if cluster.churn is not None:
-        report.joins = cluster.churn.joins
-        report.graceful_leaves = cluster.churn.graceful_leaves
-        report.crashes = cluster.churn.crashes
-    if cluster.maintenance is not None:
-        report.maintenance_stats = cluster.maintenance.stats.snapshot()
-    report.live_nodes_end = len(overlay.live_nodes())
-    report.messages_total = overlay.network.stats.messages_sent
-    report.virtual_time_s = overlay.clock.now / 1000.0
-    report.wall_time_s = time.perf_counter() - started
-    return report
+    remaining_ms = duration_s * 1000.0
+    if checkpoint_at_s is not None:
+        if checkpoint_path is None:
+            raise ValueError("checkpoint_at_s requires checkpoint_path")
+        checkpoint_ms = min(max(checkpoint_at_s, 0.0) * 1000.0, remaining_ms)
+        cluster.run_for(checkpoint_ms)
+        remaining_ms -= checkpoint_ms
+        run.prior_wall_s = time.perf_counter() - started
+        from repro.simulation.snapshot import save_snapshot
+
+        save_snapshot(checkpoint_path, cluster, benchmark=run, recorder=recorder)
+        if halt_at_checkpoint:
+            if recorder is not None:
+                recorder.stop()
+            return None
+    cluster.run_for(remaining_ms)
+
+    result = run.finish(started)
+    if recorder is not None:
+        recorder.stop()
+    return result

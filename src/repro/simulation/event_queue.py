@@ -122,6 +122,16 @@ class EventQueue:
         """Raw heap slots in use, including not-yet-dropped cancelled events."""
         return len(self._heap)
 
+    def pending_events(self) -> list[Event]:
+        """Live (non-cancelled) events in execution order (time, then sequence).
+
+        Snapshot/restore serialises this list: re-scheduling the events in
+        the returned order reproduces the original tie-break order for
+        same-time events, because sequence numbers are assigned in
+        scheduling order.
+        """
+        return sorted(event for event in self._heap if not event.cancelled)
+
     # -- execution --------------------------------------------------------- #
 
     def __len__(self) -> int:

@@ -1,0 +1,644 @@
+"""Checkpoint/restore of a running simulated cluster.
+
+A :class:`~repro.simulation.cluster.SimulatedCluster` mid-churn is a pile of
+interlocking state: the virtual clock, every node's routing table and local
+store, the seeded generators of the network/overlay/churn/maintenance layers,
+and the pending events of the shared queue.  This module serialises all of it
+into one JSON document so a long survival run can be killed at any checkpoint
+and resumed later -- **deterministically**: the resumed run executes the exact
+same event sequence, RNG draws and RPCs as an uninterrupted one, and produces
+the identical :class:`~repro.simulation.cluster.SurvivalReport`.
+
+Design notes
+------------
+
+* Per-node routing tables and overlay membership are stored as the binary
+  codec records of :mod:`repro.core.codec` (``encode_routing_table`` /
+  ``encode_membership``), hex-encoded into the JSON container.  Contact
+  order inside each bucket is part of the encoding because it *is* state:
+  Kademlia buckets are LRU-ordered and eviction picks the least-recently
+  seen contact.
+* RNG states are captured with :meth:`random.Random.getstate` and stored as
+  nested lists; Python guarantees ``setstate`` restores the exact stream.
+* The certification service is not dumped -- it is **replayed**.  Likir
+  secrets derive deterministically from ``(seed, issuance_index, user)``, so
+  re-registering every user in issuance order rebuilds identical secrets and
+  node ids without putting keying material in the snapshot.
+* Pending events cannot be pickled (they are closures), so they are stored
+  as ``(time, label)`` pairs and re-created from their labels: the churn
+  trace encodes its parameters in the label
+  (``churn-join:<at>:<session>:<horizon>``), maintenance ticks name their
+  node (``maint-republish:<address>``), and benchmark probes map back to the
+  restored :class:`~repro.simulation.cluster.SurvivalRunState`.  Only traced
+  churn (:meth:`~repro.simulation.churn.ChurnProcess.schedule_trace`) is
+  checkpointable; dynamic churn draws follow-up events at execution time and
+  has no label encoding.
+* Default node addresses come from a process-wide counter; restore reserves
+  every number seen in the snapshot so post-restore joiners cannot collide
+  with restored nodes, even in a fresh process.
+
+Service clients are *not* captured: checkpoints are taken after the workload
+phase, when the survival benchmark no longer touches them.  A restored
+cluster therefore has an empty client pool (``cluster.services == []``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+import random
+import time
+
+from repro.core.codec import (
+    decode_block,
+    decode_membership,
+    decode_routing_table,
+    encode_block,
+    encode_membership,
+    encode_routing_table,
+    CodecError,
+)
+from repro.dht.likir import CertificationService, SignedValue
+from repro.dht.maintenance import NodeMaintenance, OverlayMaintenance
+from repro.dht.node import KademliaNode, NodeConfig, reserve_addresses
+from repro.dht.node_id import NodeID
+from repro.dht.routing_table import Contact
+from repro.perf import PERF
+from repro.simulation.churn import ChurnProcess
+from repro.simulation.cluster import (
+    ClusterConfig,
+    SimulatedCluster,
+    SurvivalReport,
+    SurvivalRunState,
+)
+from repro.simulation.event_queue import EventQueue
+from repro.simulation.network import NetworkConfig, SimulatedNetwork
+
+__all__ = [
+    "SnapshotError",
+    "snapshot_cluster",
+    "save_snapshot",
+    "load_snapshot",
+    "restore_cluster",
+    "resume_survival_benchmark",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+]
+
+SNAPSHOT_FORMAT = "dharma-cluster-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(RuntimeError):
+    """The snapshot is malformed, or the cluster state is not checkpointable."""
+
+
+# --------------------------------------------------------------------------- #
+# primitive encoders
+# --------------------------------------------------------------------------- #
+
+
+def _rng_to_json(rng: random.Random) -> list:
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def _rng_from_json(data: list) -> tuple:
+    return (data[0], tuple(data[1]), data[2])
+
+
+def _restored_rng(data: list) -> random.Random:
+    rng = random.Random()
+    rng.setstate(_rng_from_json(data))
+    return rng
+
+
+def _encode_value(value: Any) -> dict:
+    """Encode one stored value for the JSON container.
+
+    Block payloads go through the binary codec (compact, validated);
+    :class:`SignedValue` wrappers recurse on their inner value; anything else
+    must be JSON-serialisable and is embedded verbatim.
+    """
+    if isinstance(value, SignedValue):
+        return {
+            "kind": "signed",
+            "publisher": value.publisher,
+            "key_hex": value.key_hex,
+            "credential": value.credential.hex(),
+            "value": _encode_value(value.value),
+        }
+    if isinstance(value, dict) and "type" in value and "owner" in value:
+        try:
+            return {"kind": "block", "hex": encode_block(value).hex()}
+        except (CodecError, KeyError, TypeError, ValueError):
+            pass
+    return {"kind": "json", "data": value}
+
+
+def _decode_value(record: dict) -> Any:
+    kind = record.get("kind")
+    if kind == "signed":
+        return SignedValue(
+            publisher=record["publisher"],
+            key_hex=record["key_hex"],
+            value=_decode_value(record["value"]),
+            credential=bytes.fromhex(record["credential"]),
+        )
+    if kind == "block":
+        return decode_block(bytes.fromhex(record["hex"]))
+    if kind == "json":
+        return record["data"]
+    raise SnapshotError(f"unknown stored-value kind {kind!r}")
+
+
+# --------------------------------------------------------------------------- #
+# capture
+# --------------------------------------------------------------------------- #
+
+
+def _network_state(network: SimulatedNetwork) -> dict:
+    stats = network.stats
+    return {
+        "rng": _rng_to_json(network._rng),
+        "stats": {
+            "messages_sent": stats.messages_sent,
+            "messages_delivered": stats.messages_delivered,
+            "messages_dropped": stats.messages_dropped,
+            "rpcs_failed_unreachable": stats.rpcs_failed_unreachable,
+            "bytes_transferred": stats.bytes_transferred,
+            "received_by_node": dict(stats.received_by_node),
+        },
+    }
+
+
+def _node_state(node: KademliaNode, users_by_id: dict[NodeID, str]) -> dict:
+    user = users_by_id.get(node.node_id)
+    if user is None:
+        raise SnapshotError(f"node {node.address} has no certified identity")
+    membership = encode_membership(user, node.node_id.to_bytes(), node.address, node.joined)
+    buckets = [
+        (
+            index,
+            [(c.node_id.to_bytes(), c.address) for c in contacts],
+            [(c.node_id.to_bytes(), c.address) for c in replacements],
+        )
+        for index, contacts, replacements in node.routing_table.export_buckets()
+    ]
+    routing = encode_routing_table(node.node_id.to_bytes(), node.routing_table.k, buckets)
+    storage = [
+        {
+            "key": key.hex(),
+            "value": _encode_value(record.value),
+            "stored_at": record.stored_at,
+            "writes": record.writes,
+            "reads": record.reads,
+        }
+        for key, record in node.storage.records_snapshot().items()
+    ]
+    return {
+        "membership": membership.hex(),
+        "routing": routing.hex(),
+        "rpcs_served": dict(node.rpcs_served),
+        "storage": storage,
+    }
+
+
+def _maintenance_state(maintenance: OverlayMaintenance) -> dict:
+    return {
+        "started": maintenance._started,
+        "rng": _rng_to_json(maintenance._rng),
+        "stats": maintenance.stats.snapshot(),
+        "nodes": {
+            address: {
+                "rng": _rng_to_json(nm._rng),
+                "next_at": dict(nm._next_at),
+                "running": nm._running,
+            }
+            for address, nm in maintenance._by_address.items()
+        },
+    }
+
+
+def _benchmark_state(run: SurvivalRunState) -> dict:
+    report = run.report
+    return {
+        "sample_every_s": run.sample_every_s,
+        "churn_start_ms": run.churn_start_ms,
+        "prior_wall_s": run.prior_wall_s,
+        "report": {
+            "duration_s": report.duration_s,
+            "blocks_written": report.blocks_written,
+            "counter_blocks": report.counter_blocks,
+            "churn_appends": report.churn_appends,
+            "samples": [[t, a] for t, a in report.samples],
+        },
+        "expected": [
+            {
+                "key": key.hex(),
+                "payload": _encode_value(payload) if payload is not None else None,
+            }
+            for key, payload in run.expected.items()
+        ],
+        "probe": [key.hex() for key in run.probe],
+        "appended": [key.hex() for key in run.appended],
+    }
+
+
+def snapshot_cluster(
+    cluster: SimulatedCluster,
+    benchmark: SurvivalRunState | None = None,
+    recorder: Any | None = None,
+) -> dict:
+    """Serialise *cluster* (and optionally a mid-flight survival run and a
+    metrics recorder) into a JSON-compatible dict."""
+    overlay = cluster.overlay
+    events = []
+    for event in cluster.queue.pending_events():
+        if not event.label:
+            raise SnapshotError(
+                "pending event without a label cannot be restored "
+                "(checkpoint after the workload phase has drained)"
+            )
+        if event.label.startswith("churn-") and (
+            cluster.churn is None or not cluster.churn.traced
+        ):
+            # Dynamic-mode churn closures draw their follow-ups at execution
+            # time; their labels do not carry enough to re-create them.
+            raise SnapshotError(
+                "only traced churn is checkpointable -- dynamic churn draws "
+                "follow-up events at execution time (use schedule_trace)"
+            )
+        events.append({"time": event.time, "label": event.label})
+    users_by_id = {
+        node_id: user for user, node_id in overlay.certification._node_ids.items()
+    }
+    address_numbers = [
+        int(node.address.removeprefix("node-"))
+        for node in overlay.nodes
+        if node.address.startswith("node-") and node.address.removeprefix("node-").isdigit()
+    ]
+    snapshot: dict[str, Any] = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "clock_ms": overlay.clock.now,
+        "config": asdict(cluster.config),
+        "address_floor": max(address_numbers, default=-1) + 1,
+        "certified_users": list(overlay.certification._secrets),
+        "network": _network_state(overlay.network),
+        "overlay": {
+            "rng": _rng_to_json(overlay._rng),
+            "helper_cursor": overlay._helper_cursor,
+            "peer_counter": overlay._peer_counter,
+        },
+        "cluster": {
+            "rng": _rng_to_json(cluster._rng),
+            "search_rng": _rng_to_json(cluster._search_rng),
+        },
+        "nodes": [_node_state(node, users_by_id) for node in overlay.nodes],
+        "churn": None,
+        "maintenance": None,
+        "queue": {"events": events, "processed": cluster.queue.processed},
+        "perf": PERF.snapshot(),
+        "benchmark": _benchmark_state(benchmark) if benchmark is not None else None,
+        "recorder": recorder.export_state() if recorder is not None else None,
+    }
+    if cluster.churn is not None:
+        snapshot["churn"] = {
+            "rng": _rng_to_json(cluster.churn._rng),
+            "joins": cluster.churn.joins,
+            "graceful_leaves": cluster.churn.graceful_leaves,
+            "crashes": cluster.churn.crashes,
+            "traced": cluster.churn.traced,
+        }
+    if cluster.maintenance is not None:
+        snapshot["maintenance"] = _maintenance_state(cluster.maintenance)
+    return snapshot
+
+
+def save_snapshot(
+    path: str | Path,
+    cluster: SimulatedCluster,
+    benchmark: SurvivalRunState | None = None,
+    recorder: Any | None = None,
+) -> dict:
+    """Snapshot *cluster* and write it to *path* as JSON.  Returns the dict."""
+    snapshot = snapshot_cluster(cluster, benchmark=benchmark, recorder=recorder)
+    Path(path).write_text(json.dumps(snapshot, separators=(",", ":")) + "\n", encoding="utf-8")
+    return snapshot
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Read a snapshot written by :func:`save_snapshot` and sanity-check it."""
+    try:
+        snapshot = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    if not isinstance(snapshot, dict) or snapshot.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(f"{path} is not a {SNAPSHOT_FORMAT} file")
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {snapshot.get('version')!r} "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    return snapshot
+
+
+# --------------------------------------------------------------------------- #
+# restore
+# --------------------------------------------------------------------------- #
+
+
+def _restore_nodes(
+    snapshot: dict,
+    network: SimulatedNetwork,
+    node_config: NodeConfig,
+    certification: CertificationService,
+) -> list[KademliaNode]:
+    nodes: list[KademliaNode] = []
+    for record in snapshot["nodes"]:
+        user, node_id_bytes, address, joined = decode_membership(
+            bytes.fromhex(record["membership"])
+        )
+        node_id = NodeID.from_bytes(node_id_bytes)
+        expected = certification.node_id_for(user)
+        if expected != node_id:
+            raise SnapshotError(
+                f"certified id for {user!r} does not match the snapshot "
+                "(wrong seed or corrupted snapshot)"
+            )
+        node = KademliaNode(
+            node_id=node_id,
+            network=network,
+            config=node_config,
+            address=address,
+            certification=certification,
+        )
+        node.joined = joined
+        node.rpcs_served = {name: int(count) for name, count in record["rpcs_served"].items()}
+        owner_id, k, raw_buckets = decode_routing_table(bytes.fromhex(record["routing"]))
+        if owner_id != node_id_bytes:
+            raise SnapshotError(f"routing record of {address} belongs to a different node")
+        node.routing_table.restore_buckets(
+            [
+                (
+                    index,
+                    [Contact(NodeID.from_bytes(i), a) for i, a in contacts],
+                    [Contact(NodeID.from_bytes(i), a) for i, a in replacements],
+                )
+                for index, contacts, replacements in raw_buckets
+            ]
+        )
+        for item in record["storage"]:
+            node.storage.restore_record(
+                NodeID.from_hex(item["key"]),
+                _decode_value(item["value"]),
+                stored_at=item["stored_at"],
+                writes=item["writes"],
+                reads=item["reads"],
+            )
+        nodes.append(node)
+    return nodes
+
+
+def _restore_benchmark(snapshot_section: dict, cluster: SimulatedCluster) -> SurvivalRunState:
+    report_data = snapshot_section["report"]
+    report = SurvivalReport(
+        config=cluster.config,
+        maintenance_on=cluster.config.maintenance,
+        blocks_written=report_data["blocks_written"],
+        counter_blocks=report_data["counter_blocks"],
+        duration_s=report_data["duration_s"],
+        churn_appends=report_data["churn_appends"],
+        samples=[(t, a) for t, a in report_data["samples"]],
+    )
+    expected = {
+        NodeID.from_hex(item["key"]): (
+            _decode_value(item["payload"]) if item["payload"] is not None else None
+        )
+        for item in snapshot_section["expected"]
+    }
+    return SurvivalRunState(
+        cluster,
+        report,
+        expected,
+        probe=[NodeID.from_hex(h) for h in snapshot_section["probe"]],
+        appended=[NodeID.from_hex(h) for h in snapshot_section["appended"]],
+        churn_start_ms=snapshot_section["churn_start_ms"],
+        sample_every_s=snapshot_section["sample_every_s"],
+        prior_wall_s=snapshot_section["prior_wall_s"],
+    )
+
+
+def _replay_events(
+    snapshot: dict,
+    cluster: SimulatedCluster,
+    run: SurvivalRunState | None,
+    recorder: Any | None,
+) -> None:
+    from repro.metrics.stream import METRICS_TICK_LABEL
+
+    queue = cluster.queue
+    for record in snapshot["queue"]["events"]:
+        at, label = record["time"], record["label"]
+        if label.startswith("maint-"):
+            kind, _, address = label[len("maint-"):].partition(":")
+            maintenance = cluster.maintenance
+            if maintenance is None:
+                raise SnapshotError(f"event {label!r} but maintenance is off")
+            nm = maintenance._by_address.get(address)
+            if nm is None:
+                raise SnapshotError(f"event {label!r} names an unknown node")
+            action = nm._republish_tick if kind == "republish" else nm._refresh_tick
+            nm._pending[kind] = queue.schedule_at(at, action, label=label)
+        elif label.startswith("churn-leave:"):
+            if cluster.churn is None:
+                raise SnapshotError(f"event {label!r} but churn is off")
+            address = label[len("churn-leave:"):]
+            churn = cluster.churn
+            queue.schedule_at(
+                at,
+                lambda a=address, c=churn: c._do_departure(a, reschedule=False),
+                label=label,
+            )
+        elif label.startswith("churn-join:"):
+            if cluster.churn is None:
+                raise SnapshotError(f"event {label!r} but churn is off")
+            try:
+                join_at, session, horizon = (
+                    float(part) for part in label[len("churn-join:"):].split(":")
+                )
+            except ValueError as exc:
+                raise SnapshotError(f"malformed traced-join label {label!r}") from exc
+            churn = cluster.churn
+            queue.schedule_at(
+                at,
+                lambda t=join_at, s=session, h=horizon, c=churn: c._do_traced_join(t, s, h),
+                label=label,
+            )
+        elif label.startswith("survival-probe-"):
+            if run is None:
+                raise SnapshotError(f"event {label!r} but no benchmark context in snapshot")
+            queue.schedule_at(at, run.probe_tick, label=label)
+        elif label.startswith("survival-append-"):
+            if run is None:
+                raise SnapshotError(f"event {label!r} but no benchmark context in snapshot")
+            queue.schedule_at(at, run.append_tick, label=label)
+        elif label == METRICS_TICK_LABEL:
+            # Metrics are optional on resume: without a recorder the tick is
+            # dropped (sampling is read-only, so skipping it cannot change
+            # the run).
+            if recorder is not None:
+                recorder.schedule_tick_at(at)
+        else:
+            raise SnapshotError(f"cannot restore event with unknown label {label!r}")
+
+
+def restore_cluster(
+    snapshot: dict,
+    metrics_stream: Any | None = None,
+) -> tuple[SimulatedCluster, SurvivalRunState | None, Any | None]:
+    """Rebuild a :class:`SimulatedCluster` from a snapshot dict.
+
+    Returns ``(cluster, run, recorder)``: *run* is the restored
+    :class:`SurvivalRunState` when the snapshot carries benchmark context
+    (else ``None``); *recorder* is a re-armed
+    :class:`~repro.metrics.stream.ClusterMetricsRecorder` when the snapshot
+    carries one **and** *metrics_stream* is given (else ``None``).
+    """
+    config = ClusterConfig(**snapshot["config"])
+
+    reserve_addresses(int(snapshot.get("address_floor", 0)))
+
+    certification = CertificationService(seed=config.seed)
+    for user in snapshot["certified_users"]:
+        certification.register(user)
+
+    network = SimulatedNetwork(
+        config=NetworkConfig(
+            min_latency_ms=config.min_latency_ms,
+            max_latency_ms=config.max_latency_ms,
+            timeout_ms=config.timeout_ms,
+            seed=config.seed,
+        )
+    )
+    network._rng.setstate(_rng_from_json(snapshot["network"]["rng"]))
+    stats = snapshot["network"]["stats"]
+    network.stats.messages_sent = stats["messages_sent"]
+    network.stats.messages_delivered = stats["messages_delivered"]
+    network.stats.messages_dropped = stats["messages_dropped"]
+    network.stats.rpcs_failed_unreachable = stats["rpcs_failed_unreachable"]
+    network.stats.bytes_transferred = stats["bytes_transferred"]
+    network.stats.received_by_node.update(stats["received_by_node"])
+    network.clock.advance_to(snapshot["clock_ms"])
+
+    node_config = NodeConfig(k=config.node_k, alpha=config.alpha, replicate=config.replicate)
+    from repro.dht.bootstrap import Overlay
+
+    overlay = Overlay(
+        network=network,
+        certification=certification,
+        node_config=node_config,
+        _rng=_restored_rng(snapshot["overlay"]["rng"]),
+        _helper_cursor=snapshot["overlay"]["helper_cursor"],
+        _peer_counter=snapshot["overlay"]["peer_counter"],
+    )
+    nodes = _restore_nodes(snapshot, network, node_config, certification)
+    # Direct roster insertion: membership listeners are attached below, and
+    # firing on_join for already-running nodes would double-start loops.
+    overlay.nodes.extend(nodes)
+    for node in nodes:
+        overlay._by_address[node.address] = node
+
+    cluster = object.__new__(SimulatedCluster)
+    cluster.config = config
+    cluster._rng = _restored_rng(snapshot["cluster"]["rng"])
+    cluster._search_rng = _restored_rng(snapshot["cluster"]["search_rng"])
+    cluster.overlay = overlay
+    cluster.queue = EventQueue(clock=overlay.clock)
+    cluster.queue._processed = snapshot["queue"].get("processed", 0)
+    cluster.services = []
+
+    cluster.maintenance = None
+    maint_state = snapshot.get("maintenance")
+    if maint_state is not None:
+        maintenance = OverlayMaintenance(overlay, cluster.queue, config.maintenance_config())
+        maintenance._rng.setstate(_rng_from_json(maint_state["rng"]))
+        maintenance._started = maint_state["started"]
+        for name, value in maint_state["stats"].items():
+            setattr(maintenance.stats, name, value)
+        for address, node_state in maint_state["nodes"].items():
+            node = overlay._by_address.get(address)
+            if node is None:
+                raise SnapshotError(f"maintenance state names unknown node {address!r}")
+            nm = NodeMaintenance(
+                node,
+                cluster.queue,
+                config=maintenance.config,
+                stats=maintenance.stats,
+                rng=_restored_rng(node_state["rng"]),
+            )
+            nm._next_at = dict(node_state["next_at"])
+            nm._running = node_state["running"]
+            maintenance._by_address[address] = nm
+        cluster.maintenance = maintenance
+
+    cluster.churn = None
+    churn_state = snapshot.get("churn")
+    if churn_state is not None:
+        churn = ChurnProcess(overlay, cluster.queue, config.churn_config())
+        churn._rng.setstate(_rng_from_json(churn_state["rng"]))
+        churn.joins = churn_state["joins"]
+        churn.graceful_leaves = churn_state["graceful_leaves"]
+        churn.crashes = churn_state["crashes"]
+        churn.traced = churn_state["traced"]
+        cluster.churn = churn
+
+    PERF.restore(snapshot["perf"])
+
+    run = None
+    if snapshot.get("benchmark") is not None:
+        run = _restore_benchmark(snapshot["benchmark"], cluster)
+
+    recorder = None
+    if metrics_stream is not None and snapshot.get("recorder") is not None:
+        from repro.metrics.stream import ClusterMetricsRecorder
+
+        state = snapshot["recorder"]
+        recorder = ClusterMetricsRecorder(
+            cluster,
+            metrics_stream,
+            interval_ms=state["interval_ms"],
+            extra_gauges=run.metrics_gauges if run is not None else None,
+        )
+        recorder.restore_state(state)
+
+    _replay_events(snapshot, cluster, run, recorder)
+    return cluster, run, recorder
+
+
+def resume_survival_benchmark(
+    path: str | Path,
+    metrics_stream: Any | None = None,
+) -> SurvivalReport:
+    """Resume a checkpointed :func:`~repro.simulation.cluster.run_survival_benchmark`.
+
+    Loads the snapshot at *path*, restores the cluster and the mid-flight
+    benchmark state, runs the remaining virtual time and performs the final
+    audit.  The returned report is identical (modulo ``wall_time_s``) to the
+    one an uninterrupted run would have produced.
+    """
+    started = time.perf_counter()
+    snapshot = load_snapshot(path)
+    cluster, run, recorder = restore_cluster(snapshot, metrics_stream=metrics_stream)
+    if run is None:
+        raise SnapshotError(f"{path} has no survival-benchmark context to resume")
+    end_ms = run.churn_start_ms + run.report.duration_s * 1000.0
+    cluster.run_for(max(0.0, end_ms - cluster.queue.clock.now))
+    report = run.finish(started)
+    if recorder is not None:
+        recorder.stop()
+    return report

@@ -14,9 +14,13 @@ from repro.core.codec import (
     CodecError,
     decode_append,
     decode_block,
+    decode_membership,
+    decode_routing_table,
     decode_uvarint,
     encode_append,
     encode_block,
+    encode_membership,
+    encode_routing_table,
     encode_uvarint,
 )
 
@@ -197,3 +201,70 @@ class TestBlockCodecFacade:
         codec = BlockCodec()
         expected = len(encode_append("t", BlockType.TAG_NEIGHBOURS, {"x": 1}, None))
         assert codec.append_size("t", BlockType.TAG_NEIGHBOURS, {"x": 1}) == expected
+
+
+class TestMembershipRecords:
+    def test_golden_bytes(self):
+        encoded = encode_membership("alice", bytes(range(20)), "node-3", True)
+        assert encoded.hex() == (
+            "da011005616c696365000102030405060708090a0b0c0d0e0f10111213066e6f64652d3301"
+        )
+
+    def test_round_trip(self):
+        for joined in (True, False):
+            encoded = encode_membership("u~42", bytes(20), "node-1007", joined)
+            assert decode_membership(encoded) == ("u~42", bytes(20), "node-1007", joined)
+
+    def test_rejects_bad_node_id_length(self):
+        with pytest.raises(CodecError):
+            encode_membership("u", b"\x01" * 19, "node-0", True)
+
+    def test_rejects_bad_joined_flag(self):
+        encoded = bytearray(encode_membership("u", bytes(20), "node-0", True))
+        encoded[-1] = 0x02
+        with pytest.raises(CodecError):
+            decode_membership(bytes(encoded))
+
+    def test_rejects_wrong_record_type(self):
+        routing = encode_routing_table(bytes(20), 8, [])
+        with pytest.raises(CodecError):
+            decode_membership(routing)
+
+
+class TestRoutingTableRecords:
+    BUCKETS = [
+        (0, [(bytes([1]) * 20, "node-1")], []),
+        (159, [(bytes([2]) * 20, "node-2"), (bytes([3]) * 20, "node-7")],
+         [(bytes([4]) * 20, "node-9")]),
+    ]
+
+    def test_golden_bytes(self):
+        encoded = encode_routing_table(bytes(range(20)), 2, self.BUCKETS)
+        assert encoded.hex() == (
+            "da0111000102030405060708090a0b0c0d0e0f101112130202000101"
+            "01010101010101010101010101010101010101066e6f64652d31009f"
+            "01020202020202020202020202020202020202020202066e6f64652d"
+            "320303030303030303030303030303030303030303066e6f64652d37"
+            "010404040404040404040404040404040404040404066e6f64652d39"
+        )
+
+    def test_round_trip_preserves_lru_order(self):
+        encoded = encode_routing_table(bytes(range(20)), 2, self.BUCKETS)
+        owner, k, buckets = decode_routing_table(encoded)
+        assert owner == bytes(range(20))
+        assert k == 2
+        assert buckets == self.BUCKETS
+
+    def test_empty_table_round_trips(self):
+        owner, k, buckets = decode_routing_table(encode_routing_table(bytes(20), 8, []))
+        assert (owner, k, buckets) == (bytes(20), 8, [])
+
+    def test_rejects_wrong_record_type(self):
+        membership = encode_membership("u", bytes(20), "node-0", True)
+        with pytest.raises(CodecError):
+            decode_routing_table(membership)
+
+    def test_rejects_truncation(self):
+        encoded = encode_routing_table(bytes(range(20)), 2, self.BUCKETS)
+        with pytest.raises(CodecError):
+            decode_routing_table(encoded[:-3])

@@ -1,0 +1,239 @@
+"""Cluster snapshot/restore: structure, guards, and deterministic resume.
+
+The headline property (ISSUE 6): a churn survival run checkpointed mid-flight
+and resumed from disk must finish with the *identical* report -- same summary
+(modulo wall time), same availability samples -- as the same run left
+uninterrupted.  The checkpointed run here also streams metrics while the
+baseline does not, so the comparison doubles as proof that attaching a
+recorder cannot perturb a deterministic run.
+"""
+
+import pytest
+
+from repro.analysis.audit import audit_metrics, audit_snapshot
+from repro.core.codec import decode_membership, decode_routing_table
+from repro.metrics import MetricsStream, read_metrics_log
+from repro.simulation.cluster import (
+    ClusterConfig,
+    SimulatedCluster,
+    churn_cluster_config,
+    run_survival_benchmark,
+)
+from repro.simulation.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    load_snapshot,
+    restore_cluster,
+    resume_survival_benchmark,
+    save_snapshot,
+    snapshot_cluster,
+)
+from repro.simulation.workload import TaggingWorkload
+
+DURATION_S = 40.0
+SAMPLE_EVERY_S = 10.0
+#: Deliberately unaligned with the probe/append/maintenance cadence.
+CHECKPOINT_AT_S = 17.0
+
+
+def survival_workload() -> TaggingWorkload:
+    triples = [
+        (f"u{i}", f"r{i % 6}", tag)
+        for i, tag in enumerate(
+            ["rock", "pop", "jazz", "indie", "rock", "metal", "pop", "rock",
+             "folk", "jazz", "indie", "rock"] * 3
+        )
+    ]
+    return TaggingWorkload.from_triples(triples)
+
+
+def survival_config():
+    return churn_cluster_config(
+        num_nodes=20,
+        maintenance=True,
+        mean_session_s=60.0,
+        republish_interval_ms=4_000.0,
+        refresh_interval_ms=16_000.0,
+        min_nodes=10,
+        clients=2,
+        seed=3,
+    )
+
+
+def summary_without_wall_time(report) -> dict:
+    summary = report.summary()
+    summary.pop("wall_time_s")
+    return summary
+
+
+# --------------------------------------------------------------------------- #
+# snapshot structure
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def quiet_cluster():
+    """A small maintenance-only cluster run a few virtual seconds in."""
+    cluster = SimulatedCluster(
+        ClusterConfig(
+            num_nodes=12, clients=1, bootstrap="fast", maintenance=True,
+            republish_interval_ms=3_000.0, refresh_interval_ms=9_000.0, seed=21,
+        )
+    )
+    cluster.run_for(5_000.0)
+    return cluster
+
+
+class TestSnapshotStructure:
+    def test_header_and_codec_records(self, quiet_cluster):
+        snapshot = snapshot_cluster(quiet_cluster)
+        assert snapshot["format"] == SNAPSHOT_FORMAT
+        assert snapshot["version"] == SNAPSHOT_VERSION
+        assert snapshot["clock_ms"] == quiet_cluster.overlay.clock.now
+        by_address = {node.address: node for node in quiet_cluster.overlay.nodes}
+        assert len(snapshot["nodes"]) == len(by_address)
+        for record in snapshot["nodes"]:
+            user, node_id, address, joined = decode_membership(
+                bytes.fromhex(record["membership"])
+            )
+            node = by_address[address]
+            assert node_id == node.node_id.to_bytes()
+            assert joined == node.joined
+            owner, k, buckets = decode_routing_table(bytes.fromhex(record["routing"]))
+            assert owner == node.node_id.to_bytes()
+            assert k == node.routing_table.k
+            exported = [
+                (
+                    index,
+                    [(c.node_id.to_bytes(), c.address) for c in contacts],
+                    [(c.node_id.to_bytes(), c.address) for c in cache],
+                )
+                for index, contacts, cache in node.routing_table.export_buckets()
+            ]
+            assert buckets == exported
+
+    def test_save_load_round_trip(self, quiet_cluster, tmp_path):
+        path = tmp_path / "cluster.json"
+        written = save_snapshot(path, quiet_cluster)
+        assert load_snapshot(path) == written
+
+    def test_restore_then_resnapshot_is_identical(self, quiet_cluster):
+        """Restoring and re-snapshotting reproduces the snapshot bit-for-bit."""
+        snapshot = snapshot_cluster(quiet_cluster)
+        restored, run, recorder = restore_cluster(snapshot)
+        assert run is None and recorder is None
+        assert snapshot_cluster(restored) == snapshot
+        assert restored.overlay.clock.now == quiet_cluster.overlay.clock.now
+        assert len(restored.queue) == len(quiet_cluster.queue)
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "not-a-snapshot.json"
+        path.write_text('{"format": "something-else"}', encoding="utf-8")
+        with pytest.raises(SnapshotError, match="not a dharma-cluster-snapshot"):
+            load_snapshot(path)
+
+    def test_load_rejects_future_versions(self, quiet_cluster, tmp_path):
+        path = tmp_path / "future.json"
+        snapshot = save_snapshot(path, quiet_cluster)
+        snapshot["version"] = SNAPSHOT_VERSION + 1
+        import json
+
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+        with pytest.raises(SnapshotError, match="unsupported snapshot version"):
+            load_snapshot(path)
+
+
+class TestSnapshotGuards:
+    def test_unlabelled_pending_event_is_rejected(self):
+        cluster = SimulatedCluster(
+            ClusterConfig(num_nodes=8, clients=1, bootstrap="fast", seed=4)
+        )
+        cluster.queue.schedule_in(1_000.0, lambda: None)
+        with pytest.raises(SnapshotError, match="without a label"):
+            snapshot_cluster(cluster)
+
+    def test_dynamic_churn_is_rejected(self):
+        config = churn_cluster_config(
+            num_nodes=12, maintenance=False, mean_session_s=60.0,
+            republish_interval_ms=5_000.0, refresh_interval_ms=20_000.0,
+            min_nodes=6, clients=1, seed=4,
+        )
+        cluster = SimulatedCluster(config)
+        cluster.start_churn()  # no trace horizon: follow-ups drawn at run time
+        with pytest.raises(SnapshotError, match="traced churn"):
+            snapshot_cluster(cluster)
+
+
+# --------------------------------------------------------------------------- #
+# deterministic resume
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def baseline_report():
+    """The uninterrupted run, no metrics attached."""
+    return run_survival_benchmark(
+        survival_config(), survival_workload(),
+        ops=30, duration_s=DURATION_S, sample_every_s=SAMPLE_EVERY_S,
+    )
+
+
+@pytest.fixture(scope="module")
+def checkpointed(tmp_path_factory):
+    """The same run, metrics on, checkpointed at 17s and halted."""
+    root = tmp_path_factory.mktemp("resume")
+    checkpoint = root / "checkpoint.json"
+    metrics_log = root / "metrics.jsonl"
+    stream = MetricsStream(path=str(metrics_log))
+    halted = run_survival_benchmark(
+        survival_config(), survival_workload(),
+        ops=30, duration_s=DURATION_S, sample_every_s=SAMPLE_EVERY_S,
+        metrics_stream=stream,
+        checkpoint_path=str(checkpoint), checkpoint_at_s=CHECKPOINT_AT_S,
+        halt_at_checkpoint=True,
+    )
+    stream.close()
+    assert halted is None, "halt_at_checkpoint must stop before the report"
+    return checkpoint, metrics_log
+
+
+@pytest.fixture(scope="module")
+def resumed_report(checkpointed):
+    checkpoint, metrics_log = checkpointed
+    stream = MetricsStream(path=str(metrics_log))  # append to the same log
+    try:
+        return resume_survival_benchmark(checkpoint, metrics_stream=stream)
+    finally:
+        stream.close()
+
+
+class TestDeterministicResume:
+    def test_summary_is_identical(self, baseline_report, resumed_report):
+        assert summary_without_wall_time(resumed_report) == summary_without_wall_time(
+            baseline_report
+        )
+
+    def test_availability_samples_are_identical(self, baseline_report, resumed_report):
+        assert resumed_report.samples == baseline_report.samples
+        assert resumed_report.samples, "the run never probed availability"
+
+    def test_resumed_run_survived_real_churn(self, resumed_report):
+        assert resumed_report.crashes + resumed_report.graceful_leaves > 0
+        assert resumed_report.blocks_written > 0
+        assert resumed_report.integrity_violations == 0
+
+    def test_checkpoint_passes_audit(self, checkpointed):
+        checkpoint, _ = checkpointed
+        findings, checked = audit_snapshot(load_snapshot(checkpoint))
+        assert [f for f in findings if f.severity == "error"] == []
+        assert checked["nodes"] > 0 and checked["block keys"] > 0
+
+    def test_metrics_log_is_contiguous_across_the_checkpoint(self, checkpointed,
+                                                            resumed_report):
+        _, metrics_log = checkpointed
+        samples = read_metrics_log(metrics_log)
+        assert [s["seq"] for s in samples] == list(range(len(samples)))
+        assert len(samples) >= 3
+        findings, _ = audit_metrics(samples)
+        assert findings == []

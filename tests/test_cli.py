@@ -36,6 +36,8 @@ class TestParser:
             ("cluster-bench", []),
             ("churn-bench", []),
             ("profile", []),
+            ("dashboard", []),
+            ("audit", []),
         ]:
             args = parser.parse_args([command, *extra])
             assert args.command == command
@@ -180,3 +182,131 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "survival (maintenance on)" in out
         assert "what maintenance buys" not in out
+
+
+class TestObservabilityCommands:
+    def test_checkpoint_halt_resume_audit_dashboard_cycle(self, tmp_path, capsys):
+        """The full observability loop: halt at a checkpoint, resume, audit."""
+        checkpoint = tmp_path / "checkpoint.json"
+        metrics = tmp_path / "metrics.jsonl"
+        prom = tmp_path / "metrics.prom"
+        base = [
+            "churn-bench",
+            "--preset", "tiny",
+            "--nodes", "16",
+            "--ops", "12",
+            "--duration", "20",
+            "--mean-session", "30",
+            "--republish-interval", "3",
+            "--refresh-interval", "12",
+            "--sample-every", "5",
+            "--maintenance", "on",
+        ]
+        assert main(
+            base + [
+                "--metrics-out", str(metrics),
+                "--prom-out", str(prom),
+                "--checkpoint-out", str(checkpoint),
+                "--checkpoint-at", "9",
+                "--halt-at-checkpoint",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "halted at checkpoint" in out
+        assert "--resume-from" in out
+        assert checkpoint.exists() and metrics.exists() and prom.exists()
+
+        assert main(
+            ["churn-bench", "--resume-from", str(checkpoint), "--metrics-out", str(metrics)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert "final_availability" in out
+
+        assert main(["audit", "--snapshot", str(checkpoint), "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "result: OK" in out
+        assert "samples" in out
+
+        assert main(["dashboard", "--metrics", str(metrics), "--json"]) == 0
+        import json as json_module
+
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["metrics"]["samples"] >= 2
+        assert payload["metrics"]["live_nodes"]["last"] > 0
+
+    def test_dashboard_renders_bench_trajectories(self, tmp_path, capsys):
+        import json as json_module
+
+        core = tmp_path / "BENCH_core.json"
+        churn = tmp_path / "BENCH_churn.json"
+        core.write_text(json_module.dumps({
+            "preset": "small", "legacy_s": 1.2, "frozen_s": 0.3,
+            "speedup": 4.0, "speedup_target": 3.0, "table1_ok": True,
+        }))
+        churn.write_text(json_module.dumps({
+            "nodes": 24, "duration_s": 60.0, "availability_floor": 0.99,
+            "maintenance_on": {
+                "final_availability": 1.0, "lost_blocks": 0, "blocks_written": 40,
+                "integrity_violations": 0, "entries_checked": 30,
+                "samples": [[10.0, 1.0], [20.0, 1.0]], "joins": 3,
+                "graceful_leaves": 1, "crashes": 2, "live_nodes_end": 24,
+                "messages_total": 1000,
+            },
+            "maintenance_off": None,
+            "deltas": {"availability_delta": 0.1},
+        }))
+        assert main(
+            ["dashboard", "--core", str(core), "--churn", str(churn)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "core speed" in out
+        assert "speedup gate" in out and "PASS" in out
+        assert "churn survival" in out
+        assert "floor 0.99: PASS" in out
+        assert "on-vs-off deltas" in out
+
+    def test_dashboard_with_nothing_to_show(self, tmp_path, capsys):
+        assert main(
+            [
+                "dashboard",
+                "--core", str(tmp_path / "missing_core.json"),
+                "--churn", str(tmp_path / "missing_churn.json"),
+            ]
+        ) == 0
+        assert "nothing to show" in capsys.readouterr().out
+
+    def test_audit_requires_an_input(self, capsys):
+        assert main(["audit"]) == 2
+        assert "nothing to audit" in capsys.readouterr().err
+
+    def test_audit_fails_on_violations(self, tmp_path, capsys):
+        import json as json_module
+
+        log = tmp_path / "broken.jsonl"
+        samples = [
+            {"seq": 0, "t_ms": 1000.0, "counters": {"net.messages_sent": 10},
+             "gauges": {}, "deltas": {"net.messages_sent": 10}},
+            {"seq": 2, "t_ms": 500.0, "counters": {"net.messages_sent": 4},
+             "gauges": {"cache.hit_rate": 1.5}, "deltas": {"net.messages_sent": -6}},
+        ]
+        log.write_text("\n".join(json_module.dumps(s) for s in samples) + "\n")
+        assert main(["audit", "--metrics", str(log)]) == 1
+        out = capsys.readouterr().out
+        assert "result: FAILED" in out
+        assert "broken-sequence" in out
+        assert "time-regression" in out
+        assert "counter-rollback" in out
+        assert "gauge-out-of-range" in out
+
+    def test_audit_json_mode(self, tmp_path, capsys):
+        import json as json_module
+
+        log = tmp_path / "clean.jsonl"
+        log.write_text(json_module.dumps(
+            {"seq": 0, "t_ms": 0.0, "counters": {}, "gauges": {}, "deltas": {}}
+        ) + "\n")
+        assert main(["audit", "--metrics", str(log), "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["errors"] == []

@@ -1,0 +1,248 @@
+"""Wall-clock RPC latency over the real UDP transport -- ``BENCH_wire.json``.
+
+Every other benchmark in this harness measures the *virtual-time* cost model
+of :class:`~repro.simulation.network.SimulatedNetwork` (per-hop latency drawn
+from ``NetworkConfig``, charged to a virtual clock).  This one puts the same
+RPCs on real sockets: a small overlay of :class:`~repro.net.server.ServeNode`
+endpoints -- each its own asyncio UDP transport on 127.0.0.1 -- serves
+
+* direct single RPCs (PING / FIND_NODE / FIND_VALUE / STORE), timed around
+  one :meth:`~repro.net.udp.UdpTransport.send`, and
+* full iterative operations (store / append / retrieve), timed around the
+  Kademlia lookup + replication they perform,
+
+and the script records wall-clock p50/p90/p99 per operation.  The same
+operation mix then runs on a :class:`SimulatedNetwork` overlay and the
+virtual-clock deltas land in the same JSON, so ``BENCH_wire.json`` holds the
+measured wire latencies *alongside* the cost model the rest of the suite is
+built on -- the calibration point between the two.
+
+``dharma dashboard`` renders the percentiles; ``dharma audit --wire`` sanity
+checks the file.  ``BENCH_SMOKE=1`` reduces the sample counts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_SMOKE, print_banner, smoke_scaled
+from repro.core.blocks import BlockType
+from repro.dht.bootstrap import build_overlay
+from repro.dht.messages import (
+    FindNodeRequest,
+    FindValueRequest,
+    PingRequest,
+    StoreRequest,
+)
+from repro.dht.node import NodeConfig
+from repro.dht.node_id import NodeID
+from repro.net.server import ServeNode
+from repro.net.udp import UdpTransportConfig
+
+NUM_NODES = 5
+RPC_SAMPLES = smoke_scaled(400, 60)
+OP_SAMPLES = smoke_scaled(80, 15)
+
+OUTPUT_PATH = Path("BENCH_wire.json")
+
+NODE_CONFIG = NodeConfig(k=8, alpha=2, replicate=2, verify_credentials=False)
+TRANSPORT_CONFIG = UdpTransportConfig(timeout_ms=2_000.0, retries=1)
+
+
+def percentiles(samples_ms: list[float]) -> dict:
+    """Summary statistics of one operation's latency samples (milliseconds)."""
+    ordered = sorted(samples_ms)
+    n = len(ordered)
+
+    def pct(p: float) -> float:
+        return ordered[min(n - 1, int(p * n))]
+
+    return {
+        "samples": n,
+        "p50_ms": pct(0.50),
+        "p90_ms": pct(0.90),
+        "p99_ms": pct(0.99),
+        "min_ms": ordered[0],
+        "max_ms": ordered[-1],
+        "mean_ms": sum(ordered) / n,
+    }
+
+
+def timed(fn) -> float:
+    """Run *fn* and return its wall-clock duration in milliseconds."""
+    start = time.perf_counter()
+    fn()
+    return (time.perf_counter() - start) * 1_000.0
+
+
+def _measure_udp() -> dict[str, list[float]]:
+    """Spin up a UDP overlay and collect per-operation wall-clock samples."""
+    servers: list[ServeNode] = []
+    latencies: dict[str, list[float]] = {}
+
+    def record(op: str, duration_ms: float) -> None:
+        latencies.setdefault(op, []).append(duration_ms)
+
+    try:
+        first = ServeNode(node_config=NODE_CONFIG, transport_config=TRANSPORT_CONFIG)
+        servers.append(first)
+        first.bootstrap(None)
+        for _ in range(NUM_NODES - 1):
+            peer = ServeNode(node_config=NODE_CONFIG, transport_config=TRANSPORT_CONFIG)
+            servers.append(peer)
+            peer.bootstrap(first.address)
+
+        client = servers[0]
+        transport = client.transport
+        me, my_id = client.address, client.node_id
+        targets = [s.address for s in servers[1:]]
+
+        # Keys used by the iterative-operation phase (stored up front so the
+        # FIND_VALUE phase has hits to fetch).
+        keys = [NodeID.hash_of(f"wire-{i}") for i in range(OP_SAMPLES)]
+        for i, key in enumerate(keys):
+            record(
+                "store",
+                timed(lambda k=key, j=i: client.node.store(
+                    k, {"owner": "w", "type": "1", "entries": {"n": j + 1}}
+                )),
+            )
+        for key in keys:
+            record(
+                "append",
+                timed(lambda k=key: client.node.append(
+                    k, "w", BlockType.RESOURCE_TAGS, {"m": 1}
+                )),
+            )
+        for key in keys:
+            record("retrieve", timed(lambda k=key: client.node.retrieve(k)))
+
+        # Direct single RPCs, round-robin over the other endpoints.
+        for i in range(RPC_SAMPLES):
+            destination = targets[i % len(targets)]
+            record(
+                "rpc_ping",
+                timed(lambda d=destination: transport.send(
+                    me, d, PingRequest(sender_id=my_id, sender_address=me)
+                )),
+            )
+            record(
+                "rpc_find_node",
+                timed(lambda d=destination, j=i: transport.send(
+                    me, d,
+                    FindNodeRequest(
+                        sender_id=my_id, sender_address=me,
+                        target=NodeID.hash_of(f"t-{j}"), count=8,
+                    ),
+                )),
+            )
+            record(
+                "rpc_find_value",
+                timed(lambda d=destination, j=i: transport.send(
+                    me, d,
+                    FindValueRequest(
+                        sender_id=my_id, sender_address=me,
+                        key=keys[j % len(keys)], count=8,
+                    ),
+                )),
+            )
+            record(
+                "rpc_store",
+                timed(lambda d=destination, j=i: transport.send(
+                    me, d,
+                    StoreRequest(
+                        sender_id=my_id, sender_address=me,
+                        key=NodeID.hash_of(f"direct-{j}"),
+                        value={"owner": "w", "type": "1", "entries": {"n": 1}},
+                    ),
+                )),
+            )
+    finally:
+        for server in servers:
+            server.close()
+    return latencies
+
+
+def _measure_simulated() -> dict[str, dict]:
+    """The same iterative operations on the virtual-time cost model."""
+    overlay = build_overlay(NUM_NODES, node_config=NODE_CONFIG, seed=0)
+    node = overlay.nodes[0]
+    clock = overlay.network.clock
+    costs: dict[str, list[float]] = {}
+
+    def record(op: str, fn) -> None:
+        before = clock.now
+        fn()
+        costs.setdefault(op, []).append(clock.now - before)
+
+    keys = [NodeID.hash_of(f"wire-{i}") for i in range(OP_SAMPLES)]
+    for i, key in enumerate(keys):
+        record("store", lambda k=key, j=i: node.store(
+            k, {"owner": "w", "type": "1", "entries": {"n": j + 1}}
+        ))
+    for key in keys:
+        record("append", lambda k=key: node.append(
+            k, "w", BlockType.RESOURCE_TAGS, {"m": 1}
+        ))
+    for key in keys:
+        record("retrieve", lambda k=key: node.retrieve(k))
+    return {op: percentiles(samples) for op, samples in costs.items()}
+
+
+def render_wire_table(summary: dict[str, dict]) -> str:
+    lines = [
+        f"{'operation':<16} {'samples':>8} {'p50 ms':>10} {'p90 ms':>10} "
+        f"{'p99 ms':>10} {'mean ms':>10}"
+    ]
+    for op in sorted(summary):
+        s = summary[op]
+        lines.append(
+            f"{op:<16} {s['samples']:>8} {s['p50_ms']:>10.3f} {s['p90_ms']:>10.3f} "
+            f"{s['p99_ms']:>10.3f} {s['mean_ms']:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+class TestWireLatency:
+    def test_wall_clock_percentiles_over_udp(self, benchmark):
+        latencies = benchmark.pedantic(_measure_udp, rounds=1, iterations=1)
+        wall_clock = {op: percentiles(samples) for op, samples in latencies.items()}
+        virtual = _measure_simulated()
+
+        print_banner(
+            f"wire latency: {NUM_NODES}-node UDP overlay on 127.0.0.1, "
+            f"{RPC_SAMPLES} direct RPCs + {OP_SAMPLES} iterative ops per type"
+        )
+        print("wall clock (real UDP sockets):")
+        print(render_wire_table(wall_clock))
+        print("\nvirtual time (SimulatedNetwork cost model, same iterative ops):")
+        print(render_wire_table(virtual))
+
+        point = {
+            "bench": "wire_latency",
+            "smoke": BENCH_SMOKE,
+            "timestamp": time.time(),
+            "nodes": NUM_NODES,
+            "rpc_samples": RPC_SAMPLES,
+            "op_samples": OP_SAMPLES,
+            "transport": {
+                "timeout_ms": TRANSPORT_CONFIG.timeout_ms,
+                "retries": TRANSPORT_CONFIG.retries,
+                "max_datagram": TRANSPORT_CONFIG.max_datagram,
+            },
+            "wall_clock": wall_clock,
+            "virtual_time": virtual,
+        }
+        OUTPUT_PATH.write_text(json.dumps(point, indent=2, sort_keys=True) + "\n")
+        print(f"\ntrajectory point written to {OUTPUT_PATH.resolve()}")
+
+        # Sanity gates, not perf gates: every operation produced a full
+        # sample set and loopback RPCs are not absurdly slow.
+        for op in ("rpc_ping", "rpc_find_node", "rpc_find_value", "rpc_store"):
+            assert wall_clock[op]["samples"] == RPC_SAMPLES
+            assert wall_clock[op]["p50_ms"] < TRANSPORT_CONFIG.timeout_ms
+        for op in ("store", "append", "retrieve"):
+            assert wall_clock[op]["samples"] == OP_SAMPLES
+            assert virtual[op]["samples"] == OP_SAMPLES

@@ -32,6 +32,16 @@ Metrics-log checks
   against the previous sample;
 * gauges with a known range (availability, cache hit rate) must stay in
   ``[0, 1]``.
+
+Wire-benchmark checks
+---------------------
+
+``BENCH_wire.json`` (written by ``benchmarks/bench_wire_latency.py``) is
+sanity-checked rather than perf-gated: every recorded operation must carry a
+full, internally consistent percentile summary (sample counts match the
+declared counts, ``min <= p50 <= p90 <= p99 <= max``, nothing negative), and
+the wall-clock side must cover the direct-RPC and iterative operation sets
+the benchmark promises.
 """
 
 from __future__ import annotations
@@ -49,11 +59,16 @@ __all__ = [
     "AuditReport",
     "audit_snapshot",
     "audit_metrics",
+    "audit_wire",
     "run_audit",
 ]
 
 #: Gauges whose value must stay within ``[0, 1]``.
 _UNIT_GAUGES = ("cache.hit_rate", "survival.availability")
+
+#: Operations ``bench_wire_latency.py`` promises on the wall-clock side.
+_WIRE_RPC_OPS = ("rpc_ping", "rpc_find_node", "rpc_find_value", "rpc_store")
+_WIRE_ITERATIVE_OPS = ("store", "append", "retrieve")
 
 
 @dataclass(frozen=True, slots=True)
@@ -309,6 +324,92 @@ def audit_metrics(samples: list[dict[str, Any]]) -> tuple[list[AuditFinding], di
 
 
 # --------------------------------------------------------------------------- #
+# wire-benchmark audit
+# --------------------------------------------------------------------------- #
+
+
+def _check_wire_summary(
+    op: str, stats: Any, expected_samples: int | None, findings: list[AuditFinding]
+) -> int:
+    """Validate one operation's percentile record; returns readings checked."""
+    if not isinstance(stats, dict):
+        findings.append(
+            AuditFinding("error", "wire-bad-record", f"operation {op!r} is not a summary dict")
+        )
+        return 0
+    fields = ("min_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms")
+    values = []
+    for name in fields:
+        value = stats.get(name)
+        if not isinstance(value, (int, float)):
+            findings.append(
+                AuditFinding(
+                    "error", "wire-bad-record", f"operation {op!r} is missing {name}"
+                )
+            )
+            return 0
+        values.append(float(value))
+    if values[0] < 0:
+        findings.append(
+            AuditFinding(
+                "error", "wire-negative-latency",
+                f"operation {op!r} records min {values[0]} ms < 0",
+            )
+        )
+    if values != sorted(values):
+        findings.append(
+            AuditFinding(
+                "error", "wire-unordered-percentiles",
+                f"operation {op!r} violates min <= p50 <= p90 <= p99 <= max: {values}",
+            )
+        )
+    samples = stats.get("samples")
+    if expected_samples is not None and samples != expected_samples:
+        findings.append(
+            AuditFinding(
+                "warning", "wire-sample-count",
+                f"operation {op!r} has {samples} samples, expected {expected_samples}",
+            )
+        )
+    return len(fields)
+
+
+def audit_wire(point: dict[str, Any]) -> tuple[list[AuditFinding], dict[str, int]]:
+    """Sanity-check one ``BENCH_wire.json`` trajectory point."""
+    findings: list[AuditFinding] = []
+    readings = 0
+    wall_clock = point.get("wall_clock")
+    if not isinstance(wall_clock, dict) or not wall_clock:
+        findings.append(
+            AuditFinding("error", "wire-missing-side", "no wall_clock section in the record")
+        )
+        wall_clock = {}
+    virtual = point.get("virtual_time")
+    if not isinstance(virtual, dict):
+        virtual = {}
+    rpc_samples = point.get("rpc_samples")
+    op_samples = point.get("op_samples")
+    for op in _WIRE_RPC_OPS + _WIRE_ITERATIVE_OPS:
+        if op not in wall_clock:
+            findings.append(
+                AuditFinding(
+                    "error", "wire-missing-op",
+                    f"wall_clock has no record for operation {op!r}",
+                )
+            )
+    for op, stats in wall_clock.items():
+        expected = rpc_samples if op.startswith("rpc_") else op_samples
+        readings += _check_wire_summary(op, stats, expected, findings)
+    for op, stats in virtual.items():
+        readings += _check_wire_summary(f"virtual:{op}", stats, op_samples, findings)
+    checked = {
+        "wire operations": len(wall_clock) + len(virtual),
+        "wire readings": readings,
+    }
+    return findings, checked
+
+
+# --------------------------------------------------------------------------- #
 # entry point
 # --------------------------------------------------------------------------- #
 
@@ -316,8 +417,9 @@ def audit_metrics(samples: list[dict[str, Any]]) -> tuple[list[AuditFinding], di
 def run_audit(
     snapshot_path: str | Path | None = None,
     metrics_path: str | Path | None = None,
+    wire_path: str | Path | None = None,
 ) -> AuditReport:
-    """Audit a snapshot file and/or a metrics log; either may be omitted."""
+    """Audit a snapshot, a metrics log and/or a wire benchmark; any may be omitted."""
     report = AuditReport()
     if snapshot_path is not None:
         from repro.simulation.snapshot import load_snapshot
@@ -332,6 +434,15 @@ def run_audit(
         findings, checked = audit_metrics(read_metrics_log(metrics_path))
         report.findings.extend(findings)
         report.checked.update(checked)
-    if snapshot_path is None and metrics_path is None:
-        raise ValueError("nothing to audit: pass a snapshot and/or a metrics log")
+    if wire_path is not None:
+        import json
+
+        point = json.loads(Path(wire_path).read_text(encoding="utf-8"))
+        findings, checked = audit_wire(point)
+        report.findings.extend(findings)
+        report.checked.update(checked)
+    if snapshot_path is None and metrics_path is None and wire_path is None:
+        raise ValueError(
+            "nothing to audit: pass a snapshot, a metrics log and/or a wire benchmark"
+        )
     return report

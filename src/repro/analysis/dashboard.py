@@ -4,10 +4,13 @@
 reproduction: the latest ``BENCH_core.json`` trajectory point (frozen-core
 speedup against its gate), the latest ``BENCH_churn.json`` point
 (availability timelines for the maintenance-on and -off runs, loss and
-integrity counts, the on/off deltas), and -- when a metrics log from a live
-run is supplied -- per-interval statistics derived from the JSON-lines
-stream of :mod:`repro.metrics`: message/byte cost percentiles, cache hit
-rate, live-node and availability trajectories, maintenance progress.
+integrity counts, the on/off deltas), the latest ``BENCH_wire.json`` point
+(wall-clock RPC percentiles measured over the real UDP transport, next to
+the virtual-time cost model for the same operations), and -- when a metrics
+log from a live run is supplied -- per-interval statistics derived from the
+JSON-lines stream of :mod:`repro.metrics`: message/byte cost percentiles,
+cache hit rate, live-node and availability trajectories, maintenance
+progress.
 
 Everything here is pure data shaping over already-written files; rendering
 never touches the simulator, so the dashboard can be pointed at artifacts
@@ -162,13 +165,36 @@ def _metrics_summary(samples: list[dict[str, Any]]) -> dict[str, Any] | None:
     return out
 
 
+def _wire_section(wire: dict[str, Any]) -> dict[str, Any]:
+    def side(summaries: dict[str, Any] | None) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for op, stats in sorted((summaries or {}).items()):
+            out[op] = {
+                "samples": stats.get("samples"),
+                "p50_ms": stats.get("p50_ms"),
+                "p90_ms": stats.get("p90_ms"),
+                "p99_ms": stats.get("p99_ms"),
+            }
+        return out
+
+    return {
+        "nodes": wire.get("nodes"),
+        "smoke": wire.get("smoke"),
+        "rpc_samples": wire.get("rpc_samples"),
+        "op_samples": wire.get("op_samples"),
+        "wall_clock": side(wire.get("wall_clock")),
+        "virtual_time": side(wire.get("virtual_time")),
+    }
+
+
 def dashboard_data(
     core: dict[str, Any] | None,
     churn: dict[str, Any] | None,
     metrics_samples: list[dict[str, Any]] | None,
+    wire: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Shape the three sources into one JSON-serialisable dashboard dict."""
-    data: dict[str, Any] = {"core": None, "churn": None, "metrics": None}
+    """Shape the four sources into one JSON-serialisable dashboard dict."""
+    data: dict[str, Any] = {"core": None, "churn": None, "metrics": None, "wire": None}
     if core is not None:
         data["core"] = {
             "preset": core.get("preset"),
@@ -191,6 +217,8 @@ def dashboard_data(
         }
     if metrics_samples:
         data["metrics"] = _metrics_summary(metrics_samples)
+    if wire is not None:
+        data["wire"] = _wire_section(wire)
     return data
 
 
@@ -277,6 +305,39 @@ def _render_metrics(metrics: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _render_wire_side(label: str, side: dict[str, Any]) -> list[str]:
+    lines = [f"  {label}:"]
+    for op, stats in side.items():
+        p50 = stats.get("p50_ms")
+        p90 = stats.get("p90_ms")
+        p99 = stats.get("p99_ms")
+        if p50 is None or p90 is None or p99 is None:
+            lines.append(f"    {op:<16} (incomplete record)")
+            continue
+        lines.append(
+            f"    {op:<16} p50 {p50:>9.3f} ms   p90 {p90:>9.3f} ms   "
+            f"p99 {p99:>9.3f} ms   ({stats.get('samples', '?')} samples)"
+        )
+    if len(lines) == 1:
+        lines.append("    (no operations recorded)")
+    return lines
+
+
+def _render_wire(wire: dict[str, Any]) -> str:
+    lines = [
+        f"wire latency (BENCH_wire.json) -- {wire.get('nodes', '?')}-node UDP overlay, "
+        f"{wire.get('rpc_samples', '?')} direct RPCs / "
+        f"{wire.get('op_samples', '?')} iterative ops per type"
+        + ("  [smoke]" if wire.get("smoke") else "")
+    ]
+    lines.extend(_render_wire_side("wall clock (real sockets)", wire["wall_clock"]))
+    if wire.get("virtual_time"):
+        lines.extend(
+            _render_wire_side("virtual time (SimulatedNetwork model)", wire["virtual_time"])
+        )
+    return "\n".join(lines)
+
+
 def render_dashboard(data: dict[str, Any]) -> str:
     """Render :func:`dashboard_data` output for the terminal."""
     sections: list[str] = []
@@ -284,6 +345,8 @@ def render_dashboard(data: dict[str, Any]) -> str:
         sections.append(_render_core(data["core"]))
     if data.get("churn") is not None:
         sections.append(_render_churn(data["churn"]))
+    if data.get("wire") is not None:
+        sections.append(_render_wire(data["wire"]))
     if data.get("metrics") is not None:
         sections.append(_render_metrics(data["metrics"]))
     if not sections:

@@ -187,6 +187,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="core-speed trajectory file (skipped when missing)")
     dash.add_argument("--churn", default="BENCH_churn.json",
                       help="churn-survival trajectory file (skipped when missing)")
+    dash.add_argument("--wire", default="BENCH_wire.json",
+                      help="wall-clock wire-latency file from bench_wire_latency "
+                           "(skipped when missing)")
     dash.add_argument("--metrics", default=None,
                       help="JSON-lines metrics log from a live run")
     dash.add_argument("--json", dest="json_output", action="store_true",
@@ -200,8 +203,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cluster snapshot written by churn-bench --checkpoint-out")
     audit.add_argument("--metrics", default=None,
                        help="JSON-lines metrics log to check for rollbacks/gaps")
+    audit.add_argument("--wire", default=None,
+                       help="BENCH_wire.json to sanity-check (percentile ordering, "
+                           "op coverage, success rates)")
     audit.add_argument("--json", dest="json_output", action="store_true",
                        help="print the findings as JSON instead of rendering")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run one DHARMA node on a real UDP socket (asyncio transport)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="UDP port to bind (0 = OS-assigned, printed at startup)")
+    serve.add_argument("--join", default=None, metavar="HOST:PORT",
+                       help="bootstrap through the node at HOST:PORT "
+                            "(omit to found a new overlay)")
+    serve.add_argument("--node-name", default=None,
+                       help="derive the node id from SHA-1 of this name "
+                            "(default: derived from the bound endpoint)")
+    serve.add_argument("--k", type=int, default=20, help="bucket size / replication parameter")
+    serve.add_argument("--alpha", type=int, default=3, help="lookup concurrency")
+    serve.add_argument("--replicate", type=int, default=3,
+                       help="number of closest nodes a value is written to")
+    serve.add_argument("--timeout-ms", type=float, default=2000.0,
+                       help="first-attempt RPC timeout in milliseconds")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="retransmissions per RPC after the first attempt")
+    serve.add_argument("--max-datagram", type=int, default=8192,
+                       help="refuse frames larger than this many bytes")
+    serve.add_argument("--refresh-seconds", type=float, default=60.0,
+                       help="bucket-refresh period (0 disables)")
+    serve.add_argument("--run-seconds", type=float, default=None,
+                       help="exit after this many seconds (default: run until Ctrl-C)")
+    serve.add_argument("--stats-out", default=None,
+                       help="write a final ServeNodeStats JSON snapshot to this file on exit")
 
     return parser
 
@@ -594,6 +631,7 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
         core=load_benchmark(args.core),
         churn=load_benchmark(args.churn),
         metrics_samples=metrics_samples,
+        wire=load_benchmark(args.wire),
     )
     if args.json_output:
         print(json.dumps(data, indent=2, sort_keys=True))
@@ -605,15 +643,94 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
 def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.analysis.audit import run_audit
 
-    if args.snapshot is None and args.metrics is None:
-        print("nothing to audit: pass --snapshot and/or --metrics", file=sys.stderr)
+    if args.snapshot is None and args.metrics is None and args.wire is None:
+        print("nothing to audit: pass --snapshot, --metrics and/or --wire", file=sys.stderr)
         return 2
-    report = run_audit(snapshot_path=args.snapshot, metrics_path=args.metrics)
+    report = run_audit(
+        snapshot_path=args.snapshot, metrics_path=args.metrics, wire_path=args.wire
+    )
     if args.json_output:
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
     else:
         print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+    import random as random_module
+
+    from repro.dht.node import NodeConfig
+    from repro.dht.node_id import NodeID
+    from repro.net.base import TransportError
+    from repro.net.server import ServeNode
+    from repro.net.udp import UdpTransportConfig
+
+    node_id = NodeID.hash_of(args.node_name) if args.node_name else None
+    node = ServeNode(
+        host=args.host,
+        port=args.port,
+        node_id=node_id,
+        node_config=NodeConfig(
+            k=args.k, alpha=args.alpha, replicate=args.replicate, verify_credentials=False
+        ),
+        transport_config=UdpTransportConfig(
+            timeout_ms=args.timeout_ms,
+            retries=args.retries,
+            max_datagram=args.max_datagram,
+        ),
+    )
+    try:
+        # The "listening" line is the machine-readable handshake: the smoke
+        # test (and any operator script) parses the udp:// endpoint from it,
+        # so it must be first and flushed before bootstrap begins.
+        print(
+            f"dharma node {node.node_id.hex()} listening on udp://{node.address}",
+            flush=True,
+        )
+        try:
+            contact = node.bootstrap(args.join)
+        except TransportError as exc:
+            print(f"bootstrap failed: {exc}", file=sys.stderr, flush=True)
+            return 1
+        if contact is None:
+            print("founded a new overlay (no --join given)", flush=True)
+        else:
+            print(
+                f"joined overlay via {contact.address} "
+                f"(peer {contact.node_id.hex()[:12]}…)",
+                flush=True,
+            )
+        rng = random_module.Random(0)
+        deadline = None if args.run_seconds is None else time.monotonic() + args.run_seconds
+        next_refresh = (
+            None
+            if args.refresh_seconds <= 0
+            else time.monotonic() + args.refresh_seconds
+        )
+        try:
+            while deadline is None or time.monotonic() < deadline:
+                time.sleep(0.2)
+                if next_refresh is not None and time.monotonic() >= next_refresh:
+                    try:
+                        node.refresh(rng)
+                    except TransportError:
+                        pass
+                    next_refresh = time.monotonic() + args.refresh_seconds
+        except KeyboardInterrupt:
+            print("interrupted, leaving the overlay", flush=True)
+        stats = node.stats()
+        print(
+            f"served {sum(stats.rpcs_served.values())} RPCs "
+            f"({stats.routing_contacts} contacts, {stats.stored_items} stored items)",
+            flush=True,
+        )
+        if args.stats_out is not None:
+            with open(args.stats_out, "w", encoding="utf-8") as handle:
+                json.dump(dataclasses.asdict(stats), handle, indent=2, sort_keys=True)
+        return 0
+    finally:
+        node.close()
 
 
 _COMMANDS = {
@@ -627,6 +744,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "dashboard": _cmd_dashboard,
     "audit": _cmd_audit,
+    "serve": _cmd_serve,
 }
 
 

@@ -138,7 +138,7 @@ class BatchedLookupEngine:
     # ------------------------------------------------------------------ #
 
     def _now(self) -> float:
-        return self.node.network.clock.now
+        return self.node.transport.clock.now
 
     def _cached_route(self, key: NodeID) -> tuple[Contact, ...] | None:
         entry = self._routes.get(key)

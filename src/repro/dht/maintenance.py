@@ -192,7 +192,7 @@ class NodeMaintenance:
     # -- ticks -------------------------------------------------------------- #
 
     def _alive(self) -> bool:
-        if self.node.network.is_registered(self.node.address):
+        if self.node.transport.is_registered(self.node.address):
             return True
         # The node silently died without going through the overlay: stop the
         # loops instead of republishing from beyond the grave.

@@ -39,7 +39,9 @@ from repro.dht.messages import (
 from repro.dht.node_id import NodeID
 from repro.dht.routing_table import Contact, RoutingTable
 from repro.dht.storage import LocalStorage
-from repro.simulation.network import MessageDropped, NodeUnreachable, SimulatedNetwork
+from repro.net.base import Transport, TransportError
+from repro.net.simulated import as_transport
+from repro.simulation.network import SimulatedNetwork
 
 __all__ = ["NodeConfig", "KademliaNode", "reserve_addresses"]
 
@@ -105,15 +107,21 @@ class KademliaNode:
     def __init__(
         self,
         node_id: NodeID,
-        network: SimulatedNetwork,
+        network: SimulatedNetwork | Transport,
         config: NodeConfig | None = None,
         address: str | None = None,
         certification: CertificationService | None = None,
     ) -> None:
         self.node_id = node_id
         self.config = config or NodeConfig()
-        self.network = network
-        self.address = address or f"node-{_ADDRESSES.take():06d}"
+        #: The transport seam the node speaks through.  A raw
+        #: ``SimulatedNetwork`` is wrapped in its (shared) adapter, so
+        #: existing call sites keep constructing nodes unchanged; a
+        #: ``UdpTransport`` puts the same node on a real socket.
+        self.transport = as_transport(network)
+        self.address = (
+            address or self.transport.local_address() or f"node-{_ADDRESSES.take():06d}"
+        )
         self.routing_table = RoutingTable(node_id, k=self.config.k)
         self.storage = LocalStorage()
         self.certification = certification
@@ -126,7 +134,18 @@ class KademliaNode:
             "find_node": 0,
             "find_value": 0,
         }
-        network.register(self.address, self._dispatch)
+        self.transport.register(self.address, self._dispatch)
+
+    @property
+    def network(self):
+        """Back-compat view of the transport's inner network.
+
+        Returns the wrapped :class:`~repro.simulation.network.SimulatedNetwork`
+        when the node runs on the simulator (so harness code reading
+        ``node.network.stats`` / ``node.network.clock`` is untouched) and the
+        transport itself otherwise.
+        """
+        return self.transport.network
 
     # ------------------------------------------------------------------ #
     # identity / representation
@@ -174,7 +193,7 @@ class KademliaNode:
             if self.certification is None:
                 raise LikirAuthError("node has no certification service configured")
             value.verify(self.certification)
-        self.storage.put(request.key, value, now=self.network.clock.now)
+        self.storage.put(request.key, value, now=self.transport.clock.now)
         return StoreResponse(responder_id=self.node_id, stored=True)
 
     def _handle_append(self, request: AppendRequest) -> AppendResponse:
@@ -184,7 +203,7 @@ class KademliaNode:
             owner=request.owner,
             block_type=BlockType(request.block_type),
             increments=request.increments,
-            now=self.network.clock.now,
+            now=self.transport.clock.now,
             increments_if_new=request.increments_if_new,
         )
         return AppendResponse(responder_id=self.node_id, applied=True, block_size=size)
@@ -229,8 +248,8 @@ class KademliaNode:
     def _call(self, contact: Contact, request: RPCRequest) -> Any | None:
         """Issue one RPC; returns None (and evicts the contact) on failure."""
         try:
-            response = self.network.send(self.address, contact.address, request)
-        except (NodeUnreachable, MessageDropped):
+            response = self.transport.send(self.address, contact.address, request)
+        except TransportError:
             self.routing_table.evict(contact.node_id)
             return None
         self.routing_table.record_contact(contact)
@@ -342,7 +361,7 @@ class KademliaNode:
         stored = 0
         for contact in targets:
             if contact.node_id == self.node_id:
-                self.storage.put(key, value, now=self.network.clock.now)
+                self.storage.put(key, value, now=self.transport.clock.now)
                 stored += 1
                 continue
             response = self._call(contact, request)
@@ -374,7 +393,7 @@ class KademliaNode:
             # stash is deliberately NOT counted in accepted_replicas -- no
             # replica accepted anything, and callers (e.g. the maintenance
             # hand-off) must not mistake it for durable replication.
-            self.storage.put(key, value, now=self.network.clock.now)
+            self.storage.put(key, value, now=self.transport.clock.now)
         outcome.accepted_replicas = stored
         return outcome
 
@@ -409,7 +428,7 @@ class KademliaNode:
                     owner,
                     block_type,
                     increments,
-                    now=self.network.clock.now,
+                    now=self.transport.clock.now,
                     increments_if_new=increments_if_new,
                 )
                 applied += 1
@@ -452,7 +471,7 @@ class KademliaNode:
                 owner,
                 block_type,
                 increments,
-                now=self.network.clock.now,
+                now=self.transport.clock.now,
                 increments_if_new=increments_if_new,
             )
         outcome.accepted_replicas = applied
@@ -502,6 +521,6 @@ class KademliaNode:
         """Leave the overlay; optionally hand back stored items for
         republication by the caller."""
         items = self.storage.items_snapshot() if republish else {}
-        self.network.unregister(self.address)
+        self.transport.unregister(self.address)
         self.joined = False
         return items

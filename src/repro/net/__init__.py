@@ -1,0 +1,66 @@
+"""The pluggable transport layer.
+
+:mod:`repro.net` is the seam between the Kademlia node and the outside
+world.  :class:`~repro.net.base.Transport` defines the contract (register a
+handler, deliver a request, report failures as
+:class:`~repro.net.base.TransportError`); two implementations plug in:
+
+* :class:`~repro.net.simulated.SimulatedTransport` -- the default for every
+  experiment: a thin adapter over the in-process
+  :class:`~repro.simulation.network.SimulatedNetwork` preserving its
+  virtual-clock charging bit for bit;
+* :class:`~repro.net.udp.UdpTransport` -- a real asyncio UDP RPC layer
+  (request-id correlation, timeout/retry with backoff, max-datagram
+  enforcement) used by ``dharma serve`` to run one node per OS process.
+
+:mod:`repro.net.wire` defines the golden-byte-pinned binary frame format of
+every DHT RPC, built from the LEB128 vocabulary of
+:mod:`repro.core.codec`; :mod:`repro.net.server` wires a full DHARMA node
+onto a UDP socket.
+"""
+
+from repro.net.base import (
+    DatagramTooLarge,
+    RequestTimeout,
+    RpcTypeStats,
+    Transport,
+    TransportError,
+    TransportStats,
+    WallClock,
+    rpc_name,
+)
+
+__all__ = [
+    "DatagramTooLarge",
+    "RequestTimeout",
+    "RpcTypeStats",
+    "Transport",
+    "TransportError",
+    "TransportStats",
+    "WallClock",
+    "rpc_name",
+    "SimulatedTransport",
+    "as_transport",
+    "UdpTransport",
+    "UdpTransportConfig",
+]
+
+#: repro.simulation.network imports repro.net.base at its own top level, and
+#: importing *any* submodule first executes this package __init__ -- so the
+#: adapters (which import repro.simulation.network back) must load lazily or
+#: the two modules deadlock on each other's half-initialised bodies.
+_LAZY = {
+    "SimulatedTransport": "repro.net.simulated",
+    "as_transport": "repro.net.simulated",
+    "UdpTransport": "repro.net.udp",
+    "UdpTransportConfig": "repro.net.udp",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

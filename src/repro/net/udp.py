@@ -1,0 +1,353 @@
+"""Real asyncio UDP RPC transport.
+
+:class:`UdpTransport` puts one Kademlia node on one UDP socket.  The node
+layer is synchronous (the iterative lookup blocks on each RPC), so the
+transport runs its asyncio event loop on a daemon thread and bridges:
+
+* **outbound** -- :meth:`UdpTransport.send` encodes the request as one wire
+  frame (:mod:`repro.net.wire`), submits an async request coroutine with
+  ``run_coroutine_threadsafe`` and blocks on its future.  The coroutine
+  retransmits on timeout with exponential backoff (same request id each
+  attempt, so a late reply to an earlier attempt still correlates) and
+  raises :class:`~repro.net.base.RequestTimeout` when the budget is spent.
+* **inbound** -- request frames are dispatched to the registered handler on
+  the loop's thread-pool executor, never on the loop thread itself: a
+  handler may issue blocking RPCs of its own (ping-before-evict does) and
+  would otherwise deadlock the loop that must pump its replies.
+
+Retransmission makes every RPC at-least-once, but APPEND is not idempotent
+(each delivery increments counters).  The server therefore keeps a bounded
+**replay cache** of encoded responses keyed ``(client address, request
+id)``: a duplicate request is answered from the cache without re-executing
+the handler, and a duplicate that arrives while the original is still
+executing is simply dropped (the client will retry again).
+
+Handler exceptions travel back as fault frames and re-raise client-side
+with the matching local type (:func:`repro.net.wire.raise_fault`), mirroring
+the simulator where handler exceptions propagate to the caller.  Frames
+over ``max_datagram`` bytes are refused: outbound requests raise
+:class:`~repro.net.base.DatagramTooLarge` immediately; oversize responses
+are replaced by a fault frame carrying the same error, so the client fails
+fast instead of timing out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.codec import CodecError
+from repro.dht.messages import RPCRequest
+from repro.net.base import (
+    DatagramTooLarge,
+    RequestTimeout,
+    RPCHandler,
+    Transport,
+    TransportError,
+    TransportStats,
+    WallClock,
+    rpc_name,
+)
+from repro.net.wire import RemoteFault, decode_frame, encode_frame, fault_frame, raise_fault
+
+__all__ = ["UdpTransportConfig", "UdpTransport"]
+
+
+@dataclass(frozen=True, slots=True)
+class UdpTransportConfig:
+    """Tunables of the UDP RPC layer.
+
+    ``timeout_ms`` is the wait for the *first* attempt; each of the
+    ``retries`` retransmissions multiplies it by ``backoff``.  The default
+    budget is therefore 2s + 4s + 8s = 14s per RPC before
+    :class:`~repro.net.base.RequestTimeout`.  ``max_datagram`` bounds every
+    frame (the paper's UDP payload bound motivates the index-side top-n
+    filtering; here it is enforced, not just modelled).
+    """
+
+    timeout_ms: float = 2_000.0
+    retries: int = 2
+    backoff: float = 2.0
+    max_datagram: int = 8_192
+    replay_cache_size: int = 1_024
+
+    def __post_init__(self) -> None:
+        if self.timeout_ms <= 0:
+            raise ValueError("timeout_ms must be > 0")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+        if self.max_datagram < 512:
+            raise ValueError("max_datagram must be >= 512")
+        if self.replay_cache_size < 1:
+            raise ValueError("replay_cache_size must be >= 1")
+
+
+def _parse_address(address: str) -> tuple[str, int]:
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise TransportError(f"not a host:port address: {address!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise TransportError(f"bad port in address {address!r}") from None
+
+
+#: Replay-cache sentinel: the original execution has not finished yet.
+_IN_FLIGHT = object()
+
+
+class _Protocol(asyncio.DatagramProtocol):
+    """Datagram glue: every inbound packet goes to the transport."""
+
+    def __init__(self, owner: "UdpTransport") -> None:
+        self._owner = owner
+
+    def connection_made(self, transport) -> None:
+        self._owner._endpoint = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._owner._on_datagram(data, addr)
+
+    def error_received(self, exc) -> None:  # pragma: no cover - OS dependent
+        pass
+
+
+class UdpTransport(Transport):
+    """One node's UDP endpoint, event loop included."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: UdpTransportConfig | None = None,
+    ) -> None:
+        self.config = config or UdpTransportConfig()
+        self.clock = WallClock()
+        self.stats = TransportStats()
+        self._handler: RPCHandler | None = None
+        self._handler_address: str | None = None
+        self._endpoint = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._replay: OrderedDict[tuple[Any, int], Any] = OrderedDict()
+        self._next_id = 0
+        self._id_lock = threading.Lock()
+        self._closed = False
+
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="udp-transport", daemon=True
+        )
+        self._thread.start()
+        try:
+            asyncio.run_coroutine_threadsafe(self._open(host, port), self._loop).result(10)
+        except BaseException:
+            self._stop_loop()
+            raise
+        sock_host, sock_port = self._endpoint.get_extra_info("sockname")[:2]
+        self._address = f"{sock_host}:{sock_port}"
+
+    async def _open(self, host: str, port: int) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.create_datagram_endpoint(
+            lambda: _Protocol(self), local_addr=(host, port)
+        )
+
+    # -- Transport contract -------------------------------------------------- #
+
+    def local_address(self) -> str:
+        return self._address
+
+    def register(self, address: str, handler: RPCHandler) -> None:
+        if address != self._address:
+            raise ValueError(
+                f"a UDP transport hosts exactly its own endpoint "
+                f"({self._address!r}), cannot register {address!r}"
+            )
+        if self._handler is not None:
+            raise ValueError(f"address {address!r} already registered")
+        self._handler = handler
+        self._handler_address = address
+
+    def unregister(self, address: str) -> None:
+        if address == self._handler_address:
+            self._handler = None
+            self._handler_address = None
+
+    def is_registered(self, address: str) -> bool:
+        """Only the locally hosted address is knowable; remote liveness is
+        what :meth:`send` discovers."""
+        return address == self._handler_address and self._handler is not None
+
+    def send(self, sender: str, destination: str, request: Any) -> Any:
+        if self._closed:
+            raise TransportError("transport is closed")
+        per_type = self.stats.of(rpc_name(request))
+        per_type.sent += 1
+        try:
+            addr = _parse_address(destination)
+            request_id = self._take_id()
+            frame = encode_frame(request_id, request)
+            if len(frame) > self.config.max_datagram:
+                raise DatagramTooLarge(
+                    f"{rpc_name(request)} request is {len(frame)} bytes "
+                    f"(max {self.config.max_datagram})"
+                )
+            future = asyncio.run_coroutine_threadsafe(
+                self._request(addr, frame, request_id, per_type), self._loop
+            )
+            message, nbytes = future.result()
+        except TransportError:
+            per_type.failed += 1
+            raise
+        per_type.bytes_received += nbytes
+        if isinstance(message, RemoteFault):
+            # The peer answered: the RPC reached a live node and failed in
+            # its handler.  An application error (bad credential, bad key)
+            # re-raises its local type like the simulator propagating a
+            # handler exception and still counts as a delivered RPC; a
+            # transport-class fault (oversize response) counts failed.
+            try:
+                raise_fault(message)
+            except TransportError:
+                per_type.failed += 1
+                raise
+            except Exception:
+                per_type.succeeded += 1
+                raise
+        per_type.succeeded += 1
+        return message
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._handler = None
+        self._handler_address = None
+
+        def _shutdown() -> None:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(RequestTimeout("transport closed"))
+            self._pending.clear()
+            if self._endpoint is not None:
+                self._endpoint.close()
+            self._loop.stop()
+
+        self._loop.call_soon_threadsafe(_shutdown)
+        self._thread.join(timeout=5)
+        if not self._loop.is_running():  # pragma: no branch
+            self._loop.close()
+
+    def __enter__(self) -> "UdpTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"UdpTransport({self._address})"
+
+    # -- client side --------------------------------------------------------- #
+
+    def _take_id(self) -> int:
+        with self._id_lock:
+            self._next_id += 1
+            return self._next_id
+
+    async def _request(
+        self, addr: tuple[str, int], frame: bytes, request_id: int, per_type
+    ) -> tuple[Any, int]:
+        timeout = self.config.timeout_ms / 1_000.0
+        attempt = 0
+        try:
+            while True:
+                future: asyncio.Future = self._loop.create_future()
+                self._pending[request_id] = future
+                self._endpoint.sendto(frame, addr)
+                per_type.bytes_sent += len(frame)
+                try:
+                    return await asyncio.wait_for(future, timeout)
+                except asyncio.TimeoutError:
+                    attempt += 1
+                    if attempt > self.config.retries:
+                        raise RequestTimeout(
+                            f"no response from {addr[0]}:{addr[1]} after "
+                            f"{attempt} attempt(s)"
+                        ) from None
+                    per_type.retries += 1
+                    timeout *= self.config.backoff
+        finally:
+            self._pending.pop(request_id, None)
+
+    # -- inbound (loop thread) ----------------------------------------------- #
+
+    def _on_datagram(self, data: bytes, addr) -> None:
+        try:
+            request_id, message = decode_frame(data)
+        except CodecError:
+            self.stats.malformed_frames += 1
+            return
+        if isinstance(message, RPCRequest):
+            self._serve(request_id, message, addr)
+            return
+        future = self._pending.get(request_id)
+        if future is not None and not future.done():
+            future.set_result((message, len(data)))
+        # else: reply to an attempt that already timed out -- drop it.
+
+    def _serve(self, request_id: int, message: RPCRequest, addr) -> None:
+        handler = self._handler
+        if handler is None:
+            # Node left but the socket is still draining: answer with a
+            # fault so the caller fails fast instead of timing out.
+            self._endpoint.sendto(
+                fault_frame(request_id, RuntimeError("no node on this endpoint")), addr
+            )
+            return
+        key = (addr, request_id)
+        cached = self._replay.get(key)
+        if cached is _IN_FLIGHT:
+            return  # original execution still running; client will retry
+        if cached is not None:
+            self._replay.move_to_end(key)
+            self.stats.replays_served += 1
+            self._endpoint.sendto(cached, addr)
+            return
+        self._replay[key] = _IN_FLIGHT
+        sender_address = f"{addr[0]}:{addr[1]}"
+
+        def work() -> bytes:
+            try:
+                response = handler(sender_address, message)
+                frame = encode_frame(request_id, response)
+                if len(frame) > self.config.max_datagram:
+                    self.stats.oversize_dropped += 1
+                    frame = fault_frame(
+                        request_id,
+                        DatagramTooLarge(
+                            f"{rpc_name(message)} response is {len(frame)} bytes "
+                            f"(max {self.config.max_datagram})"
+                        ),
+                    )
+            except Exception as exc:
+                frame = fault_frame(request_id, exc)
+            return frame
+
+        def done(task: asyncio.Future) -> None:
+            frame = task.result()
+            self._replay[key] = frame
+            while len(self._replay) > self.config.replay_cache_size:
+                self._replay.popitem(last=False)
+            if self._endpoint is not None:
+                self._endpoint.sendto(frame, addr)
+
+        # Handlers run on the executor, never the loop thread: serving a
+        # STORE triggers routing-table upkeep that may issue blocking pings
+        # through this very transport, which needs the loop free to pump
+        # the replies.
+        self._loop.run_in_executor(None, work).add_done_callback(done)

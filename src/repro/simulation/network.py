@@ -25,6 +25,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.net.base import TransportError
 from repro.simulation.clock import SimulationClock
 
 __all__ = [
@@ -36,11 +37,11 @@ __all__ = [
 ]
 
 
-class NodeUnreachable(Exception):
+class NodeUnreachable(TransportError):
     """The destination address is not registered on the network."""
 
 
-class MessageDropped(Exception):
+class MessageDropped(TransportError):
     """The request or the response was lost in transit."""
 
 

@@ -1,0 +1,413 @@
+"""The RPC wire format: golden bytes, round-trip identity, hostile input.
+
+Three layers of protection:
+
+* **golden bytes** -- the exact hex encoding of one frame per type is
+  pinned.  These are protocol constants: two ``dharma serve`` processes from
+  different builds must interoperate, so any byte-level change is a wire
+  break and must bump the version byte (and these tests).
+* **round-trip identity** -- ``decode(encode(m)) == m`` for handcrafted and
+  randomly generated messages (property test, seeded).
+* **hostile input** -- truncations at every prefix length and random byte
+  corruptions must either raise :class:`~repro.core.codec.CodecError` or
+  decode to a well-formed message; no other exception may escape, because
+  ``UdpTransport`` counts a ``CodecError`` as one malformed frame and drops
+  it, while an uncaught exception would kill the receive loop.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.codec import CodecError, decode_value, encode_value
+from repro.dht.likir import Identity, LikirAuthError, SignedValue
+from repro.dht.messages import (
+    AppendRequest,
+    AppendResponse,
+    ContactInfo,
+    FindNodeRequest,
+    FindNodeResponse,
+    FindValueRequest,
+    FindValueResponse,
+    PingRequest,
+    PingResponse,
+    StoreRequest,
+    StoreResponse,
+)
+from repro.dht.node_id import NodeID
+from repro.net.wire import RemoteFault, decode_frame, encode_frame, fault_frame, raise_fault
+
+A = NodeID.hash_of("a")
+B = NodeID.hash_of("b")
+K = NodeID.hash_of("k")
+T = NodeID.hash_of("t")
+C = NodeID.hash_of("c")
+
+
+def req(cls, **kwargs):
+    return cls(sender_id=A, sender_address="h:1", **kwargs)
+
+
+#: (request_id, message, expected bytes) -- one golden vector per frame type.
+GOLDEN = [
+    (
+        1,
+        PingRequest(sender_id=A, sender_address="127.0.0.1:9000"),
+        "da01200186f7e437faa5a7fce15d1ddcb9eaeaea377667b80e3132372e302e302e313a39303030",
+    ),
+    (
+        1,
+        PingResponse(responder_id=B),
+        "da012101e9d71f5ee7c92d6dc9e92ffdad17b8bd49418f9801",
+    ),
+    (
+        2,
+        req(
+            StoreRequest,
+            key=K,
+            value={"owner": "o", "type": "1", "entries": {"b": 2, "a": 1}},
+        ),
+        "da01220286f7e437faa5a7fce15d1ddcb9eaeaea377667b803683a31"
+        "13fbd79c3d390e5d6585a21e11ff5ec1970cff0c"
+        "000903056f776e657206016f047479706506013107656e747269657309020162030201610301",
+    ),
+    (
+        2,
+        StoreResponse(responder_id=B, stored=True),
+        "da012302e9d71f5ee7c92d6dc9e92ffdad17b8bd49418f9801",
+    ),
+    (
+        3,
+        req(
+            AppendRequest,
+            key=K,
+            owner="o",
+            block_type="2",
+            increments={"x": 3},
+            increments_if_new={"x": 1},
+        ),
+        "da01240386f7e437faa5a7fce15d1ddcb9eaeaea377667b803683a31"
+        "13fbd79c3d390e5d6585a21e11ff5ec1970cff0c"
+        "016f0132010178030101017801",
+    ),
+    (
+        3,
+        AppendResponse(responder_id=B, applied=True, block_size=7),
+        "da012503e9d71f5ee7c92d6dc9e92ffdad17b8bd49418f980107",
+    ),
+    (
+        4,
+        req(FindNodeRequest, target=T, count=20),
+        "da01260486f7e437faa5a7fce15d1ddcb9eaeaea377667b803683a31"
+        "8efd86fb78a56a5145ed7739dcb00c78581c537514",
+    ),
+    (
+        4,
+        FindNodeResponse(responder_id=B, contacts=(ContactInfo(C, "h:2"),)),
+        "da012704e9d71f5ee7c92d6dc9e92ffdad17b8bd49418f9801"
+        "84a516841ba77a5b4648de2cd0dfcb30ea46dbb403683a32",
+    ),
+    (
+        5,
+        req(FindValueRequest, key=K, count=20, top_n=10),
+        "da01280586f7e437faa5a7fce15d1ddcb9eaeaea377667b803683a31"
+        "13fbd79c3d390e5d6585a21e11ff5ec1970cff0c14010a",
+    ),
+    (
+        5,
+        FindValueResponse(
+            responder_id=B, found=True, value={"z": [1, -2, 3.5, None, True]}, contacts=()
+        ),
+        "da012905e9d71f5ee7c92d6dc9e92ffdad17b8bd49418f9801"
+        "000901017a080503010402050000000000000c40000200",
+    ),
+    (
+        6,
+        RemoteFault(kind="ValueError", message="boom"),
+        "da012f060a56616c75654572726f7204626f6f6d",
+    ),
+]
+
+
+class TestGoldenBytes:
+    @pytest.mark.parametrize(
+        "request_id,message,expected",
+        GOLDEN,
+        ids=[type(m).__name__ for _, m, _ in GOLDEN],
+    )
+    def test_encoding_is_pinned(self, request_id, message, expected):
+        assert encode_frame(request_id, message).hex() == expected
+
+    @pytest.mark.parametrize(
+        "request_id,message,expected",
+        GOLDEN,
+        ids=[type(m).__name__ for _, m, _ in GOLDEN],
+    )
+    def test_golden_bytes_decode_back(self, request_id, message, expected):
+        assert decode_frame(bytes.fromhex(expected)) == (request_id, message)
+
+    def test_frame_type_bytes_are_stable(self):
+        # Byte 2 is the frame type: 0x20..0x29 in declaration order, 0x2F fault.
+        types = [bytes.fromhex(expected)[2] for _, _, expected in GOLDEN]
+        assert types == [0x20 + i for i in range(10)] + [0x2F]
+
+
+class TestSignedValues:
+    def make_signed(self) -> SignedValue:
+        identity = Identity(user="alice", node_id=A, secret=b"s" * 20)
+        # Deliberately non-sorted dict: the credential is an HMAC over
+        # repr(value), so the wire must preserve insertion order.
+        return SignedValue.create(
+            identity, K, {"owner": "alice", "type": "1", "entries": {"b": 2, "a": 1}}
+        )
+
+    def test_signed_store_round_trips_with_valid_credential(self):
+        signed = self.make_signed()
+        frame = encode_frame(7, req(StoreRequest, key=K, value=signed))
+        _, decoded = decode_frame(frame)
+        assert decoded.value == signed
+        # The decoded credential still verifies: repr(value) survived intact.
+        payload = SignedValue.canonical_bytes(
+            decoded.value.publisher, decoded.value.key_hex, decoded.value.value
+        )
+        import hashlib
+        import hmac
+
+        assert hmac.compare_digest(
+            hmac.new(b"s" * 20, payload, hashlib.sha1).digest(), decoded.value.credential
+        )
+
+    def test_signed_find_value_response_round_trips(self):
+        signed = self.make_signed()
+        message = FindValueResponse(responder_id=B, found=True, value=signed, contacts=())
+        assert decode_frame(encode_frame(8, message)) == (8, message)
+
+
+class TestValueUnion:
+    CASES = [
+        None,
+        True,
+        False,
+        0,
+        1,
+        -1,
+        2**62,
+        -(2**62),
+        3.25,
+        -0.0,
+        "",
+        "héllo",
+        b"",
+        b"\x00\xff",
+        [],
+        [1, [2, [3]]],
+        {},
+        {"b": 1, "a": {"nested": [None, False]}},
+    ]
+
+    @pytest.mark.parametrize("value", CASES, ids=[repr(c)[:30] for c in CASES])
+    def test_round_trip_identity(self, value):
+        data = encode_value(value)
+        decoded, offset = decode_value(data)
+        assert offset == len(data)
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_tuples_decode_as_lists(self):
+        decoded, _ = decode_value(encode_value((1, 2)))
+        assert decoded == [1, 2]
+
+    def test_dict_insertion_order_is_preserved(self):
+        value = {"z": 1, "a": 2, "m": 3}
+        decoded, _ = decode_value(encode_value(value))
+        assert list(decoded) == ["z", "a", "m"]
+        assert repr(decoded) == repr(value)
+
+    def test_unencodable_types_raise(self):
+        with pytest.raises(CodecError):
+            encode_value(object())
+        with pytest.raises(CodecError):
+            encode_value({1: "non-string key"})
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(CodecError):
+            decode_value(b"\x7f")
+
+
+def random_value(rng: random.Random, depth: int = 0):
+    kinds = ["none", "bool", "int", "float", "str", "bytes"]
+    if depth < 3:
+        kinds += ["list", "dict"]
+    kind = rng.choice(kinds)
+    if kind == "none":
+        return None
+    if kind == "bool":
+        return rng.random() < 0.5
+    if kind == "int":
+        return rng.randint(-(2**40), 2**40)
+    if kind == "float":
+        return rng.uniform(-1e9, 1e9)
+    if kind == "str":
+        return "".join(rng.choice("abcxyzéλ☃ ") for _ in range(rng.randint(0, 12)))
+    if kind == "bytes":
+        return rng.randbytes(rng.randint(0, 12))
+    if kind == "list":
+        return [random_value(rng, depth + 1) for _ in range(rng.randint(0, 4))]
+    return {
+        f"k{i}-{rng.randint(0, 99)}": random_value(rng, depth + 1)
+        for i in range(rng.randint(0, 4))
+    }
+
+
+def random_message(rng: random.Random):
+    sender = NodeID.random(rng)
+    addr = f"10.0.0.{rng.randint(1, 254)}:{rng.randint(1024, 65535)}"
+    choice = rng.randrange(10)
+    if choice == 0:
+        return PingRequest(sender_id=sender, sender_address=addr)
+    if choice == 1:
+        return PingResponse(responder_id=sender, alive=rng.random() < 0.5)
+    if choice == 2:
+        return StoreRequest(
+            sender_id=sender, sender_address=addr, key=NodeID.random(rng),
+            value=random_value(rng),
+        )
+    if choice == 3:
+        return StoreResponse(responder_id=sender, stored=rng.random() < 0.5)
+    if choice == 4:
+        return AppendRequest(
+            sender_id=sender,
+            sender_address=addr,
+            key=NodeID.random(rng),
+            owner=f"user-{rng.randint(0, 99)}",
+            block_type=rng.choice(["1", "2", "3"]),
+            increments={f"e{i}": rng.randint(1, 9) for i in range(rng.randint(1, 5))},
+            increments_if_new=None if rng.random() < 0.5 else {"e0": 1},
+        )
+    if choice == 5:
+        return AppendResponse(
+            responder_id=sender, applied=True, block_size=rng.randint(0, 10_000)
+        )
+    contacts = tuple(
+        ContactInfo(NodeID.random(rng), f"10.1.1.{i}:{1024 + i}")
+        for i in range(rng.randint(0, 5))
+    )
+    if choice == 6:
+        return FindNodeRequest(
+            sender_id=sender, sender_address=addr, target=NodeID.random(rng),
+            count=rng.randint(1, 40),
+        )
+    if choice == 7:
+        return FindNodeResponse(responder_id=sender, contacts=contacts)
+    if choice == 8:
+        return FindValueRequest(
+            sender_id=sender,
+            sender_address=addr,
+            key=NodeID.random(rng),
+            count=rng.randint(1, 40),
+            top_n=None if rng.random() < 0.5 else rng.randint(1, 100),
+        )
+    return FindValueResponse(
+        responder_id=sender,
+        found=rng.random() < 0.5,
+        value=random_value(rng),
+        contacts=contacts,
+    )
+
+
+class TestRoundTripProperty:
+    def test_random_messages_round_trip(self):
+        rng = random.Random(0xDA01)
+        for i in range(300):
+            message = random_message(rng)
+            request_id = rng.randint(0, 2**53)
+            frame = encode_frame(request_id, message)
+            assert decode_frame(frame) == (request_id, message), message
+
+    def test_encode_is_deterministic(self):
+        rng_a, rng_b = random.Random(77), random.Random(77)
+        for _ in range(50):
+            assert encode_frame(1, random_message(rng_a)) == encode_frame(
+                1, random_message(rng_b)
+            )
+
+
+class TestHostileInput:
+    def frames(self) -> list[bytes]:
+        return [bytes.fromhex(expected) for _, _, expected in GOLDEN]
+
+    def test_every_truncation_raises_codec_error(self):
+        for frame in self.frames():
+            for cut in range(len(frame)):
+                with pytest.raises(CodecError):
+                    decode_frame(frame[:cut])
+
+    def test_trailing_garbage_raises(self):
+        for frame in self.frames():
+            with pytest.raises(CodecError):
+                decode_frame(frame + b"\x00")
+
+    def test_bad_magic_and_version_raise(self):
+        frame = bytearray(self.frames()[0])
+        frame[0] = 0xDB
+        with pytest.raises(CodecError):
+            decode_frame(bytes(frame))
+        frame[0] = 0xDA
+        frame[1] = 0x02
+        with pytest.raises(CodecError):
+            decode_frame(bytes(frame))
+
+    def test_unknown_frame_type_raises(self):
+        frame = bytearray(self.frames()[0])
+        frame[2] = 0x3A
+        with pytest.raises(CodecError):
+            decode_frame(bytes(frame))
+
+    def test_random_corruption_never_escapes_codec_error(self):
+        """Flip bytes at random: decode must either succeed (the corruption
+        landed in a don't-care position or produced another valid frame) or
+        raise CodecError -- nothing else, or the UDP receive loop dies."""
+        rng = random.Random(0xBAD)
+        frames = self.frames()
+        for _ in range(2_000):
+            frame = bytearray(rng.choice(frames))
+            for _ in range(rng.randint(1, 4)):
+                frame[rng.randrange(len(frame))] = rng.randrange(256)
+            try:
+                decode_frame(bytes(frame))
+            except CodecError:
+                pass
+
+    def test_random_noise_never_escapes_codec_error(self):
+        rng = random.Random(0x40)
+        for _ in range(2_000):
+            noise = rng.randbytes(rng.randint(0, 64))
+            try:
+                decode_frame(noise)
+            except CodecError:
+                pass
+
+
+class TestFaults:
+    def test_fault_frame_round_trips(self):
+        frame = fault_frame(42, ValueError("bad key"))
+        request_id, fault = decode_frame(frame)
+        assert request_id == 42
+        assert fault == RemoteFault(kind="ValueError", message="bad key")
+
+    @pytest.mark.parametrize(
+        "exc,expected_type",
+        [
+            (LikirAuthError("bad credential"), LikirAuthError),
+            (ValueError("v"), ValueError),
+            (TypeError("t"), TypeError),
+            (RuntimeError("r"), RuntimeError),
+            (OSError("unknown kinds degrade"), RuntimeError),
+        ],
+    )
+    def test_raise_fault_rehydrates_local_type(self, exc, expected_type):
+        _, fault = decode_frame(fault_frame(1, exc))
+        with pytest.raises(expected_type):
+            raise_fault(fault)

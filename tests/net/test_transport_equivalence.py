@@ -1,0 +1,115 @@
+"""The simulated transport is bit-for-bit the pre-seam network.
+
+The transport refactor's core promise is that every experiment, benchmark
+trajectory and published number survives unchanged: wrapping the
+``SimulatedNetwork`` in :class:`~repro.net.simulated.SimulatedTransport` must
+not perturb the virtual clock, the RNG draw order or any counter.  This test
+replays a fixed mixed workload (stores, appends, retrieves over a lossy
+25-node overlay) and asserts the exact clock position, message counters and
+retrieved values captured on the pre-refactor code.
+
+If this test fails the seam is *leaking* -- an extra RNG draw, a re-ordered
+latency charge -- and every BENCH_*.json trajectory is silently invalidated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocks import BlockType
+from repro.dht.bootstrap import build_overlay
+from repro.dht.node_id import NodeID
+from repro.net.simulated import SimulatedTransport, as_transport
+from repro.simulation.network import NetworkConfig
+
+# Captured by running this exact workload on the pre-seam implementation
+# (commit before the repro.net package existed).
+EXPECTED_CLOCK = 117359.62492324783
+EXPECTED_SENT = 1382
+EXPECTED_DELIVERED = 1306
+EXPECTED_DROPPED = 76
+EXPECTED_UNREACHABLE = 0
+EXPECTED_VALUES = [
+    {"a": 1, "b": 2},
+    {"a": 2, "b": 2},
+    {"a": 3, "b": 2},
+    {"a": 4, "b": 2},
+    {"b": 2},
+    {"a": 6, "b": 2},
+    {"a": 7, "b": 2},
+    {"a": 8, "b": 2},
+    {"b": 2},
+    {"b": 2},
+]
+
+
+@pytest.fixture
+def overlay():
+    return build_overlay(
+        25,
+        network_config=NetworkConfig(loss_rate=0.05, seed=7),
+        seed=7,
+    )
+
+
+def run_workload(overlay) -> list[dict | None]:
+    writer = overlay.nodes[0]
+    reader = overlay.nodes[5]
+    keys = [NodeID.hash_of(f"key-{i}") for i in range(10)]
+    for i, key in enumerate(keys):
+        writer.store(
+            key,
+            {"owner": f"o{i}", "type": "1", "entries": {"a": i + 1}},
+        )
+    for i, key in enumerate(keys):
+        writer.append(key, f"o{i}", BlockType.RESOURCE_TAGS, {"b": 2})
+    out = []
+    for key in keys:
+        value, _ = reader.retrieve(key)
+        out.append(value["entries"] if value else None)
+    return out
+
+
+class TestPinnedBaseline:
+    def test_workload_matches_pre_seam_trajectory(self, overlay):
+        values = run_workload(overlay)
+        stats = overlay.network.stats
+        assert overlay.network.clock.now == EXPECTED_CLOCK
+        assert stats.messages_sent == EXPECTED_SENT
+        assert stats.messages_delivered == EXPECTED_DELIVERED
+        assert stats.messages_dropped == EXPECTED_DROPPED
+        assert stats.rpcs_failed_unreachable == EXPECTED_UNREACHABLE
+        assert values == EXPECTED_VALUES
+
+
+class TestSeamWiring:
+    def test_nodes_share_one_cached_adapter(self, overlay):
+        transports = {id(node.transport) for node in overlay.nodes}
+        assert len(transports) == 1
+        adapter = overlay.nodes[0].transport
+        assert isinstance(adapter, SimulatedTransport)
+        assert as_transport(overlay.network) is adapter
+
+    def test_node_network_property_unwraps_to_simulated_network(self, overlay):
+        node = overlay.nodes[0]
+        assert node.network is overlay.network
+        assert node.transport.clock is overlay.network.clock
+
+    def test_transport_stats_track_per_type_counters(self, overlay):
+        run_workload(overlay)
+        stats = overlay.nodes[0].transport.stats
+        # The workload exercises at least find_node (joins + lookups), store,
+        # append and find_value.
+        for name in ("find_node", "store", "append", "find_value"):
+            per_type = stats.of(name)
+            assert per_type.sent > 0, name
+            assert per_type.succeeded + per_type.failed == per_type.sent
+        # Transport-level totals and network totals agree on failures: every
+        # TransportError raised by the network was recorded by the adapter.
+        failed = stats.rpcs_failed
+        net = overlay.network.stats
+        assert failed == net.messages_dropped + net.rpcs_failed_unreachable
+
+    def test_as_transport_rejects_foreign_objects(self):
+        with pytest.raises(TypeError):
+            as_transport(object())

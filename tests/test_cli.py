@@ -38,6 +38,7 @@ class TestParser:
             ("profile", []),
             ("dashboard", []),
             ("audit", []),
+            ("serve", []),
         ]:
             args = parser.parse_args([command, *extra])
             assert args.command == command
@@ -272,13 +273,121 @@ class TestObservabilityCommands:
                 "dashboard",
                 "--core", str(tmp_path / "missing_core.json"),
                 "--churn", str(tmp_path / "missing_churn.json"),
+                "--wire", str(tmp_path / "missing_wire.json"),
             ]
         ) == 0
         assert "nothing to show" in capsys.readouterr().out
 
+    @staticmethod
+    def _wire_point() -> dict:
+        def summary(p50, samples):
+            return {
+                "samples": samples, "min_ms": p50 / 2, "p50_ms": p50,
+                "p90_ms": p50 * 2, "p99_ms": p50 * 3, "max_ms": p50 * 4,
+                "mean_ms": p50,
+            }
+
+        return {
+            "bench": "wire_latency", "smoke": False, "nodes": 5,
+            "rpc_samples": 4, "op_samples": 2,
+            "wall_clock": {
+                "rpc_ping": summary(0.2, 4), "rpc_find_node": summary(0.3, 4),
+                "rpc_find_value": summary(0.3, 4), "rpc_store": summary(0.4, 4),
+                "store": summary(2.0, 2), "append": summary(2.5, 2),
+                "retrieve": summary(0.5, 2),
+            },
+            "virtual_time": {
+                "store": summary(400.0, 2), "append": summary(450.0, 2),
+                "retrieve": summary(70.0, 2),
+            },
+        }
+
+    def test_dashboard_renders_wire_percentiles(self, tmp_path, capsys):
+        import json as json_module
+
+        wire = tmp_path / "BENCH_wire.json"
+        wire.write_text(json_module.dumps(self._wire_point()))
+        assert main(
+            [
+                "dashboard",
+                "--core", str(tmp_path / "missing_core.json"),
+                "--churn", str(tmp_path / "missing_churn.json"),
+                "--wire", str(wire),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wire latency" in out
+        assert "wall clock (real sockets)" in out
+        assert "virtual time (SimulatedNetwork model)" in out
+        assert "rpc_ping" in out and "p99" in out
+
+    def test_dashboard_wire_json_output(self, tmp_path, capsys):
+        import json as json_module
+
+        wire = tmp_path / "BENCH_wire.json"
+        wire.write_text(json_module.dumps(self._wire_point()))
+        assert main(
+            [
+                "dashboard",
+                "--core", str(tmp_path / "missing_core.json"),
+                "--churn", str(tmp_path / "missing_churn.json"),
+                "--wire", str(wire),
+                "--json",
+            ]
+        ) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["wire"]["nodes"] == 5
+        assert payload["wire"]["wall_clock"]["rpc_ping"]["p50_ms"] == 0.2
+        assert payload["wire"]["virtual_time"]["store"]["p99_ms"] == 1200.0
+
+    def test_audit_accepts_wire_benchmark(self, tmp_path, capsys):
+        import json as json_module
+
+        wire = tmp_path / "BENCH_wire.json"
+        wire.write_text(json_module.dumps(self._wire_point()))
+        assert main(["audit", "--wire", str(wire)]) == 0
+        out = capsys.readouterr().out
+        assert "wire operations" in out
+        assert "result: OK" in out
+
+    def test_audit_flags_inconsistent_wire_file(self, tmp_path, capsys):
+        import json as json_module
+
+        point = self._wire_point()
+        # p99 below p50 and one promised operation missing entirely.
+        point["wall_clock"]["rpc_ping"]["p99_ms"] = 0.01
+        del point["wall_clock"]["append"]
+        wire = tmp_path / "BENCH_wire.json"
+        wire.write_text(json_module.dumps(point))
+        assert main(["audit", "--wire", str(wire)]) == 1
+        out = capsys.readouterr().out
+        assert "wire-unordered-percentiles" in out
+        assert "wire-missing-op" in out
+        assert "result: FAILED" in out
+
     def test_audit_requires_an_input(self, capsys):
         assert main(["audit"]) == 2
         assert "nothing to audit" in capsys.readouterr().err
+
+    def test_serve_founds_an_overlay_and_writes_stats(self, tmp_path, capsys):
+        import json as json_module
+
+        stats_out = tmp_path / "serve_stats.json"
+        assert main(
+            [
+                "serve",
+                "--port", "0",
+                "--run-seconds", "0.3",
+                "--refresh-seconds", "0",
+                "--stats-out", str(stats_out),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "listening on udp://127.0.0.1:" in out
+        assert "founded a new overlay" in out
+        stats = json_module.loads(stats_out.read_text())
+        assert stats["joined"] is True
+        assert stats["address"].startswith("127.0.0.1:")
 
     def test_audit_fails_on_violations(self, tmp_path, capsys):
         import json as json_module

@@ -51,6 +51,7 @@ class TestCliDocsDrift:
         assert parser_subcommands() >= {
             "generate", "stats", "evolve", "converge", "overlay",
             "cluster-bench", "churn-bench", "profile", "dashboard", "audit",
+            "serve",
         }
 
 
@@ -69,7 +70,7 @@ class TestDocsExist:
     def test_architecture_names_every_package(self):
         text = (DOCS / "ARCHITECTURE.md").read_text(encoding="utf-8")
         for package in ("core", "dht", "distributed", "simulation", "analysis",
-                        "metrics", "datasets"):
+                        "metrics", "datasets", "net"):
             assert f"src/repro/{package}/" in text, (
                 f"docs/ARCHITECTURE.md does not describe src/repro/{package}/"
             )

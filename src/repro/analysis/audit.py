@@ -60,6 +60,7 @@ __all__ = [
     "audit_snapshot",
     "audit_metrics",
     "audit_wire",
+    "audit_scale",
     "run_audit",
 ]
 
@@ -410,6 +411,94 @@ def audit_wire(point: dict[str, Any]) -> tuple[list[AuditFinding], dict[str, int
 
 
 # --------------------------------------------------------------------------- #
+# scale-ladder audit
+# --------------------------------------------------------------------------- #
+
+
+def audit_scale(point: dict[str, Any]) -> tuple[list[AuditFinding], dict[str, int]]:
+    """Sanity-check one ``BENCH_scale.json`` trajectory point.
+
+    The ladder must climb (strictly increasing node counts), every point must
+    carry positive wall-clock and peak-RSS figures, availability (when
+    recorded) must stay in ``[0, 1]``, and every node size promised by the
+    record's ``promised_nodes`` list must actually appear in the ladder.
+    """
+    findings: list[AuditFinding] = []
+    ladder = point.get("ladder")
+    if not isinstance(ladder, list) or not ladder:
+        findings.append(
+            AuditFinding("error", "scale-empty", "no ladder points in the record")
+        )
+        return findings, {"ladder points": 0}
+
+    readings = 0
+    previous_nodes: float | None = None
+    seen_nodes: set[int] = set()
+    for index, entry in enumerate(ladder):
+        if not isinstance(entry, dict):
+            findings.append(
+                AuditFinding(
+                    "error", "scale-bad-record", f"ladder point {index} is not a dict"
+                )
+            )
+            continue
+        nodes = entry.get("nodes")
+        if not isinstance(nodes, int) or nodes < 1:
+            findings.append(
+                AuditFinding(
+                    "error", "scale-bad-record",
+                    f"ladder point {index} has no positive node count ({nodes!r})",
+                )
+            )
+            continue
+        seen_nodes.add(nodes)
+        if previous_nodes is not None and nodes <= previous_nodes:
+            findings.append(
+                AuditFinding(
+                    "error", "scale-not-monotone",
+                    f"ladder point {index} has {nodes} nodes, not above the "
+                    f"previous point's {int(previous_nodes)}",
+                )
+            )
+        previous_nodes = float(nodes)
+        for name in ("wall_s", "peak_rss_bytes"):
+            value = entry.get(name)
+            readings += 1
+            if not isinstance(value, (int, float)) or value <= 0:
+                findings.append(
+                    AuditFinding(
+                        "error", "scale-bad-measurement",
+                        f"ladder point {index} ({nodes} nodes) has "
+                        f"{name}={value!r}, expected a positive number",
+                    )
+                )
+        availability = entry.get("final_availability")
+        if availability is not None:
+            readings += 1
+            if not (0.0 <= availability <= 1.0):
+                findings.append(
+                    AuditFinding(
+                        "error", "scale-availability-range",
+                        f"ladder point {index} ({nodes} nodes) records "
+                        f"availability {availability}, outside [0, 1]",
+                    )
+                )
+
+    promised = point.get("promised_nodes")
+    if isinstance(promised, list):
+        for nodes in promised:
+            if nodes not in seen_nodes:
+                findings.append(
+                    AuditFinding(
+                        "error", "scale-missing-point",
+                        f"promised ladder point at {nodes} nodes is missing",
+                    )
+                )
+    checked = {"ladder points": len(ladder), "scale readings": readings}
+    return findings, checked
+
+
+# --------------------------------------------------------------------------- #
 # entry point
 # --------------------------------------------------------------------------- #
 
@@ -418,8 +507,10 @@ def run_audit(
     snapshot_path: str | Path | None = None,
     metrics_path: str | Path | None = None,
     wire_path: str | Path | None = None,
+    scale_path: str | Path | None = None,
 ) -> AuditReport:
-    """Audit a snapshot, a metrics log and/or a wire benchmark; any may be omitted."""
+    """Audit a snapshot, a metrics log, a wire benchmark and/or a scale
+    ladder; any may be omitted (but not all)."""
     report = AuditReport()
     if snapshot_path is not None:
         from repro.simulation.snapshot import load_snapshot
@@ -441,8 +532,21 @@ def run_audit(
         findings, checked = audit_wire(point)
         report.findings.extend(findings)
         report.checked.update(checked)
-    if snapshot_path is None and metrics_path is None and wire_path is None:
+    if scale_path is not None:
+        import json
+
+        point = json.loads(Path(scale_path).read_text(encoding="utf-8"))
+        findings, checked = audit_scale(point)
+        report.findings.extend(findings)
+        report.checked.update(checked)
+    if (
+        snapshot_path is None
+        and metrics_path is None
+        and wire_path is None
+        and scale_path is None
+    ):
         raise ValueError(
-            "nothing to audit: pass a snapshot, a metrics log and/or a wire benchmark"
+            "nothing to audit: pass a snapshot, a metrics log, a wire benchmark "
+            "and/or a scale ladder"
         )
     return report

@@ -187,14 +187,43 @@ def _wire_section(wire: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _scale_section(scale: dict[str, Any]) -> dict[str, Any]:
+    ladder = []
+    for point in scale.get("ladder") or []:
+        ladder.append(
+            {
+                "nodes": point.get("nodes"),
+                "wall_s": point.get("wall_s"),
+                "peak_rss_bytes": point.get("peak_rss_bytes"),
+                "virtual_time_s": point.get("virtual_time_s"),
+                "messages_total": point.get("messages_total"),
+                "final_availability": point.get("final_availability"),
+                "queue_compactions": point.get("queue_compactions"),
+                "queue_heap_peak": point.get("queue_heap_peak"),
+            }
+        )
+    return {
+        "smoke": scale.get("smoke"),
+        "promised_nodes": scale.get("promised_nodes"),
+        "ladder": ladder,
+    }
+
+
 def dashboard_data(
     core: dict[str, Any] | None,
     churn: dict[str, Any] | None,
     metrics_samples: list[dict[str, Any]] | None,
     wire: dict[str, Any] | None = None,
+    scale: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Shape the four sources into one JSON-serialisable dashboard dict."""
-    data: dict[str, Any] = {"core": None, "churn": None, "metrics": None, "wire": None}
+    """Shape the five sources into one JSON-serialisable dashboard dict."""
+    data: dict[str, Any] = {
+        "core": None,
+        "churn": None,
+        "metrics": None,
+        "wire": None,
+        "scale": None,
+    }
     if core is not None:
         data["core"] = {
             "preset": core.get("preset"),
@@ -219,6 +248,8 @@ def dashboard_data(
         data["metrics"] = _metrics_summary(metrics_samples)
     if wire is not None:
         data["wire"] = _wire_section(wire)
+    if scale is not None:
+        data["scale"] = _scale_section(scale)
     return data
 
 
@@ -338,6 +369,49 @@ def _render_wire(wire: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _render_scale(scale: dict[str, Any]) -> str:
+    ladder = scale.get("ladder") or []
+    lines = [
+        "scale ladder (BENCH_scale.json) -- "
+        f"{len(ladder)} points"
+        + ("  [smoke]" if scale.get("smoke") else "")
+    ]
+    if not ladder:
+        lines.append("  (no ladder points recorded)")
+        return "\n".join(lines)
+    nodes = [float(p.get("nodes") or 0) for p in ladder]
+    wall = [float(p.get("wall_s") or 0.0) for p in ladder]
+    rss = [float(p.get("peak_rss_bytes") or 0) for p in ladder]
+    lines.append(
+        f"  nodes          {sparkline(nodes)}  "
+        + " -> ".join(f"{int(n):,}" for n in nodes)
+    )
+    lines.append(
+        f"  wall clock     {sparkline(wall)}  "
+        + " -> ".join(f"{w:.1f}s" for w in wall)
+    )
+    lines.append(
+        f"  peak RSS       {sparkline(rss)}  "
+        + " -> ".join(f"{r / (1024 * 1024):.0f} MiB" for r in rss)
+    )
+    for point in ladder:
+        extras = []
+        if point.get("final_availability") is not None:
+            extras.append(f"availability {point['final_availability']:.3f}")
+        if point.get("messages_total") is not None:
+            extras.append(f"{point['messages_total']:,} messages")
+        if point.get("queue_compactions") is not None:
+            extras.append(f"{point['queue_compactions']} queue compactions")
+        if point.get("queue_heap_peak") is not None:
+            extras.append(f"heap peak {point['queue_heap_peak']:,.0f}")
+        lines.append(
+            f"    {int(point.get('nodes') or 0):>7,} nodes: " + ", ".join(extras)
+            if extras
+            else f"    {int(point.get('nodes') or 0):>7,} nodes"
+        )
+    return "\n".join(lines)
+
+
 def render_dashboard(data: dict[str, Any]) -> str:
     """Render :func:`dashboard_data` output for the terminal."""
     sections: list[str] = []
@@ -345,6 +419,8 @@ def render_dashboard(data: dict[str, Any]) -> str:
         sections.append(_render_core(data["core"]))
     if data.get("churn") is not None:
         sections.append(_render_churn(data["churn"]))
+    if data.get("scale") is not None:
+        sections.append(_render_scale(data["scale"]))
     if data.get("wire") is not None:
         sections.append(_render_wire(data["wire"]))
     if data.get("metrics") is not None:

@@ -190,6 +190,9 @@ def build_parser() -> argparse.ArgumentParser:
     dash.add_argument("--wire", default="BENCH_wire.json",
                       help="wall-clock wire-latency file from bench_wire_latency "
                            "(skipped when missing)")
+    dash.add_argument("--scale", default="BENCH_scale.json",
+                      help="scale-ladder trajectory file from bench_scale "
+                           "(skipped when missing)")
     dash.add_argument("--metrics", default=None,
                       help="JSON-lines metrics log from a live run")
     dash.add_argument("--json", dest="json_output", action="store_true",
@@ -206,6 +209,9 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--wire", default=None,
                        help="BENCH_wire.json to sanity-check (percentile ordering, "
                            "op coverage, success rates)")
+    audit.add_argument("--scale", default=None,
+                       help="BENCH_scale.json to sanity-check (monotone ladder, "
+                           "positive wall/RSS, promised node sizes present)")
     audit.add_argument("--json", dest="json_output", action="store_true",
                        help="print the findings as JSON instead of rendering")
 
@@ -583,6 +589,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     PERF.count("codec.blocks", blocks)
     PERF.count("codec.bytes", total_bytes)
 
+    peak_rss = PERF.sample_peak_rss()
     speedup = legacy_s / frozen_s if frozen_s else float("inf")
     print(format_mapping(
         {
@@ -597,6 +604,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             "codec blocks": blocks,
             "codec bytes": total_bytes,
             "codec bytes/block": round(total_bytes / blocks, 1) if blocks else 0.0,
+            "peak RSS (MiB)": round(peak_rss / (1024 * 1024), 1),
         },
         title=f"profile -- interned core ({args.strategy} strategy)",
     ))
@@ -613,6 +621,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             "codec_bytes": total_bytes,
             "searches": args.searches,
             "strategy": args.strategy,
+            "peak_rss_bytes": peak_rss,
         }
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
@@ -632,6 +641,7 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
         churn=load_benchmark(args.churn),
         metrics_samples=metrics_samples,
         wire=load_benchmark(args.wire),
+        scale=load_benchmark(args.scale),
     )
     if args.json_output:
         print(json.dumps(data, indent=2, sort_keys=True))
@@ -643,11 +653,17 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
 def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.analysis.audit import run_audit
 
-    if args.snapshot is None and args.metrics is None and args.wire is None:
-        print("nothing to audit: pass --snapshot, --metrics and/or --wire", file=sys.stderr)
+    if args.snapshot is None and args.metrics is None and args.wire is None and args.scale is None:
+        print(
+            "nothing to audit: pass --snapshot, --metrics, --wire and/or --scale",
+            file=sys.stderr,
+        )
         return 2
     report = run_audit(
-        snapshot_path=args.snapshot, metrics_path=args.metrics, wire_path=args.wire
+        snapshot_path=args.snapshot,
+        metrics_path=args.metrics,
+        wire_path=args.wire,
+        scale_path=args.scale,
     )
     if args.json_output:
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))

@@ -202,7 +202,9 @@ class BatchedLookupEngine:
             unique.append(key)
         self.stats.dedup_hits += len(keys) - len(unique)
 
-        unique.sort(key=lambda k: k.value)
+        # NodeID orders by value, so the bare sort matches the keyed sort
+        # without allocating a key lambda per batch.
+        unique.sort()
         previous: tuple[NodeID, tuple[Contact, ...]] | None = None
         for key in unique:
             seeds: list[Contact] | None = None

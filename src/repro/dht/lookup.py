@@ -110,10 +110,19 @@ def iterative_lookup(
     queried: set[NodeID] = set()
     failed: set[NodeID] = set()
 
+    target_value = target.value
+
     def ranked(limit: int | None = None) -> list[Contact]:
-        live = [c for nid, c in shortlist.items() if nid not in failed]
-        live.sort(key=lambda c: (c.distance_to(target), c.node_id.value))
-        return live if limit is None else live[:limit]
+        # Decorated tuples instead of a per-call key lambda: the (distance,
+        # id) prefix is unique per contact, so the sort never compares the
+        # Contact itself and the ordering matches the keyed sort exactly.
+        live = sorted(
+            (nid.value ^ target_value, nid.value, c)
+            for nid, c in shortlist.items()
+            if nid not in failed
+        )
+        decorated = live if limit is None else live[:limit]
+        return [c for _, _, c in decorated]
 
     best_distance: int | None = None
     while outcome.rounds < max_rounds:

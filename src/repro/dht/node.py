@@ -37,7 +37,7 @@ from repro.dht.messages import (
     StoreResponse,
 )
 from repro.dht.node_id import NodeID
-from repro.dht.routing_table import Contact, RoutingTable
+from repro.dht.routing_table import Contact, make_routing_table
 from repro.dht.storage import LocalStorage
 from repro.net.base import Transport, TransportError
 from repro.net.simulated import as_transport
@@ -122,7 +122,7 @@ class KademliaNode:
         self.address = (
             address or self.transport.local_address() or f"node-{_ADDRESSES.take():06d}"
         )
-        self.routing_table = RoutingTable(node_id, k=self.config.k)
+        self.routing_table = make_routing_table(node_id, k=self.config.k)
         self.storage = LocalStorage()
         self.certification = certification
         self.joined = False

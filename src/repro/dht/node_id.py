@@ -19,7 +19,14 @@ import random
 from dataclasses import dataclass
 from functools import total_ordering
 
-__all__ = ["ID_BITS", "ID_BYTES", "NodeID", "xor_distance", "common_prefix_length"]
+__all__ = [
+    "ID_BITS",
+    "ID_BYTES",
+    "NodeID",
+    "NodeIDInterner",
+    "xor_distance",
+    "common_prefix_length",
+]
 
 #: Width of the identifier space in bits (SHA-1 sized, as in Kademlia/Likir).
 ID_BITS = 160
@@ -112,6 +119,69 @@ class NodeID:
 
     def __repr__(self) -> str:
         return f"NodeID({self.hex()[:10]}…)"
+
+
+class NodeIDInterner:
+    """A dense intern table over 160-bit identifiers.
+
+    Hot paths that repeatedly touch the same population of identifiers (the
+    membership layer of a simulated cluster, bulk bootstrap wiring) pay for
+    arbitrary-precision ``int`` keys on every hash and comparison.  Interning
+    maps each distinct :class:`NodeID` to a small dense index once, after
+    which those paths can key arrays and sorts on machine-size ints.
+
+    Indexes are assigned in first-seen order and never recycled, so an index
+    is a stable handle for the lifetime of the table.
+    """
+
+    __slots__ = ("_index_by_value", "_ids", "_values")
+
+    def __init__(self) -> None:
+        self._index_by_value: dict[int, int] = {}
+        self._ids: list[NodeID] = []
+        self._values: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, node_id: NodeID) -> bool:
+        return node_id.value in self._index_by_value
+
+    def intern(self, node_id: NodeID) -> int:
+        """Dense index of *node_id*, assigning the next one on first sight."""
+        index = self._index_by_value.get(node_id.value)
+        if index is None:
+            index = len(self._ids)
+            self._index_by_value[node_id.value] = index
+            self._ids.append(node_id)
+            self._values.append(node_id.value)
+        return index
+
+    def index_of(self, node_id: NodeID) -> int | None:
+        """Dense index of *node_id*, or ``None`` if it was never interned."""
+        return self._index_by_value.get(node_id.value)
+
+    def node_id(self, index: int) -> NodeID:
+        """The :class:`NodeID` behind a dense *index*."""
+        return self._ids[index]
+
+    def value(self, index: int) -> int:
+        """The raw 160-bit integer behind a dense *index*."""
+        return self._values[index]
+
+    def argsort(self) -> list[int]:
+        """Dense indexes ordered by identifier value (one flat-array sort).
+
+        This is the O(n log n) building block of the cluster fast-bootstrap:
+        sorting indexes keyed on a flat int array avoids constructing a
+        keyed-object sort over the node population.
+        """
+        return sorted(range(len(self._values)), key=self._values.__getitem__)
+
+    def clear(self) -> None:
+        self._index_by_value.clear()
+        self._ids.clear()
+        self._values.clear()
 
 
 def xor_distance(a: NodeID, b: NodeID) -> int:

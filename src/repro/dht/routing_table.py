@@ -10,17 +10,50 @@ The implementation is deliberately free of any networking concern: the node
 layer decides when to ping and calls :meth:`KBucket.evict` /
 :meth:`KBucket.record_contact` accordingly.  This keeps the data structure
 easy to property-test (see ``tests/dht/test_routing_table.py``).
+
+Two interchangeable implementations live here:
+
+* :class:`RoutingTable` -- the original reference structure: ``ID_BITS``
+  eagerly allocated ``OrderedDict``-backed :class:`KBucket` objects.  Easy to
+  read, but at 10k simulated nodes the eager allocation alone is 1.6M dicts.
+* :class:`CompactRoutingTable` -- the array-backed equivalent used by
+  default: buckets are allocated lazily on first contact, each bucket keeps
+  its contacts in two parallel flat lists (raw 160-bit int keys next to the
+  :class:`Contact` records), and k-closest selection runs a single
+  ``heapq.nsmallest`` pass over ``(distance, id, contact)`` tuples instead of
+  fully sorting every known contact with a per-call lambda on each
+  FIND_NODE/FIND_VALUE answer.
+
+Both expose the exact same contract (``record_contact`` / ``evict`` /
+``closest_contacts`` / ``export_buckets`` / ``restore_buckets`` / ...), are
+pinned against each other by a randomized property test and a 1k-node
+cluster equivalence run, and restore each other's snapshot records verbatim.
+:func:`make_routing_table` picks the active implementation (see
+:func:`set_routing_table_impl` / :func:`routing_table_implementation`).
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
 from collections.abc import Iterator
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.dht.node_id import ID_BITS, NodeID
 
-__all__ = ["Contact", "KBucket", "RoutingTable", "DEFAULT_K"]
+__all__ = [
+    "Contact",
+    "KBucket",
+    "RoutingTable",
+    "CompactKBucket",
+    "CompactRoutingTable",
+    "DEFAULT_K",
+    "make_routing_table",
+    "set_routing_table_impl",
+    "routing_table_impl",
+    "routing_table_implementation",
+]
 
 #: Kademlia's replication / bucket-size parameter (20 in the original paper).
 DEFAULT_K = 20
@@ -248,3 +281,321 @@ class RoutingTable:
                         f"contact {contact.address} does not belong in bucket {index}"
                     )
             self._buckets[index].restore_state(contacts, replacements)
+
+
+class CompactKBucket:
+    """Array-backed k-bucket: parallel flat lists in LRU order.
+
+    ``_ids`` holds the raw 160-bit integer of each contact next to the
+    :class:`Contact` record in ``_contacts`` (least-recently-seen first), so
+    membership tests and LRU moves are list operations over machine ints on a
+    list of at most ``k`` (20) entries -- no per-bucket dict, no OrderedDict
+    node allocations.  Semantics are pinned bit-for-bit against
+    :class:`KBucket` by the property tests in ``tests/dht``.
+    """
+
+    __slots__ = ("k", "_ids", "_contacts", "_repl_ids", "_repl_contacts")
+
+    def __init__(self, k: int = DEFAULT_K) -> None:
+        if k < 1:
+            raise ValueError("bucket capacity k must be >= 1")
+        self.k = k
+        self._ids: list[int] = []
+        self._contacts: list[Contact] = []
+        self._repl_ids: list[int] = []
+        self._repl_contacts: list[Contact] = []
+
+    # -- queries ---------------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, node_id: NodeID) -> bool:
+        return node_id.value in self._ids
+
+    def contacts(self) -> list[Contact]:
+        """Contacts from least- to most-recently seen."""
+        return list(self._contacts)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._ids) >= self.k
+
+    def least_recently_seen(self) -> Contact | None:
+        """The contact that should be pinged when the bucket is full."""
+        return self._contacts[0] if self._contacts else None
+
+    def replacement_candidates(self) -> list[Contact]:
+        return list(self._repl_contacts)
+
+    # -- updates ----------------------------------------------------------- #
+
+    def record_contact(self, contact: Contact) -> bool:
+        """Note that *contact* was just seen (same contract as
+        :meth:`KBucket.record_contact`)."""
+        value = contact.node_id.value
+        ids = self._ids
+        try:
+            position = ids.index(value)
+        except ValueError:
+            pass
+        else:
+            # Refresh: move to the most-recently-seen end, adopting the new
+            # contact record (its address may have changed).
+            del ids[position]
+            del self._contacts[position]
+            ids.append(value)
+            self._contacts.append(contact)
+            return True
+        if len(ids) < self.k:
+            ids.append(value)
+            self._contacts.append(contact)
+            return True
+        try:
+            position = self._repl_ids.index(value)
+        except ValueError:
+            pass
+        else:
+            del self._repl_ids[position]
+            del self._repl_contacts[position]
+        self._repl_ids.append(value)
+        self._repl_contacts.append(contact)
+        while len(self._repl_ids) > self.k:
+            del self._repl_ids[0]
+            del self._repl_contacts[0]
+        return False
+
+    def evict(self, node_id: NodeID) -> None:
+        """Remove a dead contact and promote the freshest replacement, if any."""
+        value = node_id.value
+        try:
+            position = self._ids.index(value)
+        except ValueError:
+            pass
+        else:
+            del self._ids[position]
+            del self._contacts[position]
+        try:
+            position = self._repl_ids.index(value)
+        except ValueError:
+            pass
+        else:
+            del self._repl_ids[position]
+            del self._repl_contacts[position]
+        if len(self._ids) < self.k and self._repl_ids:
+            self._ids.append(self._repl_ids.pop())
+            self._contacts.append(self._repl_contacts.pop())
+
+    # -- snapshot/restore --------------------------------------------------- #
+
+    def export_state(self) -> tuple[list[Contact], list[Contact]]:
+        """``(contacts, replacement cache)``, each least-recently-seen first."""
+        return list(self._contacts), list(self._repl_contacts)
+
+    def restore_state(
+        self, contacts: list[Contact], replacements: list[Contact]
+    ) -> None:
+        """Replace the bucket content, preserving LRU order verbatim."""
+        if len(contacts) > self.k or len(replacements) > self.k:
+            raise ValueError(f"bucket state exceeds capacity k={self.k}")
+        self._ids = [c.node_id.value for c in contacts]
+        self._contacts = list(contacts)
+        self._repl_ids = [c.node_id.value for c in replacements]
+        self._repl_contacts = list(replacements)
+
+
+class CompactRoutingTable:
+    """Array-backed routing table: lazily allocated :class:`CompactKBucket`\\ s.
+
+    A node's table only materialises the buckets it actually uses (a
+    converged Kademlia table populates ~log2(n) of its 160 buckets), and
+    :meth:`closest_contacts` -- the FIND_NODE/FIND_VALUE hot path -- selects
+    the k closest via one ``heapq.nsmallest`` pass over ``(distance, id,
+    contact)`` tuples.  The ``(distance, id)`` prefix is unique per contact,
+    so tuple comparison never reaches the contact and the selection is
+    deterministic and identical to the reference full sort.
+    """
+
+    __slots__ = ("owner_id", "k", "_owner_value", "_buckets")
+
+    def __init__(self, owner_id: NodeID, k: int = DEFAULT_K) -> None:
+        self.owner_id = owner_id
+        self.k = k
+        self._owner_value = owner_id.value
+        self._buckets: dict[int, CompactKBucket] = {}
+
+    # -- queries ---------------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def __contains__(self, node_id: NodeID) -> bool:
+        if node_id.value == self._owner_value:
+            return False
+        bucket = self._buckets.get(self.bucket_index(node_id))
+        return bucket is not None and node_id in bucket
+
+    def bucket_index(self, node_id: NodeID) -> int:
+        distance = self._owner_value ^ node_id.value
+        if distance == 0:
+            raise ValueError("a node has no bucket for itself")
+        return distance.bit_length() - 1
+
+    def bucket(self, index: int) -> CompactKBucket:
+        """The bucket at *index*, materialising it on first access."""
+        if not (0 <= index < ID_BITS):
+            raise IndexError(f"bucket index {index} out of range")
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = CompactKBucket(self.k)
+        return bucket
+
+    def allocated_buckets(self) -> int:
+        """Buckets actually materialised (memory diagnostics)."""
+        return len(self._buckets)
+
+    def contacts(self) -> Iterator[Contact]:
+        """All known contacts, bucket by bucket in ascending index order."""
+        for index in sorted(self._buckets):
+            yield from self._buckets[index]._contacts
+
+    def closest_contacts(self, target: NodeID, count: int | None = None) -> list[Contact]:
+        """The *count* known contacts closest to *target* under XOR distance."""
+        count = self.k if count is None else count
+        if count <= 0:
+            return []
+        target_value = target.value
+        best = heapq.nsmallest(
+            count,
+            (
+                (value ^ target_value, value, contact)
+                for bucket in self._buckets.values()
+                for value, contact in zip(bucket._ids, bucket._contacts)
+            ),
+        )
+        return [contact for _, _, contact in best]
+
+    # -- updates ----------------------------------------------------------- #
+
+    def record_contact(self, contact: Contact) -> bool:
+        """Record a freshly seen contact; silently ignores the owner itself."""
+        if contact.node_id.value == self._owner_value:
+            return True
+        return self.bucket(self.bucket_index(contact.node_id)).record_contact(contact)
+
+    def evict(self, node_id: NodeID) -> None:
+        """Drop a contact that stopped responding."""
+        if node_id.value == self._owner_value:
+            return
+        bucket = self._buckets.get(self.bucket_index(node_id))
+        if bucket is not None:
+            bucket.evict(node_id)
+
+    def least_recently_seen(self, node_id: NodeID) -> Contact | None:
+        """Least-recently-seen contact of the bucket *node_id* falls into."""
+        bucket = self._buckets.get(self.bucket_index(node_id))
+        return bucket.least_recently_seen() if bucket is not None else None
+
+    # -- maintenance -------------------------------------------------------- #
+
+    def bucket_utilisation(self) -> dict[int, int]:
+        """Non-empty bucket sizes, keyed by bucket index in ascending order.
+
+        Ascending order matters: bucket refresh iterates this mapping while
+        drawing from a seeded RNG, so the iteration order is part of the
+        deterministic behaviour pinned against :class:`RoutingTable`.
+        """
+        return {
+            index: len(self._buckets[index])
+            for index in sorted(self._buckets)
+            if len(self._buckets[index])
+        }
+
+    # -- snapshot/restore --------------------------------------------------- #
+
+    def export_buckets(self) -> list[tuple[int, list[Contact], list[Contact]]]:
+        """Every non-empty bucket as ``(index, contacts, replacements)``,
+        ascending by index, contact lists least-recently-seen first."""
+        out = []
+        for index in sorted(self._buckets):
+            contacts, replacements = self._buckets[index].export_state()
+            if contacts or replacements:
+                out.append((index, contacts, replacements))
+        return out
+
+    def restore_buckets(
+        self, buckets: list[tuple[int, list[Contact], list[Contact]]]
+    ) -> None:
+        """Replace the whole table content with an exported bucket list.
+
+        Accepts records exported by either implementation (the snapshot codec
+        does not distinguish them), preserving LRU and replacement-cache
+        order verbatim.
+        """
+        self._buckets.clear()
+        for index, contacts, replacements in buckets:
+            if not (0 <= index < ID_BITS):
+                raise ValueError(f"bucket index {index} out of range")
+            for contact in contacts + replacements:
+                if (
+                    contact.node_id.value != self._owner_value
+                    and self.bucket_index(contact.node_id) != index
+                ):
+                    raise ValueError(
+                        f"contact {contact.address} does not belong in bucket {index}"
+                    )
+            self.bucket(index).restore_state(contacts, replacements)
+
+
+# --------------------------------------------------------------------------- #
+# implementation switch
+# --------------------------------------------------------------------------- #
+
+#: Implementations selectable through :func:`make_routing_table`.
+_IMPLEMENTATIONS = {
+    "legacy": RoutingTable,
+    "compact": CompactRoutingTable,
+}
+
+_active_impl = "compact"
+
+
+def routing_table_impl() -> str:
+    """Name of the implementation :func:`make_routing_table` currently builds."""
+    return _active_impl
+
+
+def set_routing_table_impl(kind: str) -> None:
+    """Select the routing-table implementation for new nodes.
+
+    ``"compact"`` (the default) or ``"legacy"``.  Existing tables are
+    untouched; only tables built afterwards through
+    :func:`make_routing_table` are affected.
+    """
+    global _active_impl
+    if kind not in _IMPLEMENTATIONS:
+        raise ValueError(
+            f"unknown routing-table implementation {kind!r} "
+            f"(choose from {sorted(_IMPLEMENTATIONS)})"
+        )
+    _active_impl = kind
+
+
+@contextmanager
+def routing_table_implementation(kind: str):
+    """Run a block with *kind* as the active implementation.
+
+    The equivalence tests use this to run the same cluster workload on
+    ``"legacy"`` and ``"compact"`` structures and compare bit-for-bit.
+    """
+    previous = _active_impl
+    set_routing_table_impl(kind)
+    try:
+        yield
+    finally:
+        set_routing_table_impl(previous)
+
+
+def make_routing_table(owner_id: NodeID, k: int = DEFAULT_K):
+    """Build a routing table with the active implementation."""
+    return _IMPLEMENTATIONS[_active_impl](owner_id, k)

@@ -180,6 +180,7 @@ class ClusterMetricsRecorder:
             "net.rpcs_failed_unreachable": net.rpcs_failed_unreachable,
             "net.bytes_transferred": net.bytes_transferred,
             "queue.events_processed": cluster.queue.processed,
+            "queue.compactions": cluster.queue.compactions,
         }
         if cluster.churn is not None:
             counters["churn.joins"] = cluster.churn.joins
@@ -210,7 +211,14 @@ class ClusterMetricsRecorder:
         gauges: dict[str, float] = {
             "nodes.live": float(len(cluster.overlay.live_nodes())),
             "queue.pending": float(len(cluster.queue)),
+            # Raw heap footprint vs cancelled entries awaiting compaction:
+            # together with queue.compactions these make the queue's memory
+            # behaviour at 10k-node scale observable from the stream.
+            "queue.heap_size": float(cluster.queue.heap_size()),
+            "queue.cancelled_pending": float(cluster.queue.cancelled_pending),
         }
+        for name, value in self.perf.gauges.items():
+            gauges[f"perf.{name}"] = value
         reads = hits + misses
         if cluster.services:
             gauges["cache.hit_rate"] = hits / reads if reads else 0.0

@@ -23,11 +23,37 @@ the body, they just skip the bookkeeping).
 
 from __future__ import annotations
 
+import sys
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["TimerStats", "PerfRegistry", "PERF"]
+__all__ = ["TimerStats", "PerfRegistry", "PERF", "peak_rss_bytes"]
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    Uses ``resource.getrusage`` where available (``ru_maxrss`` is reported in
+    kilobytes on Linux and in bytes on macOS), falling back to the current
+    ``tracemalloc`` peak (heap-only, and zero unless tracing was started) on
+    platforms without the ``resource`` module.  Returns 0 when neither source
+    has anything to report, so callers can treat the figure as best-effort.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        pass
+    else:
+        ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+            return int(ru_maxrss)
+        return int(ru_maxrss) * 1024
+    import tracemalloc  # pragma: no cover - fallback path
+
+    if tracemalloc.is_tracing():  # pragma: no cover
+        return tracemalloc.get_traced_memory()[1]
+    return 0  # pragma: no cover
 
 
 @dataclass(slots=True)
@@ -56,6 +82,8 @@ class PerfRegistry:
     enabled: bool = True
     counters: dict[str, int] = field(default_factory=dict)
     timers: dict[str, TimerStats] = field(default_factory=dict)
+    #: Point-in-time measurements (e.g. memory) -- last write wins.
+    gauges: dict[str, float] = field(default_factory=dict)
 
     # -- recording --------------------------------------------------------- #
 
@@ -90,6 +118,23 @@ class PerfRegistry:
             stats = self.timers[name] = TimerStats()
         stats.add(elapsed)
 
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value* (point-in-time, last write wins)."""
+        if not self.enabled:
+            return
+        self.gauges[name] = float(value)
+
+    def sample_peak_rss(self) -> int:
+        """Record the process peak RSS under ``mem.peak_rss_bytes``.
+
+        Returns the sampled figure so callers can use it inline; peak RSS is
+        monotone over the process lifetime, so repeated samples only ever
+        raise the gauge.
+        """
+        rss = peak_rss_bytes()
+        self.gauge("mem.peak_rss_bytes", rss)
+        return rss
+
     # -- reading ------------------------------------------------------------ #
 
     def counter(self, name: str) -> int:
@@ -98,14 +143,19 @@ class PerfRegistry:
     def timer_stats(self, name: str) -> TimerStats:
         return self.timers.get(name, TimerStats())
 
+    def gauge_value(self, name: str) -> float:
+        return self.gauges.get(name, 0.0)
+
     def reset(self) -> None:
         self.counters.clear()
         self.timers.clear()
+        self.gauges.clear()
 
     def snapshot(self) -> dict[str, dict]:
-        """JSON-serialisable dump of every counter and timer."""
+        """JSON-serialisable dump of every counter, gauge and timer."""
         return {
             "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
             "timers": {
                 name: {
                     "calls": stats.calls,
@@ -125,6 +175,8 @@ class PerfRegistry:
         interrupted run stopped instead of restarting at zero.
         """
         self.counters = {name: int(value) for name, value in snapshot.get("counters", {}).items()}
+        # Older snapshots predate gauges; default to empty.
+        self.gauges = {name: float(value) for name, value in snapshot.get("gauges", {}).items()}
         self.timers = {
             name: TimerStats(
                 calls=int(stats["calls"]),
@@ -142,6 +194,13 @@ class PerfRegistry:
             width = max(len(name) for name in self.counters)
             for name in sorted(self.counters):
                 lines.append(f"  {name:<{width}}  {self.counters[name]:>14,}")
+        if self.gauges:
+            if lines:
+                lines.append("")
+            lines.append("gauges:")
+            width = max(len(name) for name in self.gauges)
+            for name in sorted(self.gauges):
+                lines.append(f"  {name:<{width}}  {self.gauges[name]:>18,.1f}")
         if self.timers:
             if lines:
                 lines.append("")

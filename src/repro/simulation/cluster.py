@@ -51,7 +51,7 @@ from repro.dht.bootstrap import Overlay, build_overlay
 from repro.dht.likir import CertificationService
 from repro.dht.maintenance import MaintenanceConfig, OverlayMaintenance
 from repro.dht.node import KademliaNode, NodeConfig
-from repro.dht.node_id import NodeID
+from repro.dht.node_id import NodeID, NodeIDInterner
 from repro.dht.routing_table import Contact
 from repro.dht.storage import is_counter_payload, merge_counter_entries
 from repro.distributed.tagging_service import DharmaService, ServiceConfig
@@ -101,6 +101,8 @@ class ClusterConfig:
     #: One-way latency bounds of the simulated transport (virtual ms).
     min_latency_ms: float = 1.0
     max_latency_ms: float = 5.0
+    #: Per-message drop probability of the simulated transport.
+    loss_rate: float = 0.0
     #: RPC timeout charged when a contact is dead (virtual ms).  Leave at the
     #: transport default for static runs; churn runs want a value scaled to
     #: the latency bounds (a few RTTs), or every stale routing entry charges
@@ -264,6 +266,17 @@ class SimulatedCluster:
     """A wired overlay of :attr:`ClusterConfig.num_nodes` Likir nodes plus a
     pool of DHARMA service clients, driven from one event queue."""
 
+    __slots__ = (
+        "config",
+        "_rng",
+        "overlay",
+        "queue",
+        "maintenance",
+        "churn",
+        "services",
+        "_search_rng",
+    )
+
     def __init__(self, config: ClusterConfig | None = None) -> None:
         self.config = config or ClusterConfig()
         self._rng = random.Random(self.config.seed)
@@ -291,6 +304,7 @@ class SimulatedCluster:
         network_config = NetworkConfig(
             min_latency_ms=cfg.min_latency_ms,
             max_latency_ms=cfg.max_latency_ms,
+            loss_rate=cfg.loss_rate,
             timeout_ms=cfg.timeout_ms,
             seed=cfg.seed,
         )
@@ -336,7 +350,14 @@ class SimulatedCluster:
             node.joined = True
             overlay.adopt_node(node)
 
-        ordered = sorted(overlay.nodes, key=lambda n: n.node_id.value)
+        # One flat-array argsort over interned ids instead of a keyed object
+        # sort: same ordering (ids are unique), O(n log n) over machine-int
+        # comparisons, and the interner is reusable for later index-keyed
+        # wiring passes.
+        interner = NodeIDInterner()
+        for node in overlay.nodes:
+            interner.intern(node.node_id)
+        ordered = [overlay.nodes[i] for i in interner.argsort()]
         count = len(ordered)
         contacts = [n.contact for n in ordered]
         ring = cfg.ring_neighbours

@@ -521,6 +521,7 @@ def restore_cluster(
         config=NetworkConfig(
             min_latency_ms=config.min_latency_ms,
             max_latency_ms=config.max_latency_ms,
+            loss_rate=config.loss_rate,
             timeout_ms=config.timeout_ms,
             seed=config.seed,
         )

@@ -1,0 +1,199 @@
+"""The compact routing table is behaviourally identical to the legacy one.
+
+`CompactRoutingTable` re-implements `RoutingTable` over lazily allocated,
+array-backed buckets with an ``nsmallest`` k-closest selection.  Its whole
+value rests on being indistinguishable through the public contract, so these
+tests drive both implementations through randomized operation sequences
+(record / evict / closest / export / restore) and require every observable
+to match exactly, plus pin the compact-specific properties (lazy bucket
+allocation, the implementation switch).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dht.node_id import ID_BITS, NodeID, NodeIDInterner
+from repro.dht.routing_table import (
+    CompactKBucket,
+    CompactRoutingTable,
+    Contact,
+    KBucket,
+    RoutingTable,
+    make_routing_table,
+    routing_table_impl,
+    routing_table_implementation,
+    set_routing_table_impl,
+)
+
+
+def random_contact(rng: random.Random, tag: int) -> Contact:
+    return Contact(NodeID.random(rng), f"addr-{tag}")
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 17])
+    @pytest.mark.parametrize("k", [2, 4, 20])
+    def test_operation_sequences_match(self, seed, k):
+        rng = random.Random(seed)
+        owner = NodeID.random(rng)
+        legacy = RoutingTable(owner, k=k)
+        compact = CompactRoutingTable(owner, k=k)
+
+        population = [random_contact(rng, i) for i in range(300)]
+        # Include the owner itself: both must special-case it identically.
+        population.append(Contact(owner, "addr-owner"))
+
+        for step in range(1500):
+            op = rng.random()
+            contact = population[rng.randrange(len(population))]
+            if op < 0.60:
+                # Re-recording under a fresh address exercises the
+                # refresh-adopts-new-record path.
+                if rng.random() < 0.2:
+                    contact = Contact(contact.node_id, f"addr-new-{step}")
+                assert legacy.record_contact(contact) == compact.record_contact(
+                    contact
+                ), f"record diverged at step {step}"
+            elif op < 0.80:
+                legacy.evict(contact.node_id)
+                compact.evict(contact.node_id)
+            else:
+                target = NodeID.random(rng)
+                count = rng.choice([None, 1, 3, k, 2 * k, 100])
+                assert legacy.closest_contacts(target, count) == compact.closest_contacts(
+                    target, count
+                ), f"closest diverged at step {step}"
+            if contact.node_id != owner:
+                assert legacy.least_recently_seen(
+                    contact.node_id
+                ) == compact.least_recently_seen(contact.node_id)
+
+        assert len(legacy) == len(compact)
+        assert list(legacy.contacts()) == list(compact.contacts())
+        assert legacy.bucket_utilisation() == compact.bucket_utilisation()
+        assert legacy.export_buckets() == compact.export_buckets()
+        for contact in population:
+            assert (contact.node_id in legacy) == (contact.node_id in compact)
+
+    def test_export_restores_across_implementations(self):
+        rng = random.Random(42)
+        owner = NodeID.random(rng)
+        legacy = RoutingTable(owner, k=4)
+        for i in range(200):
+            legacy.record_contact(random_contact(rng, i))
+
+        compact = CompactRoutingTable(owner, k=4)
+        compact.restore_buckets(legacy.export_buckets())
+        assert compact.export_buckets() == legacy.export_buckets()
+
+        # And back: the exported state round-trips through either class.
+        legacy_again = RoutingTable(owner, k=4)
+        legacy_again.restore_buckets(compact.export_buckets())
+        assert legacy_again.export_buckets() == legacy.export_buckets()
+
+    def test_replacement_cache_promotion_matches(self):
+        rng = random.Random(9)
+        owner = NodeID(0)
+        legacy = KBucket(k=3)
+        compact = CompactKBucket(k=3)
+        contacts = [random_contact(rng, i) for i in range(12)]
+        for contact in contacts:
+            assert legacy.record_contact(contact) == compact.record_contact(contact)
+        assert legacy.replacement_candidates() == compact.replacement_candidates()
+        # Evicting live members must promote the same (most recent) cached
+        # replacements in the same order.
+        for contact in contacts[:6]:
+            legacy.evict(contact.node_id)
+            compact.evict(contact.node_id)
+            assert legacy.contacts() == compact.contacts()
+            assert legacy.replacement_candidates() == compact.replacement_candidates()
+        assert owner not in legacy and owner not in compact
+
+
+class TestCompactSpecifics:
+    def test_buckets_allocate_lazily(self):
+        rng = random.Random(3)
+        table = CompactRoutingTable(NodeID.random(rng), k=4)
+        assert table.allocated_buckets() == 0
+        for i in range(50):
+            table.record_contact(random_contact(rng, i))
+        # Random ids concentrate in the top buckets: far fewer than the 160
+        # a legacy table eagerly allocates.
+        assert 0 < table.allocated_buckets() < 20
+        assert table.allocated_buckets() == len(table.bucket_utilisation())
+
+    def test_restore_validates_indexes_and_membership(self):
+        rng = random.Random(4)
+        owner = NodeID.random(rng)
+        table = CompactRoutingTable(owner, k=4)
+        stray = random_contact(rng, 0)
+        wrong = (stray.node_id.value ^ owner.value).bit_length() % ID_BITS
+        wrong = (wrong + 1) % ID_BITS  # anything but its true bucket
+        with pytest.raises(ValueError):
+            table.restore_buckets([(wrong, [stray], [])])
+        with pytest.raises(ValueError):
+            table.restore_buckets([(ID_BITS, [stray], [])])
+        with pytest.raises(IndexError):
+            table.bucket(ID_BITS)
+
+    def test_owner_is_special_cased(self):
+        owner = NodeID(5)
+        table = CompactRoutingTable(owner, k=2)
+        assert table.record_contact(Contact(owner, "self")) is True
+        table.evict(owner)  # must be a silent no-op
+        assert len(table) == 0
+        with pytest.raises(ValueError):
+            table.bucket_index(owner)
+
+
+class TestImplementationSwitch:
+    def test_compact_is_the_default(self):
+        assert routing_table_impl() == "compact"
+        assert isinstance(make_routing_table(NodeID(1)), CompactRoutingTable)
+
+    def test_context_manager_switches_and_restores(self):
+        with routing_table_implementation("legacy"):
+            assert routing_table_impl() == "legacy"
+            assert isinstance(make_routing_table(NodeID(1)), RoutingTable)
+        assert routing_table_impl() == "compact"
+
+    def test_unknown_implementation_rejected(self):
+        with pytest.raises(ValueError):
+            set_routing_table_impl("vectorised")
+        assert routing_table_impl() == "compact"
+
+    def test_nodes_pick_up_the_switch(self):
+        from repro.dht.bootstrap import build_overlay
+
+        with routing_table_implementation("legacy"):
+            overlay = build_overlay(3, seed=0)
+            assert isinstance(overlay.nodes[0].routing_table, RoutingTable)
+        overlay = build_overlay(3, seed=0)
+        assert isinstance(overlay.nodes[0].routing_table, CompactRoutingTable)
+
+
+class TestInterner:
+    def test_dense_indexes_in_first_seen_order(self):
+        interner = NodeIDInterner()
+        ids = [NodeID(5), NodeID(3), NodeID(9), NodeID(3)]
+        assert [interner.intern(i) for i in ids] == [0, 1, 2, 1]
+        assert len(interner) == 3
+        assert interner.node_id(2) == NodeID(9)
+        assert interner.value(0) == 5
+        assert NodeID(3) in interner
+        assert NodeID(4) not in interner
+        assert interner.index_of(NodeID(4)) is None
+
+    def test_argsort_orders_by_value(self):
+        rng = random.Random(11)
+        interner = NodeIDInterner()
+        ids = [NodeID.random(rng) for _ in range(100)]
+        for node_id in ids:
+            interner.intern(node_id)
+        order = interner.argsort()
+        assert [interner.node_id(i) for i in order] == sorted(ids)
+        interner.clear()
+        assert len(interner) == 0

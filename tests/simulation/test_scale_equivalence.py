@@ -1,0 +1,123 @@
+"""Legacy and compact routing tables drive bit-identical simulations.
+
+The compact DHT core (array-backed k-buckets, ``nsmallest`` k-closest
+selection, interned-id bootstrap ordering) replaces the legacy routing table
+on every hot path, so this module pins a full 1000-node lossy churn workload
+-- maintenance on, 5% message loss, crash/leave/join trace -- under *both*
+implementations and requires the virtual clock, the message totals and the
+complete :class:`SurvivalReport` to agree bit-for-bit, with each other and
+with the hardcoded baseline below.
+
+The constants mirror ``tests/net/test_transport_equivalence.py``: they were
+captured from a run of the legacy implementation and must never drift.  If a
+change moves any of them, it altered simulation behaviour -- either fix it,
+or consciously re-baseline and say so in the commit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.datasets.lastfm_synthetic import generate_lastfm_like
+from repro.dht.routing_table import routing_table_implementation
+from repro.simulation.cluster import churn_cluster_config, run_survival_benchmark
+from repro.simulation.workload import TaggingWorkload
+
+# Baseline captured from the legacy RoutingTable implementation.
+EXPECTED_CLOCK = 20.476519514452132
+EXPECTED_MESSAGES = 31_275
+EXPECTED_SUMMARY = {
+    "blocks_written": 51,
+    "churn_appends": 5,
+    "counter_blocks": 34,
+    "crashes": 89,
+    "duration_s": 20.0,
+    "entries_checked": 40,
+    "final_availability": 1.0,
+    "graceful_leaves": 74,
+    "integrity_violations": 0,
+    "joins": 174,
+    "live_nodes_end": 1011,
+    "lost_blocks": 0,
+    "maint_blocks_handed_off": 73,
+    "maint_blocks_republished": 700,
+    "maint_buckets_refreshed": 0,
+    "maint_refresh_runs": 0,
+    "maint_replicas_written": 2088,
+    "maint_republish_runs": 2884,
+    "maint_timers_cancelled": 326,
+    "maintenance": 1,
+    "messages_total": EXPECTED_MESSAGES,
+    "nodes": 1000,
+    "virtual_time_s": EXPECTED_CLOCK,
+}
+# The 10s probe lands while a crashed replica holder is still being repaired.
+EXPECTED_SAMPLES = [
+    (5.045291884069152, 1.0),
+    (10.043481330677732, 0.975),
+    (15.049108748334731, 1.0),
+    (20.041910049432442, 1.0),
+]
+
+
+def run_workload(impl: str):
+    """One 1k-node lossy churn run under the named routing implementation."""
+    workload = TaggingWorkload.from_triples(generate_lastfm_like("tiny").triples())
+    with routing_table_implementation(impl):
+        config = dataclasses.replace(
+            churn_cluster_config(
+                num_nodes=1000,
+                maintenance=True,
+                mean_session_s=120.0,
+                republish_interval_ms=6_000.0,
+                refresh_interval_ms=60_000.0,
+                seed=3,
+            ),
+            loss_rate=0.05,
+        )
+        return run_survival_benchmark(
+            config,
+            workload,
+            ops=32,
+            duration_s=20.0,
+            sample_every_s=5.0,
+            probe_keys=40,
+            append_keys=5,
+        )
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {impl: run_workload(impl) for impl in ("legacy", "compact")}
+
+
+def _summary(report) -> dict:
+    summary = dict(report.summary())
+    summary.pop("wall_time_s")  # the only field allowed to differ
+    return summary
+
+
+class TestPinnedBaseline:
+    @pytest.mark.parametrize("impl", ["legacy", "compact"])
+    def test_virtual_clock_is_pinned(self, reports, impl):
+        assert reports[impl].virtual_time_s == EXPECTED_CLOCK
+
+    @pytest.mark.parametrize("impl", ["legacy", "compact"])
+    def test_message_count_is_pinned(self, reports, impl):
+        assert reports[impl].messages_total == EXPECTED_MESSAGES
+
+    @pytest.mark.parametrize("impl", ["legacy", "compact"])
+    def test_survival_report_is_pinned(self, reports, impl):
+        assert _summary(reports[impl]) == EXPECTED_SUMMARY
+
+    @pytest.mark.parametrize("impl", ["legacy", "compact"])
+    def test_availability_samples_are_pinned(self, reports, impl):
+        assert reports[impl].samples == EXPECTED_SAMPLES
+
+
+class TestCrossImplementation:
+    def test_reports_match_bit_for_bit(self, reports):
+        assert _summary(reports["legacy"]) == _summary(reports["compact"])
+        assert reports["legacy"].samples == reports["compact"].samples

@@ -110,6 +110,8 @@ class TestCommands:
         assert snapshot["counters"]["search.compact_runs"] == 20
         assert snapshot["timers"]["core.freeze"]["calls"] == 1
         assert snapshot["summary"]["codec_bytes"] > 0
+        assert snapshot["summary"]["peak_rss_bytes"] > 0
+        assert "peak RSS (MiB)" in out
 
     def test_profile_with_dataset_file(self, dataset_path, capsys):
         assert main(["profile", "--dataset", str(dataset_path), "--searches", "10"]) == 0
@@ -274,9 +276,96 @@ class TestObservabilityCommands:
                 "--core", str(tmp_path / "missing_core.json"),
                 "--churn", str(tmp_path / "missing_churn.json"),
                 "--wire", str(tmp_path / "missing_wire.json"),
+                "--scale", str(tmp_path / "missing_scale.json"),
             ]
         ) == 0
         assert "nothing to show" in capsys.readouterr().out
+
+    @staticmethod
+    def _scale_record() -> dict:
+        def rung(nodes, wall, rss):
+            return {
+                "nodes": nodes, "wall_s": wall, "peak_rss_bytes": rss,
+                "virtual_time_s": 20.0, "messages_total": nodes * 10,
+                "final_availability": 1.0, "queue_compactions": 0,
+                "queue_heap_peak": nodes * 2.0,
+            }
+
+        return {
+            "bench": "scale_ladder", "smoke": True,
+            "promised_nodes": [1000, 4000, 10000],
+            "ladder": [
+                rung(1000, 1.5, 120 * 1024 * 1024),
+                rung(4000, 4.0, 160 * 1024 * 1024),
+                rung(10000, 11.0, 250 * 1024 * 1024),
+            ],
+        }
+
+    def test_dashboard_renders_scale_ladder(self, tmp_path, capsys):
+        import json as json_module
+
+        scale = tmp_path / "BENCH_scale.json"
+        scale.write_text(json_module.dumps(self._scale_record()))
+        assert main(
+            [
+                "dashboard",
+                "--core", str(tmp_path / "missing_core.json"),
+                "--churn", str(tmp_path / "missing_churn.json"),
+                "--wire", str(tmp_path / "missing_wire.json"),
+                "--scale", str(scale),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scale ladder" in out
+        assert "1,000 -> 4,000 -> 10,000" in out
+        assert "wall clock" in out and "peak RSS" in out
+
+    def test_dashboard_scale_json_output(self, tmp_path, capsys):
+        import json as json_module
+
+        scale = tmp_path / "BENCH_scale.json"
+        scale.write_text(json_module.dumps(self._scale_record()))
+        assert main(
+            [
+                "dashboard",
+                "--core", str(tmp_path / "missing_core.json"),
+                "--churn", str(tmp_path / "missing_churn.json"),
+                "--wire", str(tmp_path / "missing_wire.json"),
+                "--scale", str(scale),
+                "--json",
+            ]
+        ) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert [p["nodes"] for p in payload["scale"]["ladder"]] == [1000, 4000, 10000]
+        assert payload["scale"]["ladder"][0]["wall_s"] == 1.5
+
+    def test_audit_accepts_scale_ladder(self, tmp_path, capsys):
+        import json as json_module
+
+        scale = tmp_path / "BENCH_scale.json"
+        scale.write_text(json_module.dumps(self._scale_record()))
+        assert main(["audit", "--scale", str(scale)]) == 0
+        out = capsys.readouterr().out
+        assert "ladder points" in out
+        assert "result: OK" in out
+
+    def test_audit_flags_inconsistent_scale_file(self, tmp_path, capsys):
+        import json as json_module
+
+        record = self._scale_record()
+        # Ladder no longer climbs, a measurement is junk, and a promised
+        # rung is missing entirely.
+        record["ladder"][1]["nodes"] = 500
+        record["ladder"][2]["wall_s"] = 0.0
+        record["promised_nodes"].append(100_000)
+        scale = tmp_path / "BENCH_scale.json"
+        scale.write_text(json_module.dumps(record))
+        assert main(["audit", "--scale", str(scale)]) == 1
+        out = capsys.readouterr().out
+        assert "scale-not-monotone" in out
+        assert "scale-bad-measurement" in out
+        assert "scale-missing-point" in out
+        assert "result: FAILED" in out
 
     @staticmethod
     def _wire_point() -> dict:

@@ -1,8 +1,9 @@
-"""Unit tests for the perf counter/timer subsystem."""
+"""Unit tests for the perf counter/timer/gauge subsystem."""
 
 import json
+import sys
 
-from repro.perf import PERF, PerfRegistry, TimerStats
+from repro.perf import PERF, PerfRegistry, TimerStats, peak_rss_bytes
 
 
 class TestCounters:
@@ -21,7 +22,7 @@ class TestCounters:
         registry.record_time("t2", 1.0)
         assert registry.counter("x") == 0
         assert registry.timer_stats("t").calls == 0
-        assert registry.snapshot() == {"counters": {}, "timers": {}}
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
 
 
 class TestTimers:
@@ -58,6 +59,53 @@ class TestTimers:
         assert TimerStats().mean_s == 0.0
 
 
+class TestGaugesAndPeakRSS:
+    def test_gauge_stores_latest_value(self):
+        registry = PerfRegistry()
+        registry.gauge("depth", 3.0)
+        registry.gauge("depth", 7.0)
+        assert registry.gauge_value("depth") == 7.0
+        assert registry.gauge_value("missing") == 0.0
+
+    def test_disabled_registry_ignores_gauges(self):
+        registry = PerfRegistry(enabled=False)
+        registry.gauge("depth", 3.0)
+        assert registry.gauge_value("depth") == 0.0
+
+    def test_peak_rss_is_positive_on_posix(self):
+        rss = peak_rss_bytes()
+        if sys.platform.startswith(("linux", "darwin")):
+            # A running interpreter has resident memory; anything under a
+            # megabyte would mean the KB/bytes unit handling regressed.
+            assert rss > 1024 * 1024
+        else:
+            assert rss >= 0
+
+    def test_sample_peak_rss_records_gauge(self):
+        registry = PerfRegistry()
+        sampled = registry.sample_peak_rss()
+        assert sampled == registry.gauge_value("mem.peak_rss_bytes")
+        assert sampled == peak_rss_bytes()
+
+    def test_restore_accepts_pre_gauge_snapshots(self):
+        registry = PerfRegistry()
+        registry.restore({"counters": {"a": 1}, "timers": {}})
+        assert registry.counter("a") == 1
+        assert registry.gauges == {}
+
+    def test_gauges_survive_snapshot_restore(self):
+        registry = PerfRegistry()
+        registry.gauge("depth", 5.5)
+        clone = PerfRegistry()
+        clone.restore(registry.snapshot())
+        assert clone.gauge_value("depth") == 5.5
+
+    def test_report_includes_gauges(self):
+        registry = PerfRegistry()
+        registry.gauge("depth", 5.5)
+        assert "depth" in registry.report()
+
+
 class TestExport:
     def test_snapshot_is_json_serialisable(self):
         registry = PerfRegistry()
@@ -85,7 +133,7 @@ class TestExport:
         registry.count("a")
         registry.record_time("t", 1.0)
         registry.reset()
-        assert registry.snapshot() == {"counters": {}, "timers": {}}
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
 
 
 class TestGlobalRegistryIntegration:

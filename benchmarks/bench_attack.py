@@ -1,0 +1,243 @@
+"""Experiment E12 (extension) -- integrity under attack: Likir load-bearing.
+
+The paper's DHT layer is Likir (Aiello et al.), chosen for its certified
+identities and content credentials.  This benchmark makes that choice
+load-bearing: a cluster replays a tagging workload, every stored block is
+snapshotted, and a **pre-scheduled adversary campaign** (Sybil joins crowding
+a victim key, eclipse lies from compromised responders, forged STOREs under
+four credential postures, forged APPENDs and stale republish storms) runs
+twice -- once with the full Likir enforcement posture on (credential
+verification, certified-contact admission, hardened unsigned writes), once
+with it off.  Every adversarial draw happens at trace-scheduling time, so
+both arms face the byte-identical campaign; the measured delta is
+enforcement, not luck.
+
+Gates (both modes):
+
+* with verification on, **zero** integrity violations and availability of
+  the probe sample stays at or above the floor -- forged values never
+  reach a reader and honest data survives the campaign;
+* with verification off, the same campaign demonstrates measurable
+  corruption (accepted forgeries and integrity violations);
+* verification costs honest traffic at most 15% in messages and virtual
+  time, measured on an adversary-free A/B of the same workload.
+
+Each run writes a trajectory point to ``BENCH_attack.json`` (consumed by
+``dharma dashboard --attack`` and ``dharma audit --attack``; CI uploads it
+with the other ``BENCH_*.json`` artifacts), and the verification-on arm
+streams live metrics to ``BENCH_attack_metrics.jsonl`` /
+``BENCH_attack_metrics.prom``.  ``BENCH_SMOKE=1`` shrinks the cluster and
+the campaign so the script stays in CI-smoke time; the availability floor
+is relaxed there (tiny probe samples quantise coarsely).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_PRESET, BENCH_SMOKE, print_banner, smoke_scaled
+from repro.metrics import MetricsStream
+from repro.simulation.cluster import (
+    attack_cluster_config,
+    run_attack_benchmark,
+    run_cluster_benchmark,
+)
+from repro.simulation.workload import TaggingWorkload
+
+NUM_NODES = smoke_scaled(300, 48)
+OPS = smoke_scaled(150, 60)
+DURATION_S = smoke_scaled(120.0, 40.0)
+SAMPLE_EVERY_S = smoke_scaled(10.0, 10.0)
+SYBIL_COUNT = smoke_scaled(32, 12)
+FORGE_RATE = smoke_scaled(2.0, 0.7)
+APPEND_FORGE_RATE = smoke_scaled(1.0, 1.0)
+STALE_REPUBLISH_RATE = smoke_scaled(1.0, 1.0)
+TARGET_KEYS = smoke_scaled(4, 3)
+OVERHEAD_OPS = smoke_scaled(120, 40)
+OVERHEAD_SEARCHES = smoke_scaled(20, 8)
+
+#: Availability floor with verification on.
+MIN_AVAILABILITY = 0.95 if BENCH_SMOKE else 0.99
+#: Honest-traffic cost ceiling for the enforcement posture (ratio on/off).
+OVERHEAD_BUDGET = 1.15
+
+OUTPUT_PATH = Path("BENCH_attack.json")
+METRICS_PATH = Path("BENCH_attack_metrics.jsonl")
+PROM_PATH = Path("BENCH_attack_metrics.prom")
+
+
+def _run(workload: TaggingWorkload, verification: bool, seed: int = 0):
+    config = attack_cluster_config(
+        num_nodes=NUM_NODES,
+        verification=verification,
+        sybil_count=SYBIL_COUNT,
+        forge_rate=FORGE_RATE,
+        append_forge_rate=APPEND_FORGE_RATE,
+        stale_republish_rate=STALE_REPUBLISH_RATE,
+        seed=seed,
+    )
+    stream = None
+    if verification:
+        METRICS_PATH.unlink(missing_ok=True)
+        stream = MetricsStream(path=str(METRICS_PATH), prom_path=str(PROM_PATH))
+    try:
+        return run_attack_benchmark(
+            config, workload, ops=OPS, duration_s=DURATION_S,
+            sample_every_s=SAMPLE_EVERY_S, target_keys=TARGET_KEYS,
+            metrics_stream=stream,
+        )
+    finally:
+        if stream is not None:
+            stream.close()
+
+
+def _honest_overhead(workload: TaggingWorkload, seed: int = 0) -> dict[str, float]:
+    """Cost of the enforcement posture on honest traffic (no adversary).
+
+    The same workload runs on two quiet clusters that differ only in the
+    verification flags; the ratios bound what honest users pay for the
+    protection the attack arms measure.
+    """
+    summaries = {}
+    for verification in (True, False):
+        config = dataclasses.replace(
+            attack_cluster_config(num_nodes=NUM_NODES, verification=verification, seed=seed),
+            adversary=False,
+            sybil_count=0,
+            compromised_fraction=0.0,
+            forge_rate=0.0,
+            append_forge_rate=0.0,
+            stale_republish_rate=0.0,
+        )
+        report = run_cluster_benchmark(
+            config, workload, ops=OVERHEAD_OPS, searches=OVERHEAD_SEARCHES
+        )
+        summaries[verification] = report.summary()
+    on, off = summaries[True], summaries[False]
+    return {
+        "messages_on": on["messages_total"],
+        "messages_off": off["messages_total"],
+        "messages_ratio": (
+            on["messages_total"] / off["messages_total"] if off["messages_total"] else 1.0
+        ),
+        "virtual_time_on_s": on["virtual_time_s"],
+        "virtual_time_off_s": off["virtual_time_s"],
+        "virtual_time_ratio": (
+            on["virtual_time_s"] / off["virtual_time_s"] if off["virtual_time_s"] else 1.0
+        ),
+    }
+
+
+def _sent_counters(report) -> dict[str, float]:
+    """The campaign-side counters: what the adversary *attempted*."""
+    return {
+        key: value
+        for key, value in report.summary().items()
+        if key.startswith("attack_") and key.endswith("_sent")
+    }
+
+
+class TestAttackResilience:
+    def test_verification_preserves_integrity_under_identical_campaign(
+        self, benchmark, bench_dataset
+    ):
+        workload = TaggingWorkload.from_triples(bench_dataset.triples())
+
+        def run():
+            return {
+                "on": _run(workload, verification=True),
+                "off": _run(workload, verification=False),
+                "overhead": _honest_overhead(workload),
+            }
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        on, off, overhead = results["on"], results["off"], results["overhead"]
+
+        print_banner(
+            f"E12 -- attack resilience: {NUM_NODES} nodes, {OPS} ops, "
+            f"{DURATION_S:.0f}s campaign ({SYBIL_COUNT} sybils, "
+            f"forge rate {FORGE_RATE}/s, {TARGET_KEYS} victim blocks)"
+        )
+        for label, report in (("verification on", on), ("verification off", off)):
+            s = report.summary()
+            print(
+                f"{label:>16}: availability {s['final_availability']:.4f}, "
+                f"{s['integrity_violations']:.0f} violations, "
+                f"{s['likir_rejected']:.0f} likir rejections, "
+                f"eclipse progress {s['eclipse_progress']:.3f}"
+            )
+        print(
+            f" honest overhead: messages x{overhead['messages_ratio']:.3f}, "
+            f"virtual time x{overhead['virtual_time_ratio']:.3f} "
+            f"(budget x{OVERHEAD_BUDGET:.2f})"
+        )
+
+        point = {
+            "bench": "attack_resilience",
+            "preset": BENCH_PRESET,
+            "smoke": BENCH_SMOKE,
+            "timestamp": time.time(),
+            "nodes": NUM_NODES,
+            "ops": OPS,
+            "duration_s": DURATION_S,
+            "sybil_count": SYBIL_COUNT,
+            "forge_rate": FORGE_RATE,
+            "append_forge_rate": APPEND_FORGE_RATE,
+            "stale_republish_rate": STALE_REPUBLISH_RATE,
+            "targets": TARGET_KEYS,
+            "availability_floor": MIN_AVAILABILITY,
+            "overhead_budget": OVERHEAD_BUDGET,
+            "honest_overhead": overhead,
+            "verification_on": {**on.summary(), "samples": on.samples},
+            "verification_off": {**off.summary(), "samples": off.samples},
+        }
+        OUTPUT_PATH.write_text(json.dumps(point, indent=2, sort_keys=True) + "\n")
+        print(f"\ntrajectory point written to {OUTPUT_PATH.resolve()}")
+        if METRICS_PATH.exists():
+            print(f"verification-on metrics streamed to {METRICS_PATH.resolve()}")
+            assert METRICS_PATH.stat().st_size > 0
+            assert PROM_PATH.exists()
+
+        # Both arms faced the byte-identical pre-scheduled campaign.
+        assert _sent_counters(on) == _sent_counters(off)
+        assert on.attack.get("sybil_joins", 0) > 0, "the campaign joined no sybils"
+        assert sum(_sent_counters(on).values()) > 0, "the campaign sent no forgeries"
+        assert on.honest_appends > 0, "no honest APPENDs were exercised"
+
+        # Gate 1: enforcement keeps forged data out and honest data up.
+        assert on.integrity_violations == 0, (
+            f"{on.integrity_violations} integrity violations despite verification "
+            f"({on.foreign_entries} foreign entries)"
+        )
+        assert on.final_availability >= MIN_AVAILABILITY, (
+            f"availability with verification {on.final_availability:.4f} "
+            f"below the {MIN_AVAILABILITY:.2f} floor ({on.lost_blocks} blocks lost)"
+        )
+        assert on.likir_rejected > 0, "verification-on arm rejected nothing"
+
+        # Gate 2: the same campaign without enforcement does measurable damage.
+        off_accepted = sum(
+            value
+            for key, value in off.summary().items()
+            if key.startswith("attack_") and key.endswith("_accepted")
+        )
+        assert off_accepted > 0, (
+            "verification-off run accepted no forgeries; the benchmark "
+            "cannot demonstrate what enforcement buys"
+        )
+        assert off.integrity_violations > 0, (
+            "verification-off run shows no corruption; the campaign is too weak"
+        )
+
+        # Gate 3: honest users pay a bounded price for the protection.
+        assert overhead["messages_ratio"] <= OVERHEAD_BUDGET, (
+            f"verification costs x{overhead['messages_ratio']:.3f} honest "
+            f"messages, over the x{OVERHEAD_BUDGET:.2f} budget"
+        )
+        assert overhead["virtual_time_ratio"] <= OVERHEAD_BUDGET, (
+            f"verification costs x{overhead['virtual_time_ratio']:.3f} honest "
+            f"virtual time, over the x{OVERHEAD_BUDGET:.2f} budget"
+        )

@@ -61,6 +61,7 @@ __all__ = [
     "audit_metrics",
     "audit_wire",
     "audit_scale",
+    "audit_attack",
     "run_audit",
 ]
 
@@ -499,6 +500,148 @@ def audit_scale(point: dict[str, Any]) -> tuple[list[AuditFinding], dict[str, in
 
 
 # --------------------------------------------------------------------------- #
+# attack-benchmark audit
+# --------------------------------------------------------------------------- #
+
+
+def audit_attack(point: dict[str, Any]) -> tuple[list[AuditFinding], dict[str, int]]:
+    """Check one ``BENCH_attack.json`` trajectory point.
+
+    The record carries the same seeded attack campaign run twice --
+    ``verification_on`` and ``verification_off`` -- plus an honest-workload
+    overhead measurement.  The audit re-checks the load-bearing claim: the
+    two arms faced the byte-identical campaign (every ``attack_*_sent``
+    counter matches), the enforced arm shows zero integrity violations and
+    availability at or above the recorded floor, the unprotected arm shows
+    measurable corruption, and verification's honest overhead stays within
+    the recorded budget.
+    """
+    findings: list[AuditFinding] = []
+    readings = 0
+    on = point.get("verification_on")
+    off = point.get("verification_off")
+    if not isinstance(on, dict) or not isinstance(off, dict):
+        findings.append(
+            AuditFinding(
+                "error",
+                "attack-missing-arm",
+                "record needs verification_on and verification_off sections",
+            )
+        )
+        return findings, {"attack arms": 0}
+
+    sent_keys = sorted(
+        key for key in on if key.startswith("attack_") and key.endswith("_sent")
+    )
+    if not sent_keys:
+        findings.append(
+            AuditFinding(
+                "error",
+                "attack-no-campaign",
+                "no attack_*_sent counters recorded: the adversary never fired",
+            )
+        )
+    for key in sent_keys:
+        readings += 1
+        if on.get(key) != off.get(key):
+            findings.append(
+                AuditFinding(
+                    "error",
+                    "attack-trace-divergence",
+                    f"{key} differs across arms ({on.get(key)} vs {off.get(key)}): "
+                    "the A/B did not face the identical campaign",
+                )
+            )
+
+    for arm_name, arm in (("verification_on", on), ("verification_off", off)):
+        readings += 1
+        availability = arm.get("final_availability")
+        if not isinstance(availability, (int, float)) or not (0.0 <= availability <= 1.0):
+            findings.append(
+                AuditFinding(
+                    "error",
+                    "attack-availability-range",
+                    f"{arm_name} records availability {availability!r}, outside [0, 1]",
+                )
+            )
+
+    floor = float(point.get("availability_floor", 0.99))
+    readings += 2
+    violations_on = on.get("integrity_violations")
+    if violations_on != 0:
+        findings.append(
+            AuditFinding(
+                "error",
+                "attack-integrity",
+                f"verification-on arm records {violations_on!r} integrity "
+                "violations; enforcement is not load-bearing",
+            )
+        )
+    availability_on = on.get("final_availability")
+    if isinstance(availability_on, (int, float)) and availability_on < floor:
+        findings.append(
+            AuditFinding(
+                "error",
+                "attack-availability",
+                f"verification-on availability {availability_on:.4f} is below "
+                f"the {floor:.2f} floor",
+            )
+        )
+
+    readings += 1
+    corrupted = bool(off.get("integrity_violations", 0)) or (
+        isinstance(availability_on, (int, float))
+        and isinstance(off.get("final_availability"), (int, float))
+        and off["final_availability"] < availability_on
+    )
+    if not corrupted:
+        findings.append(
+            AuditFinding(
+                "error",
+                "attack-no-damage",
+                "verification-off arm shows no corruption under the same "
+                "campaign; the benchmark proves nothing about enforcement",
+            )
+        )
+
+    overhead = point.get("honest_overhead")
+    budget = float(point.get("overhead_budget", 1.15))
+    if not isinstance(overhead, dict):
+        findings.append(
+            AuditFinding(
+                "warning",
+                "attack-missing-overhead",
+                "no honest_overhead section in the record",
+            )
+        )
+    else:
+        for metric in ("messages_ratio", "virtual_time_ratio"):
+            value = overhead.get(metric)
+            if not isinstance(value, (int, float)):
+                findings.append(
+                    AuditFinding(
+                        "warning",
+                        "attack-missing-overhead",
+                        f"honest_overhead has no {metric} reading",
+                    )
+                )
+                continue
+            readings += 1
+            if value > budget:
+                findings.append(
+                    AuditFinding(
+                        "error",
+                        "attack-overhead",
+                        f"honest-workload {metric} {value:.3f} exceeds the "
+                        f"{budget:.2f} budget",
+                    )
+                )
+
+    checked = {"attack arms": 2, "attack readings": readings}
+    return findings, checked
+
+
+# --------------------------------------------------------------------------- #
 # entry point
 # --------------------------------------------------------------------------- #
 
@@ -508,9 +651,10 @@ def run_audit(
     metrics_path: str | Path | None = None,
     wire_path: str | Path | None = None,
     scale_path: str | Path | None = None,
+    attack_path: str | Path | None = None,
 ) -> AuditReport:
-    """Audit a snapshot, a metrics log, a wire benchmark and/or a scale
-    ladder; any may be omitted (but not all)."""
+    """Audit a snapshot, a metrics log, a wire benchmark, a scale ladder
+    and/or an attack benchmark; any may be omitted (but not all)."""
     report = AuditReport()
     if snapshot_path is not None:
         from repro.simulation.snapshot import load_snapshot
@@ -539,14 +683,22 @@ def run_audit(
         findings, checked = audit_scale(point)
         report.findings.extend(findings)
         report.checked.update(checked)
+    if attack_path is not None:
+        import json
+
+        point = json.loads(Path(attack_path).read_text(encoding="utf-8"))
+        findings, checked = audit_attack(point)
+        report.findings.extend(findings)
+        report.checked.update(checked)
     if (
         snapshot_path is None
         and metrics_path is None
         and wire_path is None
         and scale_path is None
+        and attack_path is None
     ):
         raise ValueError(
-            "nothing to audit: pass a snapshot, a metrics log, a wire benchmark "
-            "and/or a scale ladder"
+            "nothing to audit: pass a snapshot, a metrics log, a wire benchmark, "
+            "a scale ladder and/or an attack benchmark"
         )
     return report

@@ -209,20 +209,70 @@ def _scale_section(scale: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _attack_side(data: dict[str, Any] | None) -> dict[str, Any] | None:
+    if data is None:
+        return None
+    samples = data.get("samples") or []
+    availability = [float(a) for _, a in samples]
+    return {
+        "final_availability": data.get("final_availability", 0.0),
+        "min_availability": min(availability) if availability else 0.0,
+        "availability_timeline": availability,
+        "integrity_violations": data.get("integrity_violations", 0),
+        "foreign_entries": data.get("foreign_entries", 0),
+        "entries_checked": data.get("entries_checked", 0),
+        "lost_blocks": data.get("lost_blocks", 0),
+        "blocks_written": data.get("blocks_written", 0),
+        "forged_reads_rejected": data.get("forged_reads_rejected", 0),
+        "honest_append_failures": data.get("honest_append_failures", 0),
+        "eclipse_progress": data.get("eclipse_progress", 0.0),
+        "likir_verified": data.get("likir_verified", 0),
+        "likir_rejected": data.get("likir_rejected", 0),
+        "sybil_contacts_rejected": data.get("sybil_contacts_rejected", 0),
+        "forged_writes_sent": sum(
+            value
+            for name, value in data.items()
+            if name.startswith("attack_") and name.endswith("_sent")
+        ),
+        "forged_writes_accepted": sum(
+            value
+            for name, value in data.items()
+            if name.startswith("attack_") and name.endswith("_accepted")
+        ),
+        "sybil_joins": data.get("attack_sybil_joins", 0),
+        "messages_total": data.get("messages_total", 0),
+    }
+
+
+def _attack_section(attack: dict[str, Any]) -> dict[str, Any]:
+    return {
+        "nodes": attack.get("nodes"),
+        "duration_s": attack.get("duration_s"),
+        "smoke": attack.get("smoke"),
+        "availability_floor": attack.get("availability_floor"),
+        "overhead_budget": attack.get("overhead_budget"),
+        "honest_overhead": attack.get("honest_overhead"),
+        "verification_on": _attack_side(attack.get("verification_on")),
+        "verification_off": _attack_side(attack.get("verification_off")),
+    }
+
+
 def dashboard_data(
     core: dict[str, Any] | None,
     churn: dict[str, Any] | None,
     metrics_samples: list[dict[str, Any]] | None,
     wire: dict[str, Any] | None = None,
     scale: dict[str, Any] | None = None,
+    attack: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Shape the five sources into one JSON-serialisable dashboard dict."""
+    """Shape the six sources into one JSON-serialisable dashboard dict."""
     data: dict[str, Any] = {
         "core": None,
         "churn": None,
         "metrics": None,
         "wire": None,
         "scale": None,
+        "attack": None,
     }
     if core is not None:
         data["core"] = {
@@ -250,6 +300,8 @@ def dashboard_data(
         data["wire"] = _wire_section(wire)
     if scale is not None:
         data["scale"] = _scale_section(scale)
+    if attack is not None:
+        data["attack"] = _attack_section(attack)
     return data
 
 
@@ -412,6 +464,63 @@ def _render_scale(scale: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _render_attack_side(label: str, side: dict[str, Any], floor: float | None) -> list[str]:
+    timeline = side["availability_timeline"]
+    availability_line = (
+        f"    availability  {sparkline(timeline, lo=0.0, hi=1.0)}  "
+        f"final {side['final_availability']:.3f} (min {side['min_availability']:.3f})"
+    )
+    if floor is not None:
+        verdict = "PASS" if side["final_availability"] >= floor else "FAIL"
+        availability_line += f"  [floor {floor:.2f}: {verdict}]"
+    return [
+        f"  {label}:",
+        availability_line,
+        f"    integrity: {side['integrity_violations']} violations "
+        f"({side['foreign_entries']} foreign entries, "
+        f"{side['entries_checked']} entries checked), "
+        f"lost {side['lost_blocks']}/{side['blocks_written']} blocks",
+        f"    forged writes: {side['forged_writes_accepted']}/"
+        f"{side['forged_writes_sent']} accepted; "
+        f"{side['forged_reads_rejected']} forged reads rejected, "
+        f"{side['honest_append_failures']} honest APPENDs broken",
+        f"    sybil/eclipse: {side['sybil_joins']} sybil joins, "
+        f"eclipse progress {side['eclipse_progress']:.3f}, "
+        f"{side['sybil_contacts_rejected']:,} uncertified contacts refused",
+        f"    likir: {side['likir_verified']:,} verified / "
+        f"{side['likir_rejected']:,} rejected; "
+        f"{side['messages_total']:,} messages",
+    ]
+
+
+def _render_attack(attack: dict[str, Any]) -> str:
+    lines = [
+        f"attack A/B (BENCH_attack.json) -- {attack.get('nodes', '?')} nodes, "
+        f"{attack.get('duration_s', 0.0):.0f}s campaign"
+        + ("  [smoke]" if attack.get("smoke") else "")
+    ]
+    floor = attack.get("availability_floor")
+    if attack["verification_on"] is not None:
+        lines.extend(
+            _render_attack_side("verification on", attack["verification_on"], floor)
+        )
+    if attack["verification_off"] is not None:
+        lines.extend(
+            _render_attack_side("verification off", attack["verification_off"], None)
+        )
+    overhead = attack.get("honest_overhead")
+    if overhead:
+        budget = attack.get("overhead_budget")
+        parts = ", ".join(
+            f"{name} {value:.3f}" for name, value in sorted(overhead.items())
+        )
+        lines.append(
+            f"  honest overhead of verification: {parts}"
+            + (f"  [budget {budget:.2f}]" if budget is not None else "")
+        )
+    return "\n".join(lines)
+
+
 def render_dashboard(data: dict[str, Any]) -> str:
     """Render :func:`dashboard_data` output for the terminal."""
     sections: list[str] = []
@@ -419,6 +528,8 @@ def render_dashboard(data: dict[str, Any]) -> str:
         sections.append(_render_core(data["core"]))
     if data.get("churn") is not None:
         sections.append(_render_churn(data["churn"]))
+    if data.get("attack") is not None:
+        sections.append(_render_attack(data["attack"]))
     if data.get("scale") is not None:
         sections.append(_render_scale(data["scale"]))
     if data.get("wire") is not None:

@@ -16,6 +16,10 @@ can be exercised without writing Python:
 * ``dharma churn-bench`` -- run a cluster under churn (crashes and graceful
   leaves on a pre-scheduled fault trace) with replica maintenance on and/or
   off, and report block availability, survival CDFs and counter integrity;
+* ``dharma attack-bench`` -- run the same seeded adversary campaign (Sybil
+  joins, eclipse lies, forged writes, stale republish storms) with Likir
+  verification on and/or off, and report availability, integrity violations
+  and enforcement counters for each posture;
 * ``dharma profile`` -- drive the interned core (build, freeze, legacy vs
   frozen faceted search, block codec pass) under the :mod:`repro.perf`
   counters/timers and print or export the snapshot;
@@ -55,7 +59,9 @@ from repro.distributed.tagging_service import DharmaService, ServiceConfig
 from repro.perf import PERF
 from repro.simulation.cluster import (
     ClusterConfig,
+    attack_cluster_config,
     churn_cluster_config,
+    run_attack_benchmark,
     run_cluster_benchmark,
     run_survival_benchmark,
 )
@@ -164,6 +170,46 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--resume-from", default=None,
                        help="resume a halted run from this snapshot instead of starting fresh")
 
+    attack = sub.add_parser(
+        "attack-bench",
+        help="availability and integrity under attack with Likir verification on/off",
+    )
+    attack.add_argument("--dataset", default=None, help="TSV file of triples (default: synthetic)")
+    attack.add_argument("--preset", choices=sorted(PRESETS), default="tiny",
+                        help="synthetic dataset preset used when no --dataset is given")
+    attack.add_argument("--nodes", type=int, default=200)
+    attack.add_argument("--ops", type=int, default=150,
+                        help="tagging operations written before the attack starts")
+    attack.add_argument("--duration", type=float, default=120.0,
+                        help="attack phase length in virtual seconds")
+    attack.add_argument("--sample-every", type=float, default=10.0,
+                        help="availability probe period in virtual seconds")
+    attack.add_argument("--sybil-count", type=int, default=32,
+                        help="Sybil identities joined around the victim key")
+    attack.add_argument("--compromised-fraction", type=float, default=0.02,
+                        help="fraction of honest nodes whose RPC answers are rewritten")
+    attack.add_argument("--forge-rate", type=float, default=2.0,
+                        help="forged STOREs per virtual second")
+    attack.add_argument("--append-forge-rate", type=float, default=1.0,
+                        help="forged APPENDs per virtual second")
+    attack.add_argument("--stale-republish-rate", type=float, default=1.0,
+                        help="stale republish storms per virtual second")
+    attack.add_argument("--no-eclipse", action="store_true",
+                        help="disable the eclipse arm of the campaign")
+    attack.add_argument("--replicate", type=int, default=3)
+    attack.add_argument("--targets", type=int, default=4,
+                        help="victim counter blocks the campaign aims at")
+    attack.add_argument("--verification", choices=["on", "off", "both"], default="both")
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument("--json", dest="json_path", default=None,
+                        help="also write the attack report(s) to this JSON file")
+    attack.add_argument("--metrics-out", default=None,
+                        help="stream per-interval metrics to this JSON-lines file "
+                             "(with --verification both, '.on'/'.off' is inserted "
+                             "before the suffix)")
+    attack.add_argument("--prom-out", default=None,
+                        help="rewrite this file with the latest Prometheus text exposition")
+
     profile = sub.add_parser(
         "profile",
         help="profile the interned core: build, freeze, legacy vs frozen search, codec",
@@ -193,6 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
     dash.add_argument("--scale", default="BENCH_scale.json",
                       help="scale-ladder trajectory file from bench_scale "
                            "(skipped when missing)")
+    dash.add_argument("--attack", default="BENCH_attack.json",
+                      help="attack-benchmark trajectory file from bench_attack "
+                           "(skipped when missing)")
     dash.add_argument("--metrics", default=None,
                       help="JSON-lines metrics log from a live run")
     dash.add_argument("--json", dest="json_output", action="store_true",
@@ -212,6 +261,10 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--scale", default=None,
                        help="BENCH_scale.json to sanity-check (monotone ladder, "
                            "positive wall/RSS, promised node sizes present)")
+    audit.add_argument("--attack", default=None,
+                       help="BENCH_attack.json to check (zero violations and "
+                           "availability floor with verification on, measurable "
+                           "damage off, honest overhead within budget)")
     audit.add_argument("--json", dest="json_output", action="store_true",
                        help="print the findings as JSON instead of rendering")
 
@@ -229,6 +282,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--node-name", default=None,
                        help="derive the node id from SHA-1 of this name "
                             "(default: derived from the bound endpoint)")
+    serve.add_argument("--verify", action="store_true",
+                       help="enforce Likir credentials on writes (requires --cert-seed; "
+                            "the node id is then issued by the certification service)")
+    serve.add_argument("--cert-seed", type=int, default=None,
+                       help="shared seed for the stateless certification service -- "
+                            "every node of one overlay must use the same value")
     serve.add_argument("--k", type=int, default=20, help="bucket size / replication parameter")
     serve.add_argument("--alpha", type=int, default=3, help="lookup concurrency")
     serve.add_argument("--replicate", type=int, default=3,
@@ -537,6 +596,113 @@ def _cmd_churn_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _attack_forge_totals(summary: dict[str, float]) -> tuple[int, int, int]:
+    """Sum forged-write outcomes over every attack kind in a flat summary."""
+    sent = accepted = rejected = 0
+    for key, value in summary.items():
+        if not key.startswith("attack_"):
+            continue
+        if key.endswith("_sent"):
+            sent += int(value)
+        elif key.endswith("_accepted"):
+            accepted += int(value)
+        elif key.endswith("_rejected"):
+            rejected += int(value)
+    return sent, accepted, rejected
+
+
+def _cmd_attack_bench(args: argparse.Namespace) -> int:
+    from repro.metrics import MetricsStream
+
+    if args.dataset is not None:
+        dataset = load_triples_tsv(args.dataset)
+    else:
+        dataset = generate_lastfm_like(args.preset)
+    workload = TaggingWorkload.from_triples(dataset.triples())
+
+    modes = [True, False] if args.verification == "both" else [args.verification == "on"]
+    reports = {}
+    for verification in modes:
+        config = attack_cluster_config(
+            num_nodes=args.nodes,
+            verification=verification,
+            sybil_count=args.sybil_count,
+            compromised_fraction=args.compromised_fraction,
+            forge_rate=args.forge_rate,
+            append_forge_rate=args.append_forge_rate,
+            stale_republish_rate=args.stale_republish_rate,
+            eclipse=not args.no_eclipse,
+            replicate=args.replicate,
+            seed=args.seed,
+        )
+        label = "verification on" if verification else "verification off"
+        suffix = "on" if verification else "off"
+        stream = None
+        if args.metrics_out is not None:
+            stream = MetricsStream(
+                path=_labelled_path(args.metrics_out, suffix, len(modes) > 1),
+                prom_path=_labelled_path(args.prom_out, suffix, len(modes) > 1),
+            )
+        report = run_attack_benchmark(
+            config,
+            workload,
+            ops=args.ops,
+            duration_s=args.duration,
+            sample_every_s=args.sample_every,
+            target_keys=args.targets,
+            metrics_stream=stream,
+        )
+        if stream is not None:
+            stream.close()
+        reports[label] = report
+
+    metrics = [
+        "blocks_written", "targets", "final_availability", "lost_blocks",
+        "integrity_violations", "foreign_entries", "forged_reads_rejected",
+        "honest_appends", "honest_append_failures", "eclipse_progress",
+        "likir_verified", "likir_rejected", "sybil_contacts_rejected",
+        "messages_total", "virtual_time_s", "wall_time_s",
+    ]
+    summaries = {label: report.summary() for label, report in reports.items()}
+    headers = ["metric", *reports.keys()]
+    rows = [
+        [metric, *[summaries[label].get(metric, 0.0) for label in summaries]]
+        for metric in metrics
+    ]
+    print(format_table(
+        headers, rows,
+        title=(
+            f"attack-bench -- {args.nodes} nodes, {args.duration:.0f}s attack, "
+            f"{args.sybil_count} sybils, forge rate {args.forge_rate}/s"
+        ),
+    ))
+    for label, summary in summaries.items():
+        sent, accepted, rejected = _attack_forge_totals(summary)
+        print(
+            f"{label}: {sent} forged writes sent, "
+            f"{accepted} accepted, {rejected} rejected"
+        )
+
+    if args.json_path:
+        # Same shape as benchmarks/bench_attack.py, so the file feeds
+        # straight into `dharma dashboard --attack` / `dharma audit --attack`
+        # (minus the honest-overhead section only the benchmark measures).
+        payload = {
+            "bench": "attack_resilience",
+            "nodes": args.nodes,
+            "duration_s": args.duration,
+            "sybil_count": args.sybil_count,
+            "targets": args.targets,
+        }
+        for report in reports.values():
+            arm = "verification_on" if report.verification_on else "verification_off"
+            payload[arm] = {**report.summary(), "samples": report.samples}
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"\nattack report written to {args.json_path}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     if args.dataset is not None:
         dataset = load_triples_tsv(args.dataset, limit=args.limit)
@@ -642,6 +808,7 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
         metrics_samples=metrics_samples,
         wire=load_benchmark(args.wire),
         scale=load_benchmark(args.scale),
+        attack=load_benchmark(args.attack),
     )
     if args.json_output:
         print(json.dumps(data, indent=2, sort_keys=True))
@@ -653,9 +820,15 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
 def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.analysis.audit import run_audit
 
-    if args.snapshot is None and args.metrics is None and args.wire is None and args.scale is None:
+    if (
+        args.snapshot is None
+        and args.metrics is None
+        and args.wire is None
+        and args.scale is None
+        and args.attack is None
+    ):
         print(
-            "nothing to audit: pass --snapshot, --metrics, --wire and/or --scale",
+            "nothing to audit: pass --snapshot, --metrics, --wire, --scale and/or --attack",
             file=sys.stderr,
         )
         return 2
@@ -664,6 +837,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         metrics_path=args.metrics,
         wire_path=args.wire,
         scale_path=args.scale,
+        attack_path=args.attack,
     )
     if args.json_output:
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
@@ -676,20 +850,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import dataclasses
     import random as random_module
 
+    from repro.dht.likir import CertificationService
     from repro.dht.node import NodeConfig
     from repro.dht.node_id import NodeID
     from repro.net.base import TransportError
     from repro.net.server import ServeNode
     from repro.net.udp import UdpTransportConfig
 
+    certification = None
     node_id = NodeID.hash_of(args.node_name) if args.node_name else None
+    if args.verify:
+        if args.cert_seed is None:
+            print("--verify requires --cert-seed (the shared trust root)", file=sys.stderr)
+            return 2
+        # Stateless issuance: every process holding the seed derives the
+        # same identity per user, so independently started nodes verify
+        # each other's credentials without a shared registry.
+        certification = CertificationService(seed=args.cert_seed, stateless=True)
+        if args.node_name:
+            node_id = certification.register(args.node_name).node_id
     node = ServeNode(
         host=args.host,
         port=args.port,
         node_id=node_id,
         node_config=NodeConfig(
-            k=args.k, alpha=args.alpha, replicate=args.replicate, verify_credentials=False
+            k=args.k,
+            alpha=args.alpha,
+            replicate=args.replicate,
+            verify_credentials=args.verify,
         ),
+        certification=certification,
         transport_config=UdpTransportConfig(
             timeout_ms=args.timeout_ms,
             retries=args.retries,
@@ -757,6 +947,7 @@ _COMMANDS = {
     "overlay": _cmd_overlay,
     "cluster-bench": _cmd_cluster_bench,
     "churn-bench": _cmd_churn_bench,
+    "attack-bench": _cmd_attack_bench,
     "profile": _cmd_profile,
     "dashboard": _cmd_dashboard,
     "audit": _cmd_audit,

@@ -31,6 +31,7 @@ import os
 from dataclasses import dataclass
 from typing import Any
 
+from repro.core.codec import CodecError, encode_value
 from repro.dht.node_id import NodeID
 
 __all__ = [
@@ -39,6 +40,30 @@ __all__ = [
     "SignedValue",
     "CertificationService",
 ]
+
+
+def _canonical_form(value: Any) -> Any:
+    """Order-independent rendering of *value* (dicts sorted, recursively).
+
+    Two equal counter payloads whose ``entries`` dicts were built in
+    different insertion orders (one merged, one appended-to) must serialise
+    identically, or a legitimately merged-then-republished block would fail
+    credential verification.
+    """
+    if isinstance(value, dict):
+        return {key: _canonical_form(value[key]) for key in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_form(item) for item in value]
+    return value
+
+
+def _canonical_value_bytes(value: Any) -> bytes:
+    try:
+        return encode_value(_canonical_form(value))
+    except (CodecError, TypeError):
+        # Not a codec-able payload (exotic types, unsortable dict keys):
+        # fall back to the repr rendering, which accepts anything.
+        return repr(value).encode("utf-8")
 
 
 class LikirAuthError(Exception):
@@ -79,6 +104,24 @@ class SignedValue:
 
     @staticmethod
     def canonical_bytes(publisher: str, key_hex: str, value: Any) -> bytes:
+        """Order-independent serialisation the credential HMAC covers.
+
+        Dict payloads are rendered with sorted keys through the binary value
+        codec, so two equal payloads always produce the same bytes no matter
+        their insertion history (the ``2|`` prefix domain-separates this form
+        from the legacy repr-based one).
+        """
+        head = f"2|{publisher}|{key_hex}|".encode("utf-8")
+        return head + _canonical_value_bytes(value)
+
+    @staticmethod
+    def legacy_canonical_bytes(publisher: str, key_hex: str, value: Any) -> bytes:
+        """The pre-v2 repr-based serialisation (insertion-order sensitive).
+
+        Retained so credentials minted by older builds -- including the ones
+        embedded in pinned snapshot fixtures -- keep verifying; new
+        credentials are always minted over :meth:`canonical_bytes`.
+        """
         return f"{publisher}|{key_hex}|{value!r}".encode("utf-8")
 
     @classmethod
@@ -93,14 +136,23 @@ class SignedValue:
         )
 
     def verify(self, service: "CertificationService") -> None:
-        """Raise :class:`LikirAuthError` unless the credential is valid."""
+        """Raise :class:`LikirAuthError` unless the credential is valid.
+
+        Accepts credentials over either the canonical (sorted) serialisation
+        or the legacy repr form, so values signed by older builds still
+        verify.
+        """
         secret = service.secret_for(self.publisher)
         if secret is None:
             raise LikirAuthError(f"unknown publisher {self.publisher!r}")
-        payload = self.canonical_bytes(self.publisher, self.key_hex, self.value)
-        expected = hmac.new(secret, payload, hashlib.sha1).digest()
-        if not hmac.compare_digest(expected, self.credential):
-            raise LikirAuthError(f"invalid credential from {self.publisher!r}")
+        for payload in (
+            self.canonical_bytes(self.publisher, self.key_hex, self.value),
+            self.legacy_canonical_bytes(self.publisher, self.key_hex, self.value),
+        ):
+            expected = hmac.new(secret, payload, hashlib.sha1).digest()
+            if hmac.compare_digest(expected, self.credential):
+                return
+        raise LikirAuthError(f"invalid credential from {self.publisher!r}")
 
 
 class CertificationService:
@@ -110,13 +162,35 @@ class CertificationService:
     it is an in-process registry shared by the overlay so storage nodes can
     verify credentials.  Node ids are derived as ``SHA1(user | nonce)`` with a
     service-chosen nonce, preventing id targeting.
+
+    Two deterministic issuance modes exist:
+
+    * the default seeded mode derives key material from the *registration
+      order* (``seed | issued | user``), which pins whole-cluster experiments
+      bit-for-bit but means two processes only agree if they register the
+      same users in the same order;
+    * ``stateless=True`` derives from ``seed | user`` alone, so any process
+      holding the shared seed derives the same identity for a user without
+      coordination -- the mode ``dharma serve --verify --cert-seed`` uses to
+      let independent OS processes verify each other's credentials.  In this
+      mode possession of the seed is the trust root: :meth:`secret_for`
+      derives identities on demand, so no publisher is ever "unknown"
+      (forgeries are still rejected because the forger lacks the seed).
     """
 
-    def __init__(self, seed: int | None = None) -> None:
+    def __init__(self, seed: int | None = None, stateless: bool = False) -> None:
+        if stateless and seed is None:
+            raise ValueError("stateless issuance requires a shared seed")
         self._secrets: dict[str, bytes] = {}
         self._node_ids: dict[str, NodeID] = {}
+        self._certified_ids: set[NodeID] = set()
         self._seed = seed
+        self._stateless = stateless
         self._issued = 0
+
+    @property
+    def stateless(self) -> bool:
+        return self._stateless
 
     def register(self, user: str) -> Identity:
         """Issue (or return the previously issued) identity for *user*."""
@@ -125,6 +199,10 @@ class CertificationService:
         if self._seed is None:
             nonce = os.urandom(8)
             secret = os.urandom(20)
+        elif self._stateless:
+            # Order-independent derivation: any process with the seed agrees.
+            material = hashlib.sha256(f"{self._seed}|{user}".encode()).digest()
+            nonce, secret = material[:8], material[8:28]
         else:
             # Deterministic issuance for reproducible experiments.
             material = hashlib.sha256(f"{self._seed}|{self._issued}|{user}".encode()).digest()
@@ -132,14 +210,29 @@ class CertificationService:
         node_id = NodeID.hash_of(user.encode("utf-8") + b"|" + nonce)
         self._secrets[user] = secret
         self._node_ids[user] = node_id
+        self._certified_ids.add(node_id)
         self._issued += 1
         return Identity(user=user, node_id=node_id, secret=secret)
 
     def secret_for(self, user: str) -> bytes | None:
+        if self._stateless and user not in self._secrets:
+            return self.register(user).secret
         return self._secrets.get(user)
 
     def node_id_for(self, user: str) -> NodeID | None:
+        if self._stateless and user not in self._node_ids:
+            return self.register(user).node_id
         return self._node_ids.get(user)
+
+    def is_certified_node_id(self, node_id: NodeID) -> bool:
+        """True when *node_id* was issued by this service.
+
+        The admission check Sybil defense builds on: a self-chosen node id
+        (picked to crowd a victim key's region) was never derived through
+        :meth:`register` and is refused routing-table admission by nodes
+        running with ``certified_contacts``.
+        """
+        return node_id in self._certified_ids
 
     def is_registered(self, user: str) -> bool:
         return user in self._secrets

@@ -16,6 +16,7 @@ closest nodes).
 from __future__ import annotations
 
 import random
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
 
@@ -41,6 +42,7 @@ from repro.dht.routing_table import Contact, make_routing_table
 from repro.dht.storage import LocalStorage
 from repro.net.base import Transport, TransportError
 from repro.net.simulated import as_transport
+from repro.perf import PERF
 from repro.simulation.network import SimulatedNetwork
 
 __all__ = ["NodeConfig", "KademliaNode", "reserve_addresses"]
@@ -93,6 +95,18 @@ class NodeConfig:
     alpha: int = 3
     replicate: int = 3
     verify_credentials: bool = True
+    #: Only admit contacts whose node id was issued by the certification
+    #: service (Likir's id-certification turned into routing admission
+    #: control): self-chosen Sybil ids never enter the routing table and
+    #: eclipse-poisoned lookup responses are filtered.  Requires a
+    #: certification service; a no-op without one.
+    certified_contacts: bool = False
+    #: Harden the write path: unsigned STOREs are only accepted when they
+    #: merge monotonically into resident counter state (replica maintenance
+    #: republishes counter snapshots unsigned), never when they would
+    #: replace a resident block wholesale; APPENDs must come from a
+    #: certified sender id.  Requires a certification service.
+    require_signed_writes: bool = False
 
     def __post_init__(self) -> None:
         if self.k < 1 or self.alpha < 1 or self.replicate < 1:
@@ -126,6 +140,12 @@ class KademliaNode:
         self.storage = LocalStorage()
         self.certification = certification
         self.joined = False
+        #: Malicious-behavior seam for fault-injection harnesses: when set,
+        #: every served RPC response passes through this hook before leaving
+        #: the node, so a "compromised" peer can lie (forged FIND_VALUE
+        #: payloads, fabricated FIND_NODE contacts) without subclassing.
+        #: Honest operation never sets it.
+        self.rpc_hook: Callable[[RPCRequest, Any], Any] | None = None
         # Server-side RPC counters (how much load this node sustains).
         self.rpcs_served: dict[str, int] = {
             "ping": 0,
@@ -172,32 +192,69 @@ class KademliaNode:
         # evict-pings would otherwise cascade node-to-node without bound.
         sender = Contact(node_id=request.sender_id, address=request.sender_address)
         if isinstance(request, PingRequest):
-            self.routing_table.record_contact(sender)
+            if self._admit_contact(request.sender_id):
+                self.routing_table.record_contact(sender)
             self.rpcs_served["ping"] += 1
-            return PingResponse(responder_id=self.node_id)
-        self._note_contact(sender)
-        if isinstance(request, StoreRequest):
-            return self._handle_store(request)
-        if isinstance(request, AppendRequest):
-            return self._handle_append(request)
-        if isinstance(request, FindValueRequest):
-            return self._handle_find_value(request)
-        if isinstance(request, FindNodeRequest):
-            return self._handle_find_node(request)
-        raise TypeError(f"unknown RPC {type(request).__name__}")
+            response: Any = PingResponse(responder_id=self.node_id)
+        else:
+            self._note_contact(sender)
+            if isinstance(request, StoreRequest):
+                response = self._handle_store(request)
+            elif isinstance(request, AppendRequest):
+                response = self._handle_append(request)
+            elif isinstance(request, FindValueRequest):
+                response = self._handle_find_value(request)
+            elif isinstance(request, FindNodeRequest):
+                response = self._handle_find_node(request)
+            else:
+                raise TypeError(f"unknown RPC {type(request).__name__}")
+        if self.rpc_hook is not None:
+            response = self.rpc_hook(request, response)
+        return response
+
+    def _verify_signed(self, value: SignedValue, context: str) -> None:
+        """Verify *value* against the certification service, counting the
+        outcome in the ``likir.*`` enforcement counters."""
+        if self.certification is None:
+            PERF.count("likir.rejected")
+            raise LikirAuthError(
+                f"cannot verify {context}: node has no certification service configured"
+            )
+        try:
+            value.verify(self.certification)
+        except LikirAuthError:
+            PERF.count("likir.rejected")
+            raise
+        PERF.count("likir.verified")
 
     def _handle_store(self, request: StoreRequest) -> StoreResponse:
         self.rpcs_served["store"] += 1
         value = request.value
-        if self.config.verify_credentials and isinstance(value, SignedValue):
-            if self.certification is None:
-                raise LikirAuthError("node has no certification service configured")
-            value.verify(self.certification)
+        if self.config.verify_credentials:
+            if isinstance(value, SignedValue):
+                self._verify_signed(value, "STORE")
+            elif self.config.require_signed_writes and self.certification is not None:
+                if not self.storage.merge_compatible(request.key, value):
+                    PERF.count("likir.rejected")
+                    raise LikirAuthError(
+                        "unsigned STORE may only merge into counter state, "
+                        f"not replace the block at {request.key.hex()[:12]}…"
+                    )
         self.storage.put(request.key, value, now=self.transport.clock.now)
         return StoreResponse(responder_id=self.node_id, stored=True)
 
     def _handle_append(self, request: AppendRequest) -> AppendResponse:
         self.rpcs_served["append"] += 1
+        if (
+            self.config.verify_credentials
+            and self.config.require_signed_writes
+            and self.certification is not None
+            and not self.certification.is_certified_node_id(request.sender_id)
+        ):
+            PERF.count("likir.rejected")
+            raise LikirAuthError(
+                f"APPEND from uncertified node id {request.sender_id.hex()[:12]}…"
+            )
         size = self.storage.append(
             key=request.key,
             owner=request.owner,
@@ -232,10 +289,26 @@ class KademliaNode:
     # client side: raw RPCs
     # ------------------------------------------------------------------ #
 
+    def _admit_contact(self, node_id: NodeID) -> bool:
+        """Certified-id admission control (Sybil defense).
+
+        With ``certified_contacts`` and a certification service, only node
+        ids the service actually issued may enter routing state; every
+        refusal is counted in ``likir.sybil_rejected``.
+        """
+        if not self.config.certified_contacts or self.certification is None:
+            return True
+        if self.certification.is_certified_node_id(node_id):
+            return True
+        PERF.count("likir.sybil_rejected")
+        return False
+
     def _note_contact(self, contact: Contact) -> None:
         """Insert *contact*, applying the ping-before-evict policy when the
         target bucket is full."""
         if contact.node_id == self.node_id:
+            return
+        if not self._admit_contact(contact.node_id):
             return
         inserted = self.routing_table.record_contact(contact)
         if inserted:
@@ -290,10 +363,17 @@ class KademliaNode:
         if isinstance(response, FindValueResponse):
             if response.found:
                 return ([], response.value)
-            return (contacts_from_wire(response.contacts), None)
+            return (self._admitted(contacts_from_wire(response.contacts)), None)
         if isinstance(response, FindNodeResponse):
-            return (contacts_from_wire(response.contacts), None)
+            return (self._admitted(contacts_from_wire(response.contacts)), None)
         return None
+
+    def _admitted(self, contacts: list[Contact]) -> list[Contact]:
+        """Filter uncertified contacts out of a lookup response (a poisoned
+        peer steering the lookup toward Sybil ids must not succeed)."""
+        if not self.config.certified_contacts or self.certification is None:
+            return contacts
+        return [c for c in contacts if self._admit_contact(c.node_id)]
 
     def lookup_node(self, target: NodeID) -> LookupOutcome:
         """Iterative FIND_NODE for *target*."""
@@ -478,10 +558,16 @@ class KademliaNode:
         return outcome
 
     def unwrap_value(self, value: Any) -> Any:
-        """Verify and strip the Likir credential of a retrieved value."""
+        """Verify and strip the Likir credential of a retrieved value.
+
+        With ``verify_credentials`` the GET path enforces exactly like the
+        STORE path: a missing certification service raises instead of
+        silently skipping verification (a misconfigured node must be loud,
+        not quietly trusting), and every rejection is counted.
+        """
         if isinstance(value, SignedValue):
-            if self.config.verify_credentials and self.certification is not None:
-                value.verify(self.certification)
+            if self.config.verify_credentials:
+                self._verify_signed(value, "retrieved value")
             value = value.value
         return value
 

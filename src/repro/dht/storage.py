@@ -129,6 +129,28 @@ class LocalStorage:
         """Remove *key*; returns True if it was present."""
         return self._items.pop(key, None) is not None
 
+    def merge_compatible(self, key: NodeID, value: Any) -> bool:
+        """True when a STORE of *value* would merge monotonically.
+
+        That is: *value* is a counter payload and either nothing resides
+        under *key* yet or the resident block has the same owner/type, so
+        :meth:`put` takes the entry-wise-max branch and cannot destroy
+        resident state.  This is the predicate credential enforcement uses
+        to decide which *unsigned* STOREs are safe to accept (honest replica
+        maintenance republishes counter snapshots unsigned; everything that
+        would *replace* resident state wholesale must carry a credential).
+        """
+        if not _is_counter_payload(value):
+            return False
+        record = self._items.get(key)
+        if record is None:
+            return True
+        return (
+            _is_counter_payload(record.value)
+            and record.value.get("type") == value.get("type")
+            and record.value.get("owner") == value.get("owner")
+        )
+
     # -- counter-block append ------------------------------------------------ #
 
     def append(

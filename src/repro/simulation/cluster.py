@@ -48,13 +48,15 @@ from typing import Any
 from repro.core.approximation import default_approximation
 from repro.core.blocks import BlockType
 from repro.dht.bootstrap import Overlay, build_overlay
-from repro.dht.likir import CertificationService
+from repro.dht.likir import CertificationService, LikirAuthError
 from repro.dht.maintenance import MaintenanceConfig, OverlayMaintenance
 from repro.dht.node import KademliaNode, NodeConfig
 from repro.dht.node_id import NodeID, NodeIDInterner
 from repro.dht.routing_table import Contact
 from repro.dht.storage import is_counter_payload, merge_counter_entries
 from repro.distributed.tagging_service import DharmaService, ServiceConfig
+from repro.perf import PERF
+from repro.simulation.adversary import AdversaryConfig, AdversaryProcess, AttackTarget
 from repro.simulation.churn import ChurnConfig, ChurnProcess
 from repro.simulation.event_queue import EventQueue
 from repro.simulation.network import NetworkConfig, SimulatedNetwork
@@ -66,9 +68,12 @@ __all__ = [
     "ClusterReport",
     "SimulatedCluster",
     "SurvivalReport",
+    "AttackReport",
     "churn_cluster_config",
+    "attack_cluster_config",
     "run_cluster_benchmark",
     "run_survival_benchmark",
+    "run_attack_benchmark",
 ]
 
 
@@ -129,6 +134,23 @@ class ClusterConfig:
     republish_interval_ms: float = 30_000.0
     refresh_interval_ms: float = 120_000.0
     seed: int = 0
+    #: Likir enforcement posture of every node (threaded into NodeConfig):
+    #: credential verification on the STORE/GET paths, certified-id routing
+    #: admission (Sybil defense), and the hardened unsigned-write policy.
+    verify_credentials: bool = True
+    certified_contacts: bool = False
+    require_signed_writes: bool = False
+    #: Arm the adversarial fault-injection harness (started explicitly via
+    #: :meth:`SimulatedCluster.start_attack`); the remaining knobs shape its
+    #: :class:`~repro.simulation.adversary.AdversaryConfig`.
+    adversary: bool = False
+    sybil_count: int = 0
+    sybil_interval_ms: float = 250.0
+    eclipse: bool = True
+    compromised_fraction: float = 0.0
+    forge_rate: float = 0.0
+    append_forge_rate: float = 0.0
+    stale_republish_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -146,6 +168,18 @@ class ClusterConfig:
             mean_session_s=self.mean_session_s,
             crash_probability=self.crash_probability,
             min_nodes=self.churn_min_nodes,
+            seed=self.seed,
+        )
+
+    def adversary_config(self) -> AdversaryConfig:
+        return AdversaryConfig(
+            sybil_count=self.sybil_count,
+            sybil_interval_ms=self.sybil_interval_ms,
+            eclipse=self.eclipse,
+            compromised_fraction=self.compromised_fraction,
+            forge_rate=self.forge_rate,
+            append_forge_rate=self.append_forge_rate,
+            stale_republish_rate=self.stale_republish_rate,
             seed=self.seed,
         )
 
@@ -273,6 +307,7 @@ class SimulatedCluster:
         "queue",
         "maintenance",
         "churn",
+        "adversary",
         "services",
         "_search_rng",
     )
@@ -291,6 +326,7 @@ class SimulatedCluster:
         self.churn: ChurnProcess | None = None
         if self.config.churn:
             self.churn = ChurnProcess(self.overlay, self.queue, self.config.churn_config())
+        self.adversary: AdversaryProcess | None = None
         self.services = self._build_services()
         self._search_rng = random.Random(self.config.seed)
 
@@ -300,7 +336,14 @@ class SimulatedCluster:
 
     def _build_overlay(self) -> Overlay:
         cfg = self.config
-        node_config = NodeConfig(k=cfg.node_k, alpha=cfg.alpha, replicate=cfg.replicate)
+        node_config = NodeConfig(
+            k=cfg.node_k,
+            alpha=cfg.alpha,
+            replicate=cfg.replicate,
+            verify_credentials=cfg.verify_credentials,
+            certified_contacts=cfg.certified_contacts,
+            require_signed_writes=cfg.require_signed_writes,
+        )
         network_config = NetworkConfig(
             min_latency_ms=cfg.min_latency_ms,
             max_latency_ms=cfg.max_latency_ms,
@@ -483,6 +526,44 @@ class SimulatedCluster:
         else:
             self.churn.start()
         return self.churn
+
+    # ------------------------------------------------------------------ #
+    # adversary driving
+    # ------------------------------------------------------------------ #
+
+    def start_attack(
+        self, targets: list[AttackTarget], trace_horizon_ms: float
+    ) -> AdversaryProcess:
+        """Pre-schedule the whole attack campaign (requires ``adversary``).
+
+        Like :meth:`start_churn` with a trace horizon: every attack event is
+        pinned to an absolute virtual time drawn from the config seed, so a
+        verification-on and a verification-off cluster with the same config
+        face the byte-identical campaign.
+        """
+        if not self.config.adversary:
+            raise RuntimeError(
+                "cluster was built without an adversary (ClusterConfig.adversary)"
+            )
+        self.adversary = AdversaryProcess(
+            self.overlay, self.queue, self.config.adversary_config(), targets
+        )
+        self.adversary.schedule_trace(trace_horizon_ms)
+        return self.adversary
+
+    def compromise(self, node: KademliaNode, hook=None) -> None:
+        """Turn *node* malicious through its RPC-response hook.
+
+        With an explicit *hook* the node lies however the harness says; with
+        ``None`` the running adversary's eclipse behavior is installed
+        (forged victim-key answers, sybil-ring steering).
+        """
+        if hook is not None:
+            node.rpc_hook = hook
+            return
+        if self.adversary is None:
+            raise RuntimeError("no adversary running and no explicit hook given")
+        self.adversary.compromise(node)
 
     def run_for(self, duration_ms: float, max_events: int | None = None) -> int:
         """Advance the simulation by *duration_ms* of virtual time."""
@@ -975,3 +1056,344 @@ def run_survival_benchmark(
     if recorder is not None:
         recorder.stop()
     return result
+
+
+# --------------------------------------------------------------------- #
+# adversarial attack benchmark
+# --------------------------------------------------------------------- #
+
+
+def attack_cluster_config(
+    num_nodes: int,
+    verification: bool,
+    sybil_count: int = 32,
+    compromised_fraction: float = 0.02,
+    forge_rate: float = 2.0,
+    append_forge_rate: float = 1.0,
+    stale_republish_rate: float = 1.0,
+    eclipse: bool = True,
+    replicate: int = 3,
+    clients: int = 4,
+    seed: int = 0,
+) -> ClusterConfig:
+    """A :class:`ClusterConfig` shaped for attack experiments.
+
+    Shared by ``dharma attack-bench`` and ``bench_attack.py``.  *verification*
+    toggles the whole Likir enforcement posture at once -- credential
+    verification, certified-contact admission and the hardened unsigned-write
+    policy -- which is the A/B the benchmark measures; everything else
+    (including the adversary's seeded campaign) is identical across the two
+    arms.  The transport uses the same near-zero latencies as the churn
+    config: the benchmark measures message counts and integrity, not latency.
+    """
+    return ClusterConfig(
+        num_nodes=num_nodes,
+        clients=clients,
+        bootstrap="fast",
+        replicate=replicate,
+        min_latency_ms=0.01,
+        max_latency_ms=0.05,
+        timeout_ms=0.25,
+        op_interval_ms=10.0,
+        seed=seed,
+        verify_credentials=verification,
+        certified_contacts=verification,
+        require_signed_writes=verification,
+        adversary=True,
+        sybil_count=sybil_count,
+        eclipse=eclipse,
+        compromised_fraction=compromised_fraction,
+        forge_rate=forge_rate,
+        append_forge_rate=append_forge_rate,
+        stale_republish_rate=stale_republish_rate,
+    )
+
+
+@dataclass
+class AttackReport:
+    """Outcome of one attack run (see :func:`run_attack_benchmark`)."""
+
+    config: ClusterConfig
+    verification_on: bool
+    #: Distinct block keys stored before the attack started.
+    blocks_written: int = 0
+    counter_blocks: int = 0
+    #: Victim blocks the campaign aims forged writes at.
+    targets: int = 0
+    duration_s: float = 0.0
+    #: ``(seconds since attack start, availability of the probe sample)``.
+    samples: list[tuple[float, float]] = field(default_factory=list)
+    #: Availability of the probe sample at the end of the run.
+    final_availability: float = 0.0
+    lost_blocks: int = 0
+    #: Audit findings: counter entries below their honest floor plus foreign
+    #: ``attack-*`` entries an adversary smuggled in (must be zero with
+    #: verification on).
+    integrity_violations: int = 0
+    foreign_entries: int = 0
+    entries_checked: int = 0
+    #: Reads that raised ``LikirAuthError`` on a forged value (the client
+    #: retried another access node -- enforcement working, not data loss).
+    forged_reads_rejected: int = 0
+    #: Honest APPENDs issued at the victim counters during the attack, and
+    #: how many blew up on a corrupted replica (verification-off damage).
+    honest_appends: int = 0
+    honest_append_failures: int = 0
+    #: Final adversary share of honest k-closest views of the victim key.
+    eclipse_progress: float = 0.0
+    #: Raw adversary counters (sybil joins, per-kind forge outcomes, ...).
+    attack: dict[str, int] = field(default_factory=dict)
+    #: ``likir.*`` enforcement counter deltas over the whole run.
+    likir_verified: int = 0
+    likir_rejected: int = 0
+    sybil_contacts_rejected: int = 0
+    messages_total: int = 0
+    virtual_time_s: float = 0.0
+    wall_time_s: float = 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Flat mapping for tables and JSON reports."""
+        out = {
+            "nodes": self.config.num_nodes,
+            "verification": int(self.verification_on),
+            "blocks_written": self.blocks_written,
+            "counter_blocks": self.counter_blocks,
+            "targets": self.targets,
+            "duration_s": self.duration_s,
+            "final_availability": self.final_availability,
+            "lost_blocks": self.lost_blocks,
+            "integrity_violations": self.integrity_violations,
+            "foreign_entries": self.foreign_entries,
+            "entries_checked": self.entries_checked,
+            "forged_reads_rejected": self.forged_reads_rejected,
+            "honest_appends": self.honest_appends,
+            "honest_append_failures": self.honest_append_failures,
+            "eclipse_progress": self.eclipse_progress,
+            "likir_verified": self.likir_verified,
+            "likir_rejected": self.likir_rejected,
+            "sybil_contacts_rejected": self.sybil_contacts_rejected,
+            "messages_total": self.messages_total,
+            "virtual_time_s": self.virtual_time_s,
+            "wall_time_s": self.wall_time_s,
+        }
+        for name, count in self.attack.items():
+            out[f"attack_{name}"] = count
+        return out
+
+    def fingerprint(self) -> dict[str, Any]:
+        """Everything deterministic under a fixed seed (determinism pin).
+
+        The full summary minus wall time, plus the availability timeline --
+        two runs of the same seeded config must agree on this exactly.
+        """
+        out: dict[str, Any] = {
+            key: value for key, value in self.summary().items() if key != "wall_time_s"
+        }
+        out["samples"] = tuple(self.samples)
+        return out
+
+
+def _attack_retrieve(
+    overlay: Overlay, key: NodeID, report: AttackReport, attempts: int = 3
+) -> Any | None:
+    """Read *key* like a defensive client: a forged value that fails
+    verification is not data loss -- count the rejection and retry through
+    another access node."""
+    for _ in range(attempts):
+        try:
+            value, _ = overlay.random_node().retrieve(key)
+        except LikirAuthError:
+            report.forged_reads_rejected += 1
+            continue
+        if value is not None:
+            return value
+    return None
+
+
+def _attack_retrieve_merged(
+    overlay: Overlay, key: NodeID, report: AttackReport, reads: int = 3
+) -> Any | None:
+    """Merged counter read (see :func:`_retrieve_merged`) with the same
+    auth-aware retry policy as :func:`_attack_retrieve`."""
+    merged: Any | None = None
+    for _ in range(reads):
+        try:
+            value, _ = overlay.random_node().retrieve(key)
+        except LikirAuthError:
+            report.forged_reads_rejected += 1
+            continue
+        if value is None:
+            continue
+        if not is_counter_payload(value):
+            return value
+        if merged is None:
+            merged = {**value, "entries": dict(value["entries"])}
+        else:
+            merge_counter_entries(merged["entries"], value["entries"])
+    return merged
+
+
+def run_attack_benchmark(
+    config: ClusterConfig,
+    workload: TaggingWorkload,
+    ops: int | None = None,
+    duration_s: float = 120.0,
+    sample_every_s: float = 10.0,
+    probe_keys: int = 60,
+    target_keys: int = 4,
+    metrics_stream: "MetricsStream | None" = None,
+    metrics_interval_s: float | None = None,
+) -> AttackReport:
+    """Measure availability and integrity under a scripted attack campaign.
+
+    The run has three phases, mirroring :func:`run_survival_benchmark`: (1)
+    replay *ops* tagging events on a quiet overlay and snapshot every stored
+    block -- the honest floor; (2) pre-schedule the adversary's campaign
+    against *target_keys* victim counter blocks and run *duration_s* virtual
+    seconds, probing availability every *sample_every_s* through
+    auth-defensive reads and issuing honest APPENDs at the victims (so stale
+    republishes are truly stale and a rollback is detectable); (3) audit
+    every pre-attack key: a block is *lost* when no access node can retrieve
+    it, and a counter *violates integrity* when an entry reads below its
+    floor or carries a foreign ``attack-*`` entry.
+
+    Because the campaign is drawn entirely from ``config.seed``, running this
+    twice with verification on and off puts the identical attack trace
+    against both postures -- the measured delta is enforcement.
+    """
+    started = time.perf_counter()
+    if not config.adversary:
+        raise ValueError("run_attack_benchmark requires ClusterConfig.adversary")
+    verified_before = PERF.counter("likir.verified")
+    rejected_before = PERF.counter("likir.rejected")
+    sybil_before = PERF.counter("likir.sybil_rejected")
+
+    cluster = SimulatedCluster(config)
+    overlay = cluster.overlay
+    cluster.run_workload(workload, limit=ops)
+
+    expected = _expected_blocks(overlay)
+    counter_keys = [key for key, payload in expected.items() if payload is not None]
+    if not counter_keys:
+        raise ValueError("the attack benchmark needs counter blocks to target")
+    report = AttackReport(
+        config=config,
+        verification_on=config.verify_credentials,
+        blocks_written=len(expected),
+        counter_blocks=len(counter_keys),
+        duration_s=duration_s,
+    )
+    rng = random.Random(config.seed)
+    victim_keys = rng.sample(
+        sorted(counter_keys, key=lambda k: k.value), min(target_keys, len(counter_keys))
+    )
+    # The target payload is frozen at attack start: it is the stale snapshot
+    # the republish storm replays, while the live floor keeps rising below.
+    targets = [
+        AttackTarget(
+            key=key,
+            payload={**expected[key], "entries": dict(expected[key]["entries"])},
+        )
+        for key in victim_keys
+    ]
+    report.targets = len(targets)
+    probe = rng.sample(
+        sorted(expected, key=lambda k: k.value), min(probe_keys, len(expected))
+    )
+    # The victims must be in the probe sample, or availability would not see
+    # the keys under fire.
+    probe.extend(key for key in victim_keys if key not in probe)
+    attack_start_ms = overlay.clock.now
+
+    def probe_tick() -> None:
+        readable = sum(
+            1 for key in probe if _attack_retrieve(overlay, key, report) is not None
+        )
+        availability = readable / len(probe) if probe else 1.0
+        report.samples.append(
+            ((overlay.clock.now - attack_start_ms) / 1000.0, availability)
+        )
+
+    def append_tick() -> None:
+        # Honest writers keep working through the attack; on a wholesale-
+        # corrupted replica (verification off) the APPEND blows up on block
+        # metadata and is counted as collateral damage.
+        for target in targets:
+            payload = expected[target.key]
+            assert payload is not None
+            entry = f"probe-{payload['owner']}"
+            report.honest_appends += 1
+            try:
+                outcome = overlay.random_node().append(
+                    target.key, payload["owner"], BlockType(payload["type"]), {entry: 1}
+                )
+            except Exception:
+                report.honest_append_failures += 1
+                continue
+            if outcome.accepted_replicas >= cluster.config.replicate:
+                payload["entries"][entry] = payload["entries"].get(entry, 0) + 1
+
+    ticks = int(duration_s // sample_every_s) if sample_every_s > 0 else 0
+    for tick in range(1, ticks + 1):
+        at = attack_start_ms + tick * sample_every_s * 1000.0
+        cluster.queue.schedule_at(at, probe_tick, label=f"attack-probe-{tick}")
+        cluster.queue.schedule_at(at, append_tick, label=f"attack-honest-append-{tick}")
+
+    recorder = None
+    if metrics_stream is not None:
+        from repro.metrics.stream import ClusterMetricsRecorder
+
+        def attack_gauges() -> dict[str, float]:
+            adversary = cluster.adversary
+            return {
+                "attack.availability": report.samples[-1][1] if report.samples else 1.0,
+                "attack.eclipse_progress": (
+                    adversary.eclipse_progress() if adversary is not None else 0.0
+                ),
+                "attack.forged_writes_sent": float(
+                    adversary.forged_writes_sent() if adversary is not None else 0
+                ),
+            }
+
+        recorder = ClusterMetricsRecorder(
+            cluster,
+            metrics_stream,
+            interval_ms=(metrics_interval_s or sample_every_s) * 1000.0,
+            extra_gauges=attack_gauges,
+        )
+        recorder.start()
+
+    adversary = cluster.start_attack(targets, trace_horizon_ms=duration_s * 1000.0)
+    cluster.run_for(duration_s * 1000.0)
+
+    # Final availability sample, then the integrity audit.
+    probe_tick()
+    report.final_availability = report.samples[-1][1]
+    for key, payload in expected.items():
+        value = _attack_retrieve_merged(overlay, key, report)
+        if value is None:
+            report.lost_blocks += 1
+            continue
+        if payload is None or not is_counter_payload(value):
+            continue
+        entries = value["entries"]
+        for entry, floor in payload["entries"].items():
+            report.entries_checked += 1
+            if entries.get(entry, 0) < floor:
+                report.integrity_violations += 1
+        for entry in entries:
+            if entry.startswith("attack-"):
+                report.foreign_entries += 1
+                report.integrity_violations += 1
+
+    report.eclipse_progress = adversary.eclipse_progress()
+    report.attack = adversary.counters()
+    report.likir_verified = PERF.counter("likir.verified") - verified_before
+    report.likir_rejected = PERF.counter("likir.rejected") - rejected_before
+    report.sybil_contacts_rejected = PERF.counter("likir.sybil_rejected") - sybil_before
+    report.messages_total = overlay.network.stats.messages_sent
+    report.virtual_time_s = overlay.clock.now / 1000.0
+    report.wall_time_s = time.perf_counter() - started
+    if recorder is not None:
+        recorder.stop()
+    return report

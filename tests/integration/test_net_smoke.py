@@ -11,7 +11,12 @@ node and drives the full stack through real sockets:
   different access paths must both survive);
 * faceted search -- a catalogue published via the naive protocol, then a
   :class:`~repro.distributed.search_client.DistributedFacetedSearch` walk
-  whose every block read crosses a process boundary.
+  whose every block read crosses a process boundary;
+* Likir over sockets -- a second, smaller overlay runs ``dharma serve
+  --verify --cert-seed``: independently started processes share only the
+  seed, yet a credentialed STORE verifies everywhere while a forged one
+  re-raises :class:`~repro.dht.likir.LikirAuthError` across the process
+  boundary.
 
 Everything binds OS-assigned ephemeral ports, so the test is safe to run in
 parallel CI jobs.  A hard deadline on the handshake keeps a wedged child
@@ -29,6 +34,7 @@ import time
 import pytest
 
 from repro.core.blocks import BlockKey, BlockType
+from repro.dht.likir import CertificationService, Identity, LikirAuthError, SignedValue
 from repro.dht.node import NodeConfig
 from repro.dht.node_id import NodeID
 from repro.distributed.block_store import BlockStore
@@ -38,10 +44,14 @@ from repro.net.server import ServeNode
 from repro.net.udp import UdpTransportConfig
 
 NUM_SERVERS = 5
+NUM_VERIFIED_SERVERS = 3
+CERT_SEED = 4242
 HANDSHAKE_TIMEOUT = 20.0
 
 
-def spawn_server(join: str | None) -> tuple[subprocess.Popen, str]:
+def spawn_server(
+    join: str | None, extra: tuple[str, ...] = ()
+) -> tuple[subprocess.Popen, str]:
     """Start one ``dharma serve`` process and return (process, udp address)."""
     env = dict(os.environ)
     src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
@@ -67,6 +77,7 @@ def spawn_server(join: str | None) -> tuple[subprocess.Popen, str]:
         "0",
         "--run-seconds",
         "600",  # self-destruct long after the test is done
+        *extra,
     ]
     if join is not None:
         argv += ["--join", join]
@@ -204,6 +215,80 @@ def test_faceted_search_over_udp(access_node):
     # And the tag blocks really live on the overlay, not in this process.
     resources_of_rock = store.get_tag_resources("rock")
     assert set(resources_of_rock) == {"nevermind", "in-utero", "ok-computer"}
+
+
+@pytest.fixture(scope="module")
+def verified_overlay():
+    """A separate overlay where every process enforces Likir credentials.
+
+    The processes share nothing but ``--cert-seed``: the stateless
+    certification service derives identical identities per user in every
+    process, which is exactly the trust model ``dharma serve --verify``
+    promises.
+    """
+    extra = ("--verify", "--cert-seed", str(CERT_SEED))
+    processes: list[subprocess.Popen] = []
+    addresses: list[str] = []
+    try:
+        first, first_address = spawn_server(join=None, extra=extra)
+        processes.append(first)
+        addresses.append(first_address)
+        for _ in range(NUM_VERIFIED_SERVERS - 1):
+            proc, address = spawn_server(join=first_address, extra=extra)
+            processes.append(proc)
+            addresses.append(address)
+        yield addresses
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                process.send_signal(signal.SIGINT)
+        for process in processes:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - safety net
+                process.kill()
+                process.wait(timeout=10)
+
+
+def test_verified_store_crosses_processes_and_forgeries_do_not(verified_overlay):
+    certification = CertificationService(seed=CERT_SEED, stateless=True)
+    access = ServeNode(
+        node_config=NodeConfig(k=8, alpha=2, replicate=2, verify_credentials=True),
+        transport_config=UdpTransportConfig(timeout_ms=400.0, retries=1),
+        certification=certification,
+    )
+    try:
+        access.bootstrap(verified_overlay[0])
+
+        # A credentialed STORE: the serve processes derive alice's secret
+        # from the shared seed and accept, and the read verifies end-to-end.
+        alice = certification.register("alice")
+        key = NodeID.hash_of("verified-block")
+        outcome = access.node.store(
+            key, {"owner": "alice", "type": "1", "entries": {"rock": 4}}, identity=alice
+        )
+        assert outcome.accepted_replicas > 0
+        value, _ = access.node.retrieve(key)
+        assert value["entries"] == {"rock": 4}
+
+        # A forged STORE: mallory's self-minted secret cannot match the
+        # seed-derived one, so the remote handler rejects and the fault
+        # frame re-raises LikirAuthError here, across the process boundary.
+        mallory = Identity(
+            user="mallory", node_id=NodeID.hash_of("mallory"), secret=b"\x13" * 20
+        )
+        forged_key = NodeID.hash_of("forged-block")
+        forged = SignedValue.create(
+            mallory, forged_key, {"owner": "mallory", "type": "1", "entries": {"x": 9}}
+        )
+        target = access.probe(verified_overlay[0])
+        with pytest.raises(LikirAuthError):
+            access.node.store_at([target], forged_key, forged)
+        # The forgery left no readable value behind.
+        value, _ = access.node.retrieve(forged_key)
+        assert value is None
+    finally:
+        access.close()
 
 
 def test_uri_blocks_resolve(access_node):

@@ -1,0 +1,142 @@
+"""Tests for the adversarial fault-injection harness.
+
+The harness's whole value is determinism: one seeded config must produce the
+byte-identical campaign no matter which enforcement posture faces it, so the
+verification-on/off delta measures Likir, not luck.  These tests pin that
+property, plus the attack outcomes the benchmark gates on, at a size small
+enough for the unit suite.
+"""
+
+import pytest
+
+from repro.simulation.adversary import FORGE_KINDS, AdversaryConfig
+from repro.simulation.cluster import (
+    attack_cluster_config,
+    run_attack_benchmark,
+)
+from repro.simulation.workload import TaggingWorkload
+
+TRIPLES = [
+    (f"user-{i % 7}", f"res-{i % 11}", f"tag-{i % 5}")
+    for i in range(160)
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return TaggingWorkload.from_triples(TRIPLES)
+
+
+def small_attack_config(verification: bool, seed: int = 3):
+    return attack_cluster_config(
+        num_nodes=32,
+        verification=verification,
+        sybil_count=8,
+        compromised_fraction=0.05,
+        forge_rate=0.5,
+        append_forge_rate=0.5,
+        stale_republish_rate=0.5,
+        seed=seed,
+    )
+
+
+def run_small(verification: bool, seed: int = 3, workload=None):
+    return run_attack_benchmark(
+        small_attack_config(verification, seed=seed),
+        workload,
+        ops=40,
+        duration_s=30.0,
+        sample_every_s=10.0,
+        probe_keys=20,
+        target_keys=2,
+    )
+
+
+class TestAdversaryConfig:
+    def test_defaults_are_valid(self):
+        AdversaryConfig()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdversaryConfig(sybil_count=-1)
+        with pytest.raises(ValueError):
+            AdversaryConfig(sybil_interval_ms=0.0)
+        with pytest.raises(ValueError):
+            AdversaryConfig(compromised_fraction=1.5)
+        with pytest.raises(ValueError):
+            AdversaryConfig(forge_rate=-0.1)
+        with pytest.raises(ValueError):
+            AdversaryConfig(forge_kinds=())
+        with pytest.raises(ValueError):
+            AdversaryConfig(forge_kinds=("bad-credential", "made-up-kind"))
+
+    def test_cluster_config_round_trip(self):
+        config = small_attack_config(verification=True)
+        adversary = config.adversary_config()
+        assert adversary.sybil_count == 8
+        assert adversary.forge_kinds == FORGE_KINDS
+        assert adversary.seed == config.seed
+
+
+class TestAttackOutcomes:
+    @pytest.fixture(scope="class")
+    def arms(self, workload):
+        return {
+            "on": run_small(verification=True, workload=workload),
+            "off": run_small(verification=False, workload=workload),
+        }
+
+    def test_identical_campaign_across_postures(self, arms):
+        """Every *_sent counter agrees: both arms faced the same trace."""
+        sent_on = {
+            k: v for k, v in arms["on"].summary().items()
+            if k.startswith("attack_") and k.endswith("_sent")
+        }
+        sent_off = {
+            k: v for k, v in arms["off"].summary().items()
+            if k.startswith("attack_") and k.endswith("_sent")
+        }
+        assert sent_on == sent_off
+        assert sum(sent_on.values()) > 0
+
+    def test_verification_on_blocks_every_forgery(self, arms):
+        on = arms["on"]
+        assert on.integrity_violations == 0
+        assert on.foreign_entries == 0
+        accepted = sum(
+            v for k, v in on.summary().items()
+            if k.startswith("attack_") and k.endswith("_accepted")
+        )
+        assert accepted == 0
+        assert on.likir_rejected > 0
+        assert on.sybil_contacts_rejected > 0
+
+    def test_verification_off_takes_damage(self, arms):
+        off = arms["off"]
+        accepted = sum(
+            v for k, v in off.summary().items()
+            if k.startswith("attack_") and k.endswith("_accepted")
+        )
+        assert accepted > 0
+        assert off.likir_verified == 0 and off.likir_rejected == 0
+
+    def test_sybils_make_less_eclipse_progress_under_admission_control(self, arms):
+        assert arms["on"].eclipse_progress <= arms["off"].eclipse_progress
+
+    def test_same_seed_same_fingerprint(self, workload, arms):
+        """The determinism pin: a rerun of the same seeded config reproduces
+        the full report (summary minus wall time, plus the availability
+        timeline) exactly."""
+        rerun = run_small(verification=True, workload=workload)
+        assert rerun.fingerprint() == arms["on"].fingerprint()
+
+    def test_different_seed_different_campaign(self, workload, arms):
+        other = run_small(verification=True, seed=4, workload=workload)
+        assert other.fingerprint() != arms["on"].fingerprint()
+
+    def test_requires_adversarial_config(self, workload):
+        from repro.simulation.cluster import ClusterConfig, SimulatedCluster
+
+        cluster = SimulatedCluster(ClusterConfig(num_nodes=8, bootstrap="fast"))
+        with pytest.raises(RuntimeError):
+            cluster.start_attack(targets=[], trace_horizon_ms=1000.0)

@@ -35,6 +35,7 @@ class TestParser:
             ("overlay", ["in.tsv"]),
             ("cluster-bench", []),
             ("churn-bench", []),
+            ("attack-bench", []),
             ("profile", []),
             ("dashboard", []),
             ("audit", []),
@@ -277,6 +278,7 @@ class TestObservabilityCommands:
                 "--churn", str(tmp_path / "missing_churn.json"),
                 "--wire", str(tmp_path / "missing_wire.json"),
                 "--scale", str(tmp_path / "missing_scale.json"),
+                "--attack", str(tmp_path / "missing_attack.json"),
             ]
         ) == 0
         assert "nothing to show" in capsys.readouterr().out
@@ -366,6 +368,135 @@ class TestObservabilityCommands:
         assert "scale-bad-measurement" in out
         assert "scale-missing-point" in out
         assert "result: FAILED" in out
+
+    @staticmethod
+    def _attack_record() -> dict:
+        def arm(verification: bool) -> dict:
+            protected = verification
+            return {
+                "verification": int(verification),
+                "blocks_written": 40,
+                "targets": 2,
+                "final_availability": 1.0 if protected else 0.95,
+                "lost_blocks": 0,
+                "integrity_violations": 0 if protected else 4,
+                "foreign_entries": 0 if protected else 2,
+                "entries_checked": 30,
+                "forged_reads_rejected": 3 if protected else 0,
+                "honest_appends": 6,
+                "honest_append_failures": 0 if protected else 2,
+                "eclipse_progress": 0.0 if protected else 0.1,
+                "likir_verified": 100 if protected else 0,
+                "likir_rejected": 50 if protected else 0,
+                "sybil_contacts_rejected": 200 if protected else 0,
+                "messages_total": 4000,
+                "attack_sybil_joins": 6,
+                "attack_forge_bad_credential_sent": 10,
+                "attack_forge_bad_credential_accepted": 0 if protected else 10,
+                "attack_forge_bad_credential_rejected": 10 if protected else 0,
+                "attack_stale_republish_sent": 5,
+                "attack_stale_republish_accepted": 0 if protected else 5,
+                "attack_stale_republish_rejected": 5 if protected else 0,
+                "samples": [[10.0, 1.0], [20.0, 1.0 if protected else 0.95]],
+            }
+
+        return {
+            "bench": "attack_resilience",
+            "nodes": 32,
+            "duration_s": 20.0,
+            "availability_floor": 0.99,
+            "overhead_budget": 1.15,
+            "honest_overhead": {
+                "messages_ratio": 1.01,
+                "virtual_time_ratio": 1.0,
+            },
+            "verification_on": arm(True),
+            "verification_off": arm(False),
+        }
+
+    def test_attack_bench_runs_both_arms_and_writes_json(self, tmp_path, capsys):
+        import json as json_module
+
+        output = tmp_path / "attack.json"
+        assert main([
+            "attack-bench", "--preset", "tiny",
+            "--nodes", "24", "--ops", "30", "--duration", "15",
+            "--sample-every", "5", "--sybil-count", "4",
+            "--forge-rate", "0.5", "--targets", "2",
+            "--seed", "3", "--json", str(output),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "attack-bench" in out
+        assert "integrity_violations" in out
+        assert "forged writes sent" in out
+        payload = json_module.loads(output.read_text())
+        on, off = payload["verification_on"], payload["verification_off"]
+        assert on["integrity_violations"] == 0
+        # Identical campaign across arms.
+        for key in on:
+            if key.startswith("attack_") and key.endswith("_sent"):
+                assert on[key] == off[key]
+
+    def test_dashboard_renders_attack_section(self, tmp_path, capsys):
+        import json as json_module
+
+        attack = tmp_path / "BENCH_attack.json"
+        attack.write_text(json_module.dumps(self._attack_record()))
+        assert main(
+            [
+                "dashboard",
+                "--core", str(tmp_path / "missing_core.json"),
+                "--churn", str(tmp_path / "missing_churn.json"),
+                "--wire", str(tmp_path / "missing_wire.json"),
+                "--scale", str(tmp_path / "missing_scale.json"),
+                "--attack", str(attack),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "attack A/B" in out
+        assert "verification on" in out and "verification off" in out
+        assert "sybil" in out
+        assert "honest overhead" in out
+
+    def test_audit_accepts_attack_record(self, tmp_path, capsys):
+        import json as json_module
+
+        attack = tmp_path / "BENCH_attack.json"
+        attack.write_text(json_module.dumps(self._attack_record()))
+        assert main(["audit", "--attack", str(attack)]) == 0
+        out = capsys.readouterr().out
+        assert "attack arms" in out
+        assert "result: OK" in out
+
+    def test_audit_flags_broken_attack_record(self, tmp_path, capsys):
+        import json as json_module
+
+        record = self._attack_record()
+        # The arms no longer faced the same campaign, enforcement leaked,
+        # and verification got expensive.
+        record["verification_off"]["attack_forge_bad_credential_sent"] = 99
+        record["verification_on"]["integrity_violations"] = 2
+        record["honest_overhead"]["messages_ratio"] = 1.4
+        attack = tmp_path / "BENCH_attack.json"
+        attack.write_text(json_module.dumps(record))
+        assert main(["audit", "--attack", str(attack)]) == 1
+        out = capsys.readouterr().out
+        assert "attack-trace-divergence" in out
+        assert "attack-integrity" in out
+        assert "attack-overhead" in out
+        assert "result: FAILED" in out
+
+    def test_audit_flags_toothless_campaign(self, tmp_path, capsys):
+        import json as json_module
+
+        record = self._attack_record()
+        # The unprotected arm shows no damage: the benchmark proves nothing.
+        record["verification_off"]["integrity_violations"] = 0
+        record["verification_off"]["final_availability"] = 1.0
+        attack = tmp_path / "BENCH_attack.json"
+        attack.write_text(json_module.dumps(record))
+        assert main(["audit", "--attack", str(attack)]) == 1
+        assert "attack-no-damage" in capsys.readouterr().out
 
     @staticmethod
     def _wire_point() -> dict:

@@ -50,8 +50,8 @@ class TestCliDocsDrift:
         # an accidentally emptied parser cannot vacuously pass.
         assert parser_subcommands() >= {
             "generate", "stats", "evolve", "converge", "overlay",
-            "cluster-bench", "churn-bench", "profile", "dashboard", "audit",
-            "serve",
+            "cluster-bench", "churn-bench", "attack-bench", "profile",
+            "dashboard", "audit", "serve",
         }
 
 
